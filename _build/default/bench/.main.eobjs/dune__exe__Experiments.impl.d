@@ -1,0 +1,1 @@
+bench/experiments.ml: Array Fun List Option Printf Report Zkqac_abs Zkqac_core Zkqac_group Zkqac_hashing Zkqac_parallel Zkqac_policy Zkqac_rng Zkqac_tpch

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Float Hashtbl Instance List Measure Printf Report Staged Test Time Toolkit Zkqac_abs Zkqac_group Zkqac_hashing Zkqac_policy

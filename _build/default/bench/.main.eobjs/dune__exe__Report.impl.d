@@ -1,0 +1,1 @@
+bench/report.ml: List Option Printf String Unix

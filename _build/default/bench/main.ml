@@ -1,0 +1,85 @@
+(* The benchmark harness: one section per table/figure of the paper's
+   evaluation (Section 10 + Appendix E).
+
+   Usage:
+     dune exec bench/main.exe                 -- every experiment, smoke sizes
+     dune exec bench/main.exe -- table1 fig7  -- selected experiments
+     dune exec bench/main.exe -- --full all   -- larger (paper-shaped) sizes
+     dune exec bench/main.exe -- --backend typea-tiny fig7
+                                              -- real pairing backend *)
+
+module Backend = Zkqac_group.Backend
+
+let experiments =
+  [ "table1"; "table2"; "fig7"; "fig8"; "fig9"; "fig10"; "fig11"; "fig12";
+    "fig13"; "fig14"; "fig15"; "batch"; "micro" ]
+
+let usage () =
+  Printf.eprintf
+    "usage: main.exe [--full] [--backend %s] [all | %s]...\n"
+    (String.concat "|" (List.map Backend.to_string Backend.all))
+    (String.concat " | " experiments);
+  exit 2
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let full = ref false in
+  let backend = ref Backend.Mock in
+  let selected = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--full" :: rest ->
+      full := true;
+      parse rest
+    | "--backend" :: b :: rest ->
+      (match Backend.of_string b with
+       | Some k -> backend := k
+       | None -> usage ());
+      parse rest
+    | "all" :: rest ->
+      selected := !selected @ experiments;
+      parse rest
+    | exp :: rest when List.mem exp experiments ->
+      selected := !selected @ [ exp ];
+      parse rest
+    | _ -> usage ()
+  in
+  parse args;
+  let selected = if !selected = [] then experiments else !selected in
+  let cfg = { Experiments.full = !full } in
+  let backend_mod = Backend.instantiate !backend in
+  let module B = (val backend_mod) in
+  let module E = Experiments.Make (B) in
+  Printf.printf
+    "zkqac benchmark harness -- backend: %s, %s sizes\n"
+    B.name
+    (if !full then "full" else "smoke");
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun exp ->
+      let run () =
+        match exp with
+        | "table1" -> E.table1 cfg
+        | "table2" -> E.table2 cfg
+        | "fig7" -> E.fig7 cfg
+        | "fig8" -> E.fig8 cfg
+        | "fig9" -> E.fig9 cfg
+        | "fig10" -> E.fig10 cfg
+        | "fig11" -> E.fig11 cfg
+        | "fig12" -> E.fig12 cfg
+        | "fig13" -> E.fig13 cfg
+        | "fig14" -> E.fig14 cfg
+        | "fig15" -> E.fig15 cfg
+        | "batch" -> E.ablation_batch cfg
+        | "micro" ->
+          Micro.micro
+            (backend_mod
+             :: (if !backend = Backend.Mock then
+                   [ Backend.instantiate Backend.Typea_tiny ]
+                 else []))
+        | _ -> assert false
+      in
+      let _, t = Report.time run in
+      Printf.printf "[%s done in %.1fs]\n%!" exp t)
+    selected;
+  Printf.printf "\ntotal: %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,81 @@
+(* Bechamel micro-benchmarks of the cryptographic primitives: one Test.make
+   per operation, per backend. These underpin every table: e.g. Table 2 is a
+   direct consequence of how Sign/Verify/Relax scale with predicate size. *)
+
+open Bechamel
+open Toolkit
+module Expr = Zkqac_policy.Expr
+module Attr = Zkqac_policy.Attr
+module Universe = Zkqac_policy.Universe
+module Drbg = Zkqac_hashing.Drbg
+
+module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
+  module Abs = Zkqac_abs.Abs.Make (P)
+
+  let tests () =
+    let drbg = Drbg.create ~seed:("micro:" ^ P.name) in
+    let msk, mvk = Abs.setup drbg in
+    let roles = Universe.roles ~prefix:"R" 10 in
+    let universe = Universe.create roles in
+    let sk = Abs.keygen drbg msk (Universe.attrs universe) in
+    let policy = Expr.of_string "(R0 & R1) | (R2 & R3) | (R4 & R5)" in
+    let msg = "micro-benchmark message" in
+    let sigma = Abs.sign drbg mvk sk ~msg ~policy in
+    let user = Attr.set_of_list [ "R8"; "R9" ] in
+    let keep = Universe.missing universe ~user in
+    let g1 = P.rand_g drbg and g2 = P.rand_g drbg in
+    let k = P.rand_scalar drbg in
+    [
+      Test.make ~name:(P.name ^ "/pairing") (Staged.stage (fun () -> P.e g1 g2));
+      Test.make ~name:(P.name ^ "/g-exp") (Staged.stage (fun () -> P.G.pow g1 k));
+      Test.make ~name:(P.name ^ "/abs-sign")
+        (Staged.stage (fun () -> Abs.sign drbg mvk sk ~msg ~policy));
+      Test.make ~name:(P.name ^ "/abs-verify")
+        (Staged.stage (fun () -> Abs.verify mvk ~msg ~policy sigma));
+      Test.make ~name:(P.name ^ "/abs-relax")
+        (Staged.stage (fun () -> Abs.relax drbg mvk sigma ~msg ~policy ~keep));
+    ]
+end
+
+let run_tests tests =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instance = Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
+  List.concat_map
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      Hashtbl.fold
+        (fun name raw acc ->
+          let est = Analyze.one ols instance raw in
+          match Analyze.OLS.estimates est with
+          | Some [ ns ] -> (name, ns) :: acc
+          | Some _ | None -> (name, nan) :: acc)
+        results [])
+    tests
+
+let micro backends =
+  let rows =
+    List.concat_map
+      (fun (m : (module Zkqac_group.Pairing_intf.PAIRING)) ->
+        let module B = (val m) in
+        let module M = Make (B) in
+        run_tests (M.tests ()))
+      backends
+  in
+  Report.print_table ~title:"Micro-benchmarks (Bechamel, monotonic clock)"
+    ~header:[ "operation"; "time/run" ]
+    (List.map
+       (fun (name, ns) ->
+         let pretty =
+           if Float.is_nan ns then "n/a"
+           else if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+           else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+           else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+           else Printf.sprintf "%.0f ns" ns
+         in
+         [ name; pretty ])
+       (List.sort compare rows))

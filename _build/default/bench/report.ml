@@ -1,0 +1,42 @@
+(* Plain-text table rendering for the experiment harness. *)
+
+let hr width = String.make width '-'
+
+let print_table ~title ~header rows =
+  let all = header :: rows in
+  let cols = List.length header in
+  let widths =
+    List.init cols (fun c ->
+        List.fold_left (fun acc row -> max acc (String.length (List.nth row c))) 0 all)
+  in
+  let render row =
+    String.concat "  "
+      (List.mapi
+         (fun c cell -> Printf.sprintf "%*s" (List.nth widths c) cell)
+         row)
+  in
+  let total = List.fold_left ( + ) (2 * (cols - 1)) widths in
+  Printf.printf "\n%s\n%s\n%s\n%s\n" title (hr total) (render header) (hr total);
+  List.iter (fun row -> print_endline (render row)) rows;
+  print_endline (hr total)
+
+let ms t = Printf.sprintf "%.1f" (t *. 1000.)
+let s t = Printf.sprintf "%.2f" t
+let kb bytes = Printf.sprintf "%.1f" (float_of_int bytes /. 1024.)
+let mb bytes = Printf.sprintf "%.2f" (float_of_int bytes /. 1048576.)
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, Unix.gettimeofday () -. t0)
+
+(* Average wall time of [f] over [n] runs (n >= 1). *)
+let avg_time n f =
+  let acc = ref 0.0 in
+  let last = ref None in
+  for _ = 1 to n do
+    let v, t = time f in
+    acc := !acc +. t;
+    last := Some v
+  done;
+  (Option.get !last, !acc /. float_of_int n)

@@ -1,0 +1,239 @@
+(* zkqac: command-line front end for the authenticated query system.
+
+     zkqac setup   -- data-owner side: sign a database into an ADS file
+     zkqac inspect -- show what an ADS file contains
+     zkqac query   -- service-provider side: answer a range query with a VO
+     zkqac verify  -- user side: check soundness + completeness of a VO
+     zkqac demo    -- self-contained end-to-end run
+
+   Records are read from a simple line format:  k1,k2,...|value|policy
+   e.g.  3,5|secret payload|RoleA & (RoleB | RoleC)                      *)
+
+open Cmdliner
+module Expr = Zkqac_policy.Expr
+module Attr = Zkqac_policy.Attr
+module Universe = Zkqac_policy.Universe
+module Drbg = Zkqac_hashing.Drbg
+module Box = Zkqac_core.Box
+module Keyspace = Zkqac_core.Keyspace
+module Record = Zkqac_core.Record
+
+module Backend = (val Zkqac_group.Backend.instantiate Zkqac_group.Backend.Mock)
+module Abs = Zkqac_abs.Abs.Make (Backend)
+module Ap2g = Zkqac_core.Ap2g.Make (Backend)
+module Vo = Zkqac_core.Vo.Make (Backend)
+module Ads_io = Zkqac_core.Ads_io.Make (Backend)
+
+let die fmt = Printf.ksprintf (fun s -> prerr_endline ("zkqac: " ^ s); exit 1) fmt
+
+let parse_record line =
+  (* Split on the first two '|' only: the policy itself may contain '|'. *)
+  match String.index_opt line '|' with
+  | None -> die "bad record line (expected k1,k2|value|policy): %s" line
+  | Some i ->
+    (match String.index_from_opt line (i + 1) '|' with
+     | None -> die "bad record line (expected k1,k2|value|policy): %s" line
+     | Some j ->
+       let keys = String.sub line 0 i in
+       let value = String.sub line (i + 1) (j - i - 1) in
+       let policy = String.sub line (j + 1) (String.length line - j - 1) in
+       let key =
+         keys |> String.split_on_char ','
+         |> List.map (fun s -> int_of_string (String.trim s))
+         |> Array.of_list
+       in
+       Record.make ~key ~value ~policy:(Expr.of_string policy))
+
+let read_records path =
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | line ->
+      let line = String.trim line in
+      if line = "" || line.[0] = '#' then go acc else go (parse_record line :: acc)
+    | exception End_of_file ->
+      close_in ic;
+      List.rev acc
+  in
+  go []
+
+let parse_roles s =
+  String.split_on_char ',' s |> List.map String.trim |> List.filter (( <> ) "")
+
+let parse_range ~dims s =
+  match String.split_on_char ':' s with
+  | [ a; b ] ->
+    let point p =
+      p |> String.split_on_char ','
+      |> List.map (fun x -> int_of_string (String.trim x))
+      |> Array.of_list
+    in
+    let alpha = point a and beta = point b in
+    if Array.length alpha <> dims || Array.length beta <> dims then
+      die "range has %d dims, ADS has %d" (Array.length alpha) dims;
+    Box.of_range ~alpha ~beta
+  | _ -> die "bad range (expected a1,a2:b1,b2): %s" s
+
+let write_file path data =
+  let oc = open_out_bin path in
+  output_string oc data;
+  close_out oc
+
+let read_file path =
+  let ic = open_in_bin path in
+  let data = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  data
+
+(* --- setup --- *)
+
+let setup records_file roles dims depth seed out =
+  let records = read_records records_file in
+  let drbg = Drbg.create ~seed:("zkqac-cli:" ^ seed) in
+  let msk, mvk = Abs.setup drbg in
+  let universe = Universe.create (parse_roles roles) in
+  let sk = Abs.keygen drbg msk (Universe.attrs universe) in
+  let space = Keyspace.create ~dims ~depth in
+  let tree =
+    Ap2g.build drbg ~mvk ~sk ~space ~universe ~pseudo_seed:("cli:" ^ seed) records
+  in
+  Ads_io.save ~path:out ~mvk tree;
+  let st = Ap2g.stats tree in
+  Printf.printf
+    "ADS written to %s: %d records over a %d^%d space, %d signatures (%d KB)\n" out
+    (Ap2g.num_records tree) (Keyspace.side space) dims
+    (st.Ap2g.leaf_signatures + st.Ap2g.node_signatures)
+    ((st.Ap2g.structure_bytes + st.Ap2g.signature_bytes) / 1024)
+
+let setup_cmd =
+  let records =
+    Arg.(required & opt (some file) None & info [ "records" ] ~docv:"FILE"
+           ~doc:"Record file, one 'k1,k2|value|policy' per line.")
+  in
+  let roles =
+    Arg.(required & opt (some string) None & info [ "roles" ] ~docv:"R1,R2,..."
+           ~doc:"The access role universe (the pseudo role is implicit).")
+  in
+  let dims = Arg.(value & opt int 2 & info [ "dims" ] ~doc:"Key dimensions.") in
+  let depth = Arg.(value & opt int 3 & info [ "depth" ] ~doc:"Grid depth (side = 2^depth).") in
+  let seed = Arg.(value & opt string "default" & info [ "seed" ] ~doc:"Deterministic key seed.") in
+  let out = Arg.(value & opt string "ads.zkqac" & info [ "o"; "out" ] ~doc:"Output ADS file.") in
+  Cmd.v
+    (Cmd.info "setup" ~doc:"Data-owner setup: sign a database into an ADS file.")
+    Term.(const setup $ records $ roles $ dims $ depth $ seed $ out)
+
+(* --- inspect --- *)
+
+let inspect path =
+  match Ads_io.load ~path with
+  | Error e -> die "%s" e
+  | Ok (_mvk, tree) ->
+    let st = Ap2g.stats tree in
+    let space = Ap2g.space tree in
+    Printf.printf "space: %d dims, depth %d (%d cells)\n" (Keyspace.dims space)
+      (Keyspace.depth space) (Keyspace.num_leaves space);
+    Printf.printf "records: %d real, %d leaves total\n" (Ap2g.num_records tree)
+      st.Ap2g.leaf_signatures;
+    Printf.printf "signatures: %d leaf + %d internal (%d KB)\n"
+      st.Ap2g.leaf_signatures st.Ap2g.node_signatures (st.Ap2g.signature_bytes / 1024);
+    Printf.printf "roles: %s\n"
+      (String.concat ", " (Universe.to_list (Ap2g.universe tree)))
+
+let inspect_cmd =
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"ADS") in
+  Cmd.v (Cmd.info "inspect" ~doc:"Describe an ADS file.") Term.(const inspect $ path)
+
+(* --- query (SP side) --- *)
+
+let query path roles range out =
+  match Ads_io.load ~path with
+  | Error e -> die "%s" e
+  | Ok (mvk, tree) ->
+    let user = Attr.set_of_list (parse_roles roles) in
+    let space = Ap2g.space tree in
+    let box = parse_range ~dims:(Keyspace.dims space) range in
+    let drbg = Drbg.create ~seed:"zkqac-sp" in
+    let vo, st = Ap2g.range_vo drbg ~mvk tree ~user box in
+    write_file out (Vo.to_bytes vo);
+    Printf.printf "VO written to %s: %d entries, %d bytes, %d relaxations, %.1f ms\n"
+      out (List.length vo) (Vo.size vo) st.Ap2g.relax_calls (st.Ap2g.sp_time *. 1000.)
+
+let query_cmd =
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"ADS") in
+  let roles =
+    Arg.(required & opt (some string) None & info [ "user" ] ~docv:"R1,R2"
+           ~doc:"The querying user's claimed roles.")
+  in
+  let range =
+    Arg.(required & opt (some string) None & info [ "range" ] ~docv:"a1,a2:b1,b2"
+           ~doc:"Inclusive query range corners.")
+  in
+  let out = Arg.(value & opt string "vo.zkqac" & info [ "o"; "out" ] ~doc:"Output VO file.") in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Service-provider side: answer a range query with a VO.")
+    Term.(const query $ path $ roles $ range $ out)
+
+(* --- verify (user side) --- *)
+
+let verify path vo_path roles range =
+  match Ads_io.load ~path with
+  | Error e -> die "%s" e
+  | Ok (mvk, tree) ->
+    let user = Attr.set_of_list (parse_roles roles) in
+    let space = Ap2g.space tree in
+    let box = parse_range ~dims:(Keyspace.dims space) range in
+    (match Vo.of_bytes (read_file vo_path) with
+     | None -> die "malformed VO file"
+     | Some vo ->
+       (match
+          Ap2g.verify ~mvk ~t_universe:(Ap2g.universe tree)
+            ?hierarchy:(Ap2g.hierarchy tree) ~user ~query:box vo
+        with
+        | Error e -> die "verification FAILED: %s" (Vo.error_to_string e)
+        | Ok results ->
+          Printf.printf "verification OK: %d accessible record(s)\n" (List.length results);
+          List.iter
+            (fun (r : Record.t) ->
+              Printf.printf "  %s | %s | %s\n"
+                (String.concat ","
+                   (Array.to_list (Array.map string_of_int r.Record.key)))
+                r.Record.value
+                (Expr.to_string r.Record.policy))
+            results))
+
+let verify_cmd =
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"ADS") in
+  let vo = Arg.(required & opt (some file) None & info [ "vo" ] ~doc:"VO file to check.") in
+  let roles = Arg.(required & opt (some string) None & info [ "user" ] ~docv:"R1,R2") in
+  let range = Arg.(required & opt (some string) None & info [ "range" ] ~docv:"a1,a2:b1,b2") in
+  Cmd.v
+    (Cmd.info "verify" ~doc:"User side: check a VO for soundness and completeness.")
+    Term.(const verify $ path $ vo $ roles $ range)
+
+(* --- demo --- *)
+
+let demo () =
+  let dir = Filename.temp_file "zkqac" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let records_file = Filename.concat dir "records.txt" in
+  write_file records_file
+    "1,2|alpha|RoleA\n3,4|bravo|RoleA & RoleB\n5,1|charlie|RoleB\n6,6|delta|RoleA | RoleC\n";
+  let ads = Filename.concat dir "ads.zkqac" in
+  let vo = Filename.concat dir "vo.zkqac" in
+  setup records_file "RoleA,RoleB,RoleC" 2 3 "demo" ads;
+  inspect ads;
+  query ads "RoleA" "0,0:7,7" vo;
+  verify ads vo "RoleA" "0,0:7,7";
+  print_endline "demo OK"
+
+let demo_cmd =
+  Cmd.v (Cmd.info "demo" ~doc:"Self-contained end-to-end demonstration.")
+    Term.(const demo $ const ())
+
+let () =
+  let info =
+    Cmd.info "zkqac" ~version:"1.0"
+      ~doc:"Zero-knowledge query authentication with fine-grained access control"
+  in
+  exit (Cmd.eval (Cmd.group info [ setup_cmd; inspect_cmd; query_cmd; verify_cmd; demo_cmd ]))

@@ -1,0 +1,1 @@
+examples/aggregation_thresholds.ml: List Printf Zkqac_abs Zkqac_core Zkqac_group Zkqac_hashing Zkqac_policy

@@ -1,0 +1,1 @@
+examples/aggregation_thresholds.mli:

@@ -1,0 +1,1 @@
+examples/continuous_timeseries.ml: Array List Printf Zkqac_abs Zkqac_core Zkqac_group Zkqac_hashing Zkqac_policy

@@ -1,0 +1,1 @@
+examples/continuous_timeseries.mli:

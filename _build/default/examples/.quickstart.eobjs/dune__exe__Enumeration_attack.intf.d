@@ -1,0 +1,1 @@
+examples/enumeration_attack.mli:

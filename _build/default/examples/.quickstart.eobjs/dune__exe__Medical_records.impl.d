@@ -1,0 +1,1 @@
+examples/medical_records.ml: Array List Printf String Zkqac_abs Zkqac_core Zkqac_group Zkqac_hashing Zkqac_policy

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array List Printf Zkqac_core Zkqac_group Zkqac_policy

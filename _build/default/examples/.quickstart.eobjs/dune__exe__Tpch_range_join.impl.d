@@ -1,0 +1,1 @@
+examples/tpch_range_join.ml: List Printf String Zkqac_abs Zkqac_core Zkqac_group Zkqac_hashing Zkqac_parallel Zkqac_policy Zkqac_rng Zkqac_tpch

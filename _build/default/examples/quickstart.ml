@@ -1,0 +1,54 @@
+(* Quickstart: the end-to-end three-party protocol in ~60 lines.
+
+   A data owner outsources an access-controlled table; a user issues an
+   authenticated range query; the response is verified for soundness and
+   completeness and the accessible contents are decrypted.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+module Backend = (val Zkqac_group.Backend.instantiate Zkqac_group.Backend.Mock)
+module System = Zkqac_core.System.Make (Backend)
+module Box = Zkqac_core.Box
+module Keyspace = Zkqac_core.Keyspace
+module Expr = Zkqac_policy.Expr
+module Attr = Zkqac_policy.Attr
+
+let () =
+  (* An 8x8 key space over two discrete query attributes. *)
+  let space = Keyspace.create ~dims:2 ~depth:3 in
+  let policy = Expr.of_string in
+  let records =
+    [
+      { System.key = [| 1; 2 |]; content = "alpha"; policy = policy "RoleA" };
+      { System.key = [| 3; 4 |]; content = "bravo"; policy = policy "RoleA & RoleB" };
+      { System.key = [| 5; 1 |]; content = "charlie"; policy = policy "RoleB" };
+      { System.key = [| 6; 6 |]; content = "delta"; policy = policy "RoleA | RoleC" };
+    ]
+  in
+  (* Data-owner setup: keys, CP-ABE encryption, AP2G-tree signing. *)
+  let owner, server =
+    System.setup ~seed:"quickstart" ~space ~roles:[ "RoleA"; "RoleB"; "RoleC" ]
+      records
+  in
+  (* Alice holds RoleA. *)
+  let alice = System.register_user owner (Attr.set_of_list [ "RoleA" ]) in
+  let query = Box.of_range ~alpha:[| 0; 0 |] ~beta:[| 7; 7 |] in
+  (* The service provider answers with results + a zero-knowledge VO,
+     sealed so only a genuine RoleA holder can read it. *)
+  let response =
+    System.range_query server ~claimed_roles:(System.user_roles alice) query
+  in
+  Printf.printf "response size: %d bytes\n" (System.response_size response);
+  match System.open_and_verify alice ~query response with
+  | Error e -> Printf.eprintf "verification FAILED: %s\n" e; exit 1
+  | Ok v ->
+    Printf.printf "verified: %d VO entries (%d bytes), %d accessible records\n"
+      v.System.vo_entries v.System.vo_size (List.length v.System.results);
+    List.iter
+      (fun (key, content) ->
+        Printf.printf "  key (%d,%d) -> %s\n" key.(0) key.(1) content)
+      v.System.results;
+    (* Alice sees alpha and delta; bravo and charlie are inaccessible and the
+       proof reveals nothing about them -- not even that they exist. *)
+    assert (List.length v.System.results = 2);
+    print_endline "quickstart OK"

@@ -1,0 +1,1 @@
+lib/abs/abs.ml: Array Buffer Char List Map String Zkqac_bigint Zkqac_group Zkqac_hashing Zkqac_policy

@@ -1,0 +1,1 @@
+lib/abs/abs.mli: Zkqac_group Zkqac_hashing Zkqac_policy

@@ -1,0 +1,356 @@
+module B = Zkqac_bigint.Bigint
+module Attr = Zkqac_policy.Attr
+module Expr = Zkqac_policy.Expr
+module Msp = Zkqac_policy.Msp
+module Drbg = Zkqac_hashing.Drbg
+module Htf = Zkqac_hashing.Hash_to_field
+
+module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
+  module G = P.G
+
+  let order = P.order
+
+  type msk = { a0 : B.t; a : B.t; b : B.t }
+
+  type mvk = {
+    g : G.t;
+    h0 : G.t;
+    h : G.t;
+    cap_a0 : G.t; (* A0 = h0^a0 *)
+    cap_a : G.t;  (* A  = h^a *)
+    cap_b : G.t;  (* B  = h^b *)
+    cap_c : G.t;  (* C *)
+  }
+
+  module Attr_map = Map.Make (String)
+
+  type signing_key = {
+    attrs : Attr.Set.t;
+    k_base : G.t;
+    k0 : G.t;
+    k_u : G.t Attr_map.t;
+  }
+
+  type signature = {
+    tau : string;
+    y : G.t;
+    w : G.t;
+    s : G.t array;
+    p : G.t array;
+  }
+
+  (* Attribute names are mapped into Z_order by hashing; zero is remapped so
+     that a + b*u is invertible with overwhelming probability. *)
+  let attr_scalar a =
+    let v = Htf.to_zp ~domain:"zkqac-abs-attr" ~p:order a in
+    if B.is_zero v then B.one else v
+
+  let msg_scalar tau msg = Htf.to_zp_list ~domain:"zkqac-abs-msg" ~p:order [ tau; msg ]
+
+  let setup drbg =
+    let a0 = P.rand_scalar drbg in
+    let a = P.rand_scalar drbg in
+    let b = P.rand_scalar drbg in
+    let g = P.rand_g drbg in
+    let cap_c = P.rand_g drbg in
+    let h0 = P.rand_g drbg in
+    let h = P.rand_g drbg in
+    let mvk =
+      {
+        g;
+        h0;
+        h;
+        cap_a0 = G.pow h0 a0;
+        cap_a = G.pow h a;
+        cap_b = G.pow h b;
+        cap_c;
+      }
+    in
+    ({ a0; a; b }, mvk)
+
+  let keygen drbg msk attrs =
+    let k_base = P.rand_g drbg in
+    let k0 = G.pow k_base (B.invmod msk.a0 order) in
+    let k_u =
+      Attr.Set.fold
+        (fun u acc ->
+          let d = B.erem (B.add msk.a (B.mul msk.b (attr_scalar u))) order in
+          Attr_map.add u (G.pow k_base (B.invmod d order)) acc)
+        attrs Attr_map.empty
+    in
+    { attrs; k_base; k0; k_u }
+
+  let key_attrs sk = sk.attrs
+
+  (* C * g^hash -- the message-binding base of the S components. *)
+  let msg_base mvk hash = G.mul mvk.cap_c (G.pow mvk.g hash)
+
+  (* A * B^u -- the attribute base of the P components. *)
+  let attr_base mvk u = G.mul mvk.cap_a (G.pow mvk.cap_b (attr_scalar u))
+
+  (* Exponentiation by a possibly-negative small matrix entry. *)
+  let pow_entry base entry r =
+    match entry with
+    | 0 -> G.one
+    | 1 -> G.pow base r
+    | -1 -> G.inv (G.pow base r)
+    | m -> G.pow base (B.erem (B.mul (B.of_int m) r) order)
+
+  let sign drbg mvk sk ~msg ~policy =
+    let msp = Msp.build policy in
+    let v =
+      match Msp.satisfying_rows msp policy sk.attrs with
+      | Some v -> v
+      | None -> invalid_arg "Abs.sign: key attributes do not satisfy the policy"
+    in
+    let tau = Drbg.generate drbg 32 in
+    let hash = msg_scalar tau msg in
+    let r0 = P.rand_scalar drbg in
+    let rr = Array.init msp.Msp.rows (fun _ -> P.rand_scalar drbg) in
+    let y = G.pow sk.k_base r0 in
+    let w = G.pow sk.k0 r0 in
+    let base_c = msg_base mvk hash in
+    let s =
+      Array.init msp.Msp.rows (fun i ->
+          let key_part =
+            if v.(i) = 0 then G.one
+            else begin
+              match Attr_map.find_opt msp.Msp.labels.(i) sk.k_u with
+              | Some k -> G.pow k r0
+              | None ->
+                (* satisfying_rows only selects held attributes *)
+                assert false
+            end
+          in
+          G.mul key_part (G.pow base_c rr.(i)))
+    in
+    let p =
+      Array.init msp.Msp.cols (fun j ->
+          let acc = ref G.one in
+          for i = 0 to msp.Msp.rows - 1 do
+            let mij = msp.Msp.matrix.(i).(j) in
+            if mij <> 0 then
+              acc := G.mul !acc (pow_entry (attr_base mvk msp.Msp.labels.(i)) mij rr.(i))
+          done;
+          !acc)
+    in
+    { tau; y; w; s; p }
+
+  let verify mvk ~msg ~policy sigma =
+    let msp = Msp.build policy in
+    if Array.length sigma.s <> msp.Msp.rows || Array.length sigma.p <> msp.Msp.cols
+    then false
+    else if G.is_one sigma.y then false
+    else if not (P.Gt.equal (P.e sigma.w mvk.cap_a0) (P.e sigma.y mvk.h0)) then false
+    else begin
+      let hash = msg_scalar sigma.tau msg in
+      let base_c = msg_base mvk hash in
+      let bases = Array.map (fun u -> attr_base mvk u) msp.Msp.labels in
+      let ok = ref true in
+      for j = 0 to msp.Msp.cols - 1 do
+        if !ok then begin
+          let lhs = ref P.Gt.one in
+          for i = 0 to msp.Msp.rows - 1 do
+            let mij = msp.Msp.matrix.(i).(j) in
+            if mij <> 0 then
+              lhs := P.Gt.mul !lhs (P.e sigma.s.(i) (pow_entry bases.(i) mij B.one))
+          done;
+          let rhs = P.e base_c sigma.p.(j) in
+          let rhs = if j = 0 then P.Gt.mul (P.e sigma.y mvk.h) rhs else rhs in
+          if not (P.Gt.equal !lhs rhs) then ok := false
+        end
+      done;
+      !ok
+    end
+
+  (* Batch verification with small random exponents. All signatures share
+     one policy (hence one span program), so for each column j the
+     per-signature equations
+        prod_i e(S_i, (AB^{u(i)})^{M_ij}) = e(Y,h)^{z_j} e(Cg^{h_m}, P_j)
+     combine, with weights d_m, into
+        prod_i e(prod_m S_{m,i}^{d_m}, (AB^{u(i)})^{M_ij})
+          = e(prod_m Y_m^{d_m}, h)^{z_j} * prod_m e((Cg^{h_m})^{d_m}, P_{m,j})
+     -- the left side needs only l pairings regardless of the batch size. *)
+  let verify_batch drbg mvk ~policy sigs =
+    match sigs with
+    | [] -> true
+    | [ (msg, sigma) ] -> verify mvk ~msg ~policy sigma
+    | _ ->
+      let msp = Msp.build policy in
+      let shape_ok =
+        List.for_all
+          (fun (_, s) ->
+            Array.length s.s = msp.Msp.rows
+            && Array.length s.p = msp.Msp.cols
+            && not (G.is_one s.y))
+          sigs
+      in
+      if not shape_ok then false
+      else begin
+        let weights =
+          List.map (fun (msg, s) -> (msg, s, P.rand_scalar drbg)) sigs
+        in
+        (* Key-binding equations: e(prod W^d, A0) = e(prod Y^d, h0). *)
+        let w_acc =
+          List.fold_left (fun acc (_, s, d) -> G.mul acc (G.pow s.w d)) G.one weights
+        in
+        let y_acc =
+          List.fold_left (fun acc (_, s, d) -> G.mul acc (G.pow s.y d)) G.one weights
+        in
+        if not (P.Gt.equal (P.e w_acc mvk.cap_a0) (P.e y_acc mvk.h0)) then false
+        else begin
+          let bases = Array.map (fun u -> attr_base mvk u) msp.Msp.labels in
+          let ok = ref true in
+          for j = 0 to msp.Msp.cols - 1 do
+            if !ok then begin
+              let lhs = ref P.Gt.one in
+              for i = 0 to msp.Msp.rows - 1 do
+                let mij = msp.Msp.matrix.(i).(j) in
+                if mij <> 0 then begin
+                  let s_acc =
+                    List.fold_left
+                      (fun acc (_, s, d) -> G.mul acc (G.pow s.s.(i) d))
+                      G.one weights
+                  in
+                  lhs := P.Gt.mul !lhs (P.e s_acc (pow_entry bases.(i) mij B.one))
+                end
+              done;
+              let rhs = ref P.Gt.one in
+              List.iter
+                (fun (msg, s, d) ->
+                  let hash = msg_scalar s.tau msg in
+                  rhs :=
+                    P.Gt.mul !rhs (P.e (G.pow (msg_base mvk hash) d) s.p.(j)))
+                weights;
+              let rhs = if j = 0 then P.Gt.mul (P.e y_acc mvk.h) !rhs else !rhs in
+              if not (P.Gt.equal !lhs rhs) then ok := false
+            end
+          done;
+          !ok
+        end
+      end
+
+  let relaxed_policy keep = Expr.of_attrs_or (Attr.Set.elements keep)
+
+  let relax drbg mvk sigma ~msg ~policy ~keep =
+    match Msp.purge policy ~keep with
+    | None -> None
+    | Some { Msp.kept_rows; kept_cols } ->
+      let msp = Msp.build policy in
+      if Array.length sigma.s <> msp.Msp.rows || Array.length sigma.p <> msp.Msp.cols
+      then None
+      else begin
+        let hash = msg_scalar sigma.tau msg in
+        let base_c = msg_base mvk hash in
+        (* Step 1: collapse the kept columns into a single P component. *)
+        let p1 = ref G.one in
+        List.iter (fun j -> p1 := G.mul !p1 sigma.p.(j)) kept_cols;
+        (* Steps 2-3: one S component per kept attribute, in the canonical
+           (sorted) order of the relaxed predicate; duplicates merge by
+           multiplication, missing attributes are synthesized. *)
+        let attrs_sorted = Attr.Set.elements keep in
+        let s =
+          List.map
+            (fun u ->
+              let dup_rows = List.filter (fun i -> Attr.equal msp.Msp.labels.(i) u) kept_rows in
+              match dup_rows with
+              | [] ->
+                let r = P.rand_scalar drbg in
+                p1 := G.mul !p1 (G.pow (attr_base mvk u) r);
+                G.pow base_c r
+              | rows ->
+                List.fold_left (fun acc i -> G.mul acc sigma.s.(i)) G.one rows)
+            attrs_sorted
+        in
+        (* Step 4: re-randomize so the result is distributed like a fresh
+           signature on the relaxed predicate. *)
+        let r = P.rand_scalar drbg in
+        Some
+          {
+            tau = sigma.tau;
+            y = G.pow sigma.y r;
+            w = G.pow sigma.w r;
+            s = Array.of_list (List.map (fun si -> G.pow si r) s);
+            p = [| G.pow !p1 r |];
+          }
+      end
+
+  (* --- serialization --- *)
+
+  let put_u16 buf n =
+    Buffer.add_char buf (Char.chr ((n lsr 8) land 0xff));
+    Buffer.add_char buf (Char.chr (n land 0xff))
+
+  let to_bytes sigma =
+    let buf = Buffer.create 256 in
+    put_u16 buf (String.length sigma.tau);
+    Buffer.add_string buf sigma.tau;
+    Buffer.add_string buf (G.to_bytes sigma.y);
+    Buffer.add_string buf (G.to_bytes sigma.w);
+    put_u16 buf (Array.length sigma.s);
+    Array.iter (fun x -> Buffer.add_string buf (G.to_bytes x)) sigma.s;
+    put_u16 buf (Array.length sigma.p);
+    Array.iter (fun x -> Buffer.add_string buf (G.to_bytes x)) sigma.p;
+    Buffer.contents buf
+
+  let g_size = String.length (G.to_bytes G.g)
+
+  let of_bytes data =
+    let pos = ref 0 in
+    let len = String.length data in
+    let u16 () =
+      if !pos + 2 > len then raise Exit;
+      let v = (Char.code data.[!pos] lsl 8) lor Char.code data.[!pos + 1] in
+      pos := !pos + 2;
+      v
+    in
+    let take n =
+      if !pos + n > len then raise Exit;
+      let s = String.sub data !pos n in
+      pos := !pos + n;
+      s
+    in
+    let elt () = match G.of_bytes (take g_size) with Some e -> e | None -> raise Exit in
+    let elts n =
+      (* Explicit loop: Array.init has no specified evaluation order. *)
+      let rec go k acc = if k = 0 then List.rev acc else go (k - 1) (elt () :: acc) in
+      Array.of_list (go n [])
+    in
+    match
+      let tl = u16 () in
+      let tau = take tl in
+      let y = elt () in
+      let w = elt () in
+      let s = elts (u16 ()) in
+      let p = elts (u16 ()) in
+      if !pos <> len then raise Exit;
+      { tau; y; w; s; p }
+    with
+    | sigma -> Some sigma
+    | exception Exit -> None
+
+  let size sigma = String.length (to_bytes sigma)
+
+  let equal_signature s1 s2 =
+    String.equal s1.tau s2.tau
+    && G.equal s1.y s2.y && G.equal s1.w s2.w
+    && Array.length s1.s = Array.length s2.s
+    && Array.length s1.p = Array.length s2.p
+    && Array.for_all2 G.equal s1.s s2.s
+    && Array.for_all2 G.equal s1.p s2.p
+
+  let mvk_to_bytes mvk =
+    String.concat ""
+      (List.map G.to_bytes
+         [ mvk.g; mvk.h0; mvk.h; mvk.cap_a0; mvk.cap_a; mvk.cap_b; mvk.cap_c ])
+
+  let mvk_of_bytes data =
+    if String.length data <> 7 * g_size then None
+    else begin
+      let elt i = G.of_bytes (String.sub data (i * g_size) g_size) in
+      match (elt 0, elt 1, elt 2, elt 3, elt 4, elt 5, elt 6) with
+      | Some g, Some h0, Some h, Some cap_a0, Some cap_a, Some cap_b, Some cap_c ->
+        Some { g; h0; h; cap_a0; cap_a; cap_b; cap_c }
+      | _ -> None
+    end
+end

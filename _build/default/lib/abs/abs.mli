@@ -1,0 +1,96 @@
+(** Attribute-based signatures with predicate relaxation (Section 5.2).
+
+    This is the paper's variant of the Maji–Prabhakaran–Rosulek ABS
+    (Practical Instantiation 4): signatures attest "someone whose attributes
+    satisfy Υ signed m", and — the novelty — a signature under Υ can be
+    *relaxed* by anyone into a signature under the weaker predicate
+    [∨_{a ∈ A'} a] provided [Υ(𝔸∖A') = 0], without the signing key
+    (ABS.Relax, Algorithm 2). Relaxation is what lets the service provider
+    turn the data owner's APP signature into an APS signature proving
+    inaccessibility without revealing the record's policy.
+
+    The module is a functor over the pairing backend; all randomness comes
+    from a caller-supplied DRBG. *)
+
+module Make (P : Zkqac_group.Pairing_intf.PAIRING) : sig
+  type msk
+  (** Master signing key (a0, a, b) — held by the data owner only. *)
+
+  type mvk
+  (** Master verification key (g, h0, h, A0, A, B, C) — public. *)
+
+  type signing_key
+  (** Per-attribute-set signing key (K_base, K0, {K_u}). *)
+
+  type signature
+
+  val setup : Zkqac_hashing.Drbg.t -> msk * mvk
+
+  val keygen : Zkqac_hashing.Drbg.t -> msk -> Zkqac_policy.Attr.Set.t -> signing_key
+  (** ABS.KeyGen. The data owner typically calls this once on the full
+      attribute universe (including the pseudo role) for itself. *)
+
+  val key_attrs : signing_key -> Zkqac_policy.Attr.Set.t
+
+  val sign :
+    Zkqac_hashing.Drbg.t ->
+    mvk ->
+    signing_key ->
+    msg:string ->
+    policy:Zkqac_policy.Expr.t ->
+    signature
+  (** ABS.Sign. @raise Invalid_argument if the key's attributes do not
+      satisfy the policy. *)
+
+  val verify : mvk -> msg:string -> policy:Zkqac_policy.Expr.t -> signature -> bool
+  (** ABS.Verify: checks Y ≠ 1, the key-binding pairing equation, and the
+      span-program equations for every column. *)
+
+  val relax :
+    Zkqac_hashing.Drbg.t ->
+    mvk ->
+    signature ->
+    msg:string ->
+    policy:Zkqac_policy.Expr.t ->
+    keep:Zkqac_policy.Attr.Set.t ->
+    signature option
+  (** ABS.Relax (Algorithm 2): derive a signature under [∨_{a∈keep} a] from
+      a signature under [policy]. Returns [None] exactly when
+      [Υ(𝔸∖keep) ≠ 0] (the purge step fails), in which case relaxation is
+      cryptographically impossible. The output is re-randomized, so — as
+      required for perfect privacy — it is distributed identically to a
+      fresh signature on the relaxed predicate. *)
+
+  val verify_batch :
+    Zkqac_hashing.Drbg.t ->
+    mvk ->
+    policy:Zkqac_policy.Expr.t ->
+    (string * signature) list ->
+    bool
+  (** Small-exponent batch verification of several signatures under the
+      *same* policy — the shape of a VO's APS entries, which all verify
+      under the user's one super policy. Each signature is weighted by a
+      random scalar so forging any one of them breaks the combined equation
+      except with probability ~1/order; shared attribute bases collapse,
+      cutting the pairing count from k·(ℓ+2) to about k + ℓ + 2. Returns
+      the conjunction of all individual verdicts (sound for accepting; on
+      [false], fall back to one-by-one verification to locate the culprit). *)
+
+  val relaxed_policy : Zkqac_policy.Attr.Set.t -> Zkqac_policy.Expr.t
+  (** The super-policy shape [∨_{a∈keep} a] that relaxed signatures verify
+      under (attributes in canonical order). *)
+
+  val to_bytes : signature -> string
+  val of_bytes : string -> signature option
+  val size : signature -> int
+  (** Serialized size in bytes (the VO-size unit of the paper's
+      experiments). *)
+
+  val equal_signature : signature -> signature -> bool
+  (** Structural equality of components (used by privacy tests; two honest
+      signatures of the same statement are almost surely unequal because of
+      re-randomization). *)
+
+  val mvk_to_bytes : mvk -> string
+  val mvk_of_bytes : string -> mvk option
+end

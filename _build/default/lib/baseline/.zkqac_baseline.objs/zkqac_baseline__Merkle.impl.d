@@ -1,0 +1,1 @@
+lib/baseline/merkle.ml: Array List Option Schnorr String Zkqac_core Zkqac_group Zkqac_hashing Zkqac_util

@@ -1,0 +1,1 @@
+lib/baseline/merkle.mli: Schnorr Zkqac_core Zkqac_group Zkqac_hashing

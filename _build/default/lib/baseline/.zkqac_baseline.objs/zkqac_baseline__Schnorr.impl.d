@@ -1,0 +1,1 @@
+lib/baseline/schnorr.ml: String Zkqac_bigint Zkqac_group Zkqac_hashing

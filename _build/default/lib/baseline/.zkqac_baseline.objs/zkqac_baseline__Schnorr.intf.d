@@ -1,0 +1,1 @@
+lib/baseline/schnorr.mli: Zkqac_group Zkqac_hashing

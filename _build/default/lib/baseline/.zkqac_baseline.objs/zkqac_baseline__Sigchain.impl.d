@@ -1,0 +1,1 @@
+lib/baseline/sigchain.ml: Array List Schnorr String Zkqac_core Zkqac_group Zkqac_hashing Zkqac_util

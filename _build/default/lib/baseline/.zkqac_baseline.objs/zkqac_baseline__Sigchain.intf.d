@@ -1,0 +1,1 @@
+lib/baseline/sigchain.mli: Schnorr Zkqac_core Zkqac_group Zkqac_hashing

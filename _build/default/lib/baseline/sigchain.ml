@@ -1,0 +1,127 @@
+module Sha256 = Zkqac_hashing.Sha256
+module Record = Zkqac_core.Record
+module Wire = Zkqac_util.Wire
+
+module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
+  module Sig = Schnorr.Make (P)
+
+  (* Sentinel-bounded chain: prev/next of the end records are +-infinity. *)
+  let bound_str = function None -> "inf" | Some k -> string_of_int k
+
+  let chained_message ~prev (r : Record.t) ~next =
+    Sha256.digest_list
+      [ "sigchain"; bound_str prev; Record.key_bytes r.Record.key; r.Record.value;
+        bound_str next ]
+
+  type link = {
+    record : Record.t;
+    prev : int option;
+    next : int option;
+    signature : Sig.signature;
+  }
+
+  type t = { links : link array }
+
+  let build drbg secret records =
+    let arr =
+      Array.of_list
+        (List.sort
+           (fun (a : Record.t) b -> compare a.Record.key.(0) b.Record.key.(0))
+           records)
+    in
+    Array.iteri
+      (fun i (r : Record.t) ->
+        if Array.length r.Record.key <> 1 then invalid_arg "Sigchain.build: need 1-D keys";
+        if i > 0 && arr.(i - 1).Record.key.(0) = r.Record.key.(0) then
+          invalid_arg "Sigchain.build: duplicate keys")
+      arr;
+    let n = Array.length arr in
+    let links =
+      Array.mapi
+        (fun i r ->
+          let prev = if i = 0 then None else Some arr.(i - 1).Record.key.(0) in
+          let next = if i = n - 1 then None else Some arr.(i + 1).Record.key.(0) in
+          { record = r; prev; next;
+            signature = Sig.sign drbg secret (chained_message ~prev r ~next) })
+        arr
+    in
+    { links }
+
+  let num_signatures t = Array.length t.links
+
+  type vo = { chain : link list }
+
+  let range_vo t ~lo ~hi =
+    (* The in-range links plus one boundary link each side (to pin the chain
+       against the range ends). *)
+    let n = Array.length t.links in
+    let first_in = ref n and last_in = ref (-1) in
+    Array.iteri
+      (fun i l ->
+        let k = l.record.Record.key.(0) in
+        if k >= lo && k <= hi then begin
+          if i < !first_in then first_in := i;
+          last_in := i
+        end)
+      t.links;
+    let i0, j0 =
+      if !last_in < 0 then begin
+        let succ = ref n in
+        Array.iteri
+          (fun i l -> if l.record.Record.key.(0) > hi && i < !succ then succ := i)
+          t.links;
+        (max 0 (!succ - 1), min (n - 1) !succ)
+      end
+      else (max 0 (!first_in - 1), min (n - 1) (!last_in + 1))
+    in
+    { chain = Array.to_list (Array.sub t.links i0 (j0 - i0 + 1)) }
+
+  let verify ~public ~lo ~hi vo =
+    match vo.chain with
+    | [] -> Error "empty chain"
+    | first :: _ ->
+      let rec walk = function
+        | [] -> Ok ()
+        | [ l ] ->
+          if Sig.verify public (chained_message ~prev:l.prev l.record ~next:l.next)
+               l.signature
+          then Ok ()
+          else Error "chain signature invalid"
+        | l :: (l2 :: _ as rest) ->
+          if
+            not
+              (Sig.verify public
+                 (chained_message ~prev:l.prev l.record ~next:l.next)
+                 l.signature)
+          then Error "chain signature invalid"
+          else if l.next <> Some l2.record.Record.key.(0) then
+            Error "chain discontinuity"
+          else walk rest
+      in
+      (match walk vo.chain with
+       | Error e -> Error e
+       | Ok () ->
+         let last = List.nth vo.chain (List.length vo.chain - 1) in
+         (* Boundary conditions: the chain must extend past both range ends
+            (or hit the global ends of the table). *)
+         let left_ok = first.record.Record.key.(0) < lo || first.prev = None in
+         let right_ok = last.record.Record.key.(0) > hi || last.next = None in
+         if not (left_ok && right_ok) then Error "chain does not bracket the range"
+         else
+           Ok
+             (List.filter_map
+                (fun l ->
+                  let k = l.record.Record.key.(0) in
+                  if k >= lo && k <= hi then Some l.record else None)
+                vo.chain))
+
+  let vo_size vo =
+    let w = Wire.writer () in
+    List.iter
+      (fun l ->
+        Wire.bytes w (Record.key_bytes l.record.Record.key);
+        Wire.bytes w l.record.Record.value;
+        Wire.bytes w (Sig.to_bytes l.signature))
+      vo.chain;
+    String.length (Wire.contents w)
+end

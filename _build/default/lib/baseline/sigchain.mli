@@ -1,0 +1,25 @@
+(** The signature-chaining baseline (Figure 1a; Pang & Tan, ICDE'04).
+
+    Each record's signature binds its predecessor and successor keys, so a
+    range result's completeness follows from chain continuity plus the two
+    boundary signatures. No access control, and the existence of every
+    record in range is disclosed — the contrast the paper's schemes fix. *)
+
+module Make (P : Zkqac_group.Pairing_intf.PAIRING) : sig
+  module Sig : module type of Schnorr.Make (P)
+
+  type t
+
+  val build : Zkqac_hashing.Drbg.t -> Sig.secret -> Zkqac_core.Record.t list -> t
+  (** Records must have distinct 1-D keys. *)
+
+  type vo
+
+  val range_vo : t -> lo:int -> hi:int -> vo
+
+  val verify :
+    public:Sig.public -> lo:int -> hi:int -> vo -> (Zkqac_core.Record.t list, string) result
+
+  val vo_size : vo -> int
+  val num_signatures : t -> int
+end

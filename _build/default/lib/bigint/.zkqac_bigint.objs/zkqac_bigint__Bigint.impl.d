@@ -1,0 +1,1 @@
+lib/bigint/bigint.ml: Array Buffer Bytes Char Format List Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/core/ads_io.ml: Ap2g Fun String Zkqac_abs Zkqac_group Zkqac_hashing Zkqac_util

@@ -1,0 +1,1 @@
+lib/core/ads_io.mli: Ap2g Zkqac_abs Zkqac_group

@@ -1,0 +1,1 @@
+lib/core/aggregate.ml: Ap2g Float List Vo Zkqac_group

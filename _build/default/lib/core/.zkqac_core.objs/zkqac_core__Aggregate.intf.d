@@ -1,0 +1,1 @@
+lib/core/aggregate.mli: Ap2g Box Record Vo Zkqac_group Zkqac_hashing Zkqac_policy

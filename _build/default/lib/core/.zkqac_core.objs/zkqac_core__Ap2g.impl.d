@@ -1,0 +1,1 @@
+lib/core/ap2g.ml: Array Box Fun Keyspace List Map Queue Record Stdlib String Unix Vo Zkqac_abs Zkqac_group Zkqac_hashing Zkqac_policy Zkqac_util

@@ -1,0 +1,1 @@
+lib/core/ap2kd.ml: Array Box Keyspace List Queue Record String Unix Vo Zkqac_abs Zkqac_group Zkqac_hashing Zkqac_policy

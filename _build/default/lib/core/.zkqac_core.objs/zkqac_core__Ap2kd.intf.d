@@ -1,0 +1,1 @@
+lib/core/ap2kd.mli: Box Keyspace Record Vo Zkqac_abs Zkqac_group Zkqac_hashing Zkqac_policy

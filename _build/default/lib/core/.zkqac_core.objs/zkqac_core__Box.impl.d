@@ -1,0 +1,1 @@
+lib/core/box.ml: Array Buffer Char List String

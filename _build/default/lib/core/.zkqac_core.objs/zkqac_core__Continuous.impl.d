@@ -1,0 +1,1 @@
+lib/core/continuous.ml: Array List Record Result Vo Zkqac_abs Zkqac_group Zkqac_hashing Zkqac_policy

@@ -1,0 +1,1 @@
+lib/core/continuous.mli: Record Vo Zkqac_abs Zkqac_group Zkqac_hashing Zkqac_policy

@@ -1,0 +1,1 @@
+lib/core/duplicates.ml: Ap2g Array Box Fun Hashtbl Keyspace List Map Queue Record Result Stdlib String Unix Vo Zkqac_abs Zkqac_group Zkqac_hashing Zkqac_policy Zkqac_util

@@ -1,0 +1,1 @@
+lib/core/equality.ml: Ap2g Array Box Keyspace List Map Option Record Stdlib Unix Vo Zkqac_abs Zkqac_group Zkqac_hashing Zkqac_policy

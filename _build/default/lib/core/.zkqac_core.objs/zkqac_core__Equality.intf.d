@@ -1,0 +1,1 @@
+lib/core/equality.mli: Ap2g Box Keyspace Record Vo Zkqac_abs Zkqac_group Zkqac_hashing Zkqac_policy

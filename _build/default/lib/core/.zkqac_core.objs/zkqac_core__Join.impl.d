@@ -1,0 +1,1 @@
+lib/core/join.ml: Ap2g Box Keyspace List Option Queue Record Result String Unix Vo Zkqac_abs Zkqac_group Zkqac_policy Zkqac_util

@@ -1,0 +1,1 @@
+lib/core/join.mli: Ap2g Box Record Vo Zkqac_abs Zkqac_group Zkqac_hashing Zkqac_policy

@@ -1,0 +1,1 @@
+lib/core/keyspace.ml: Array Box List Zkqac_rng

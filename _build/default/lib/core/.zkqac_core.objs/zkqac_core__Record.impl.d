@@ -1,0 +1,1 @@
+lib/core/record.ml: Array Box Buffer Char Zkqac_hashing Zkqac_policy

@@ -1,0 +1,1 @@
+lib/core/record.mli: Box Zkqac_policy

@@ -1,0 +1,1 @@
+lib/core/system.ml: Ap2g Box List Record String Vo Zkqac_abs Zkqac_cpabe Zkqac_group Zkqac_hashing Zkqac_policy

@@ -1,0 +1,1 @@
+lib/core/system.mli: Ap2g Box Keyspace Vo Zkqac_abs Zkqac_cpabe Zkqac_group Zkqac_policy

@@ -1,0 +1,1 @@
+lib/core/vo.ml: Box List Printf Record Result String Zkqac_abs Zkqac_group Zkqac_policy Zkqac_util

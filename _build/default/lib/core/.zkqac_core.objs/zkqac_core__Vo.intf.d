@@ -1,0 +1,1 @@
+lib/core/vo.mli: Box Record Zkqac_abs Zkqac_group Zkqac_hashing Zkqac_policy

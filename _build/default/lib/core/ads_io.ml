@@ -1,0 +1,53 @@
+module Sha256 = Zkqac_hashing.Sha256
+module Wire = Zkqac_util.Wire
+
+module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
+  module Ap2g = Ap2g.Make (P)
+  module Abs = Zkqac_abs.Abs.Make (P)
+
+  let tree_to_bytes = Ap2g.to_bytes
+  let tree_of_bytes = Ap2g.of_bytes
+
+  let file_magic = "ZKQAC-ADS-FILE-v1"
+
+  let save ~path ~mvk tree =
+    let w = Wire.writer () in
+    Wire.bytes w file_magic;
+    Wire.bytes w (Abs.mvk_to_bytes mvk);
+    let body = Ap2g.to_bytes tree in
+    Wire.bytes w (Sha256.digest body);
+    Wire.bytes w body;
+    let oc = open_out_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (Wire.contents w))
+
+  let load ~path =
+    match
+      let ic = open_in_bin path in
+      let data =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      let r = Wire.reader data in
+      if not (String.equal (Wire.rbytes r) file_magic) then Error "not a zkqac ADS file"
+      else begin
+        match Abs.mvk_of_bytes (Wire.rbytes r) with
+        | None -> Error "corrupt verification key"
+        | Some mvk ->
+          let checksum = Wire.rbytes r in
+          let body = Wire.rbytes r in
+          if not (String.equal checksum (Sha256.digest body)) then
+            Error "checksum mismatch"
+          else begin
+            match Ap2g.of_bytes body with
+            | None -> Error "corrupt ADS body"
+            | Some tree -> Ok (mvk, tree)
+          end
+      end
+    with
+    | result -> result
+    | exception Sys_error e -> Error e
+    | exception (Wire.Malformed | End_of_file) -> Error "truncated ADS file"
+end

@@ -1,0 +1,21 @@
+(** Persistence of the outsourced ADS: what the data owner actually ships to
+    the service provider (the full AP²G-tree with policies and APP
+    signatures), as a versioned binary file.
+
+    This is the "outsource all ⟨o,v,Υ,σ⟩ and ⟨gb,p,sig⟩ to SP" step of
+    Algorithm 3 made concrete: [save] on the DO side, [load] on the SP side,
+    integrity-tagged with a SHA-256 checksum. *)
+
+module Make (P : Zkqac_group.Pairing_intf.PAIRING) : sig
+  module Ap2g : module type of Ap2g.Make (P)
+  module Abs : module type of Zkqac_abs.Abs.Make (P)
+
+  val tree_to_bytes : Ap2g.t -> string
+  val tree_of_bytes : string -> Ap2g.t option
+
+  val save : path:string -> mvk:Abs.mvk -> Ap2g.t -> unit
+  (** Write the tree and the public verification key. *)
+
+  val load : path:string -> (Abs.mvk * Ap2g.t, string) result
+  (** Read back; fails with a message on version/checksum/shape mismatch. *)
+end

@@ -1,0 +1,101 @@
+(** The access-policy-preserving grid tree (AP²G-tree, Section 6.1).
+
+    A complete 2^dims-ary tree over the whole keyspace: every level halves
+    every dimension, every leaf is a unit cell holding exactly one record
+    (real, or a pseudo record with policy Role_∅), so the tree shape is
+    data-independent and leaks nothing. Non-leaf nodes carry the OR of their
+    children's policies and an APP signature over the grid box
+    (Definitions 6.1/6.2); a user who can access no record below a node can
+    be answered with one relaxed signature for the whole subtree. *)
+
+module Make (P : Zkqac_group.Pairing_intf.PAIRING) : sig
+  module Abs : module type of Zkqac_abs.Abs.Make (P)
+  module Vo : module type of Vo.Make (P)
+
+  type t
+
+  type build_stats = {
+    leaf_signatures : int;   (** record APP signatures (incl. pseudo) *)
+    node_signatures : int;   (** non-leaf APP signatures *)
+    sign_time : float;       (** seconds spent in ABS.Sign *)
+    structure_bytes : int;   (** boxes + policies *)
+    signature_bytes : int;   (** serialized APP signatures *)
+  }
+
+  val build :
+    Zkqac_hashing.Drbg.t ->
+    mvk:Abs.mvk ->
+    sk:Abs.signing_key ->
+    space:Keyspace.t ->
+    universe:Zkqac_policy.Universe.t ->
+    ?hierarchy:Zkqac_policy.Hierarchy.t ->
+    pseudo_seed:string ->
+    Record.t list ->
+    t
+  (** DO-side ADS generation (the first half of Algorithm 3). Records must
+      have distinct, valid keys. When a hierarchy is supplied, record
+      policies are augmented with implied ancestors (Section 8.1). *)
+
+  val stats : t -> build_stats
+  val space : t -> Keyspace.t
+  val universe : t -> Zkqac_policy.Universe.t
+  val hierarchy : t -> Zkqac_policy.Hierarchy.t option
+  val num_records : t -> int
+
+  val super_policy_for : t -> user:Zkqac_policy.Attr.Set.t -> Zkqac_policy.Expr.t
+  (** The inaccessibility predicate used for this tree's VOs: the plain super
+      policy, or the hierarchy-reduced one when the tree was built with a
+      hierarchy. *)
+
+  type query_stats = {
+    relax_calls : int;
+    nodes_visited : int;
+    sp_time : float;
+  }
+
+  val range_vo :
+    ?pmap:((unit -> Vo.entry) list -> Vo.entry list) ->
+    Zkqac_hashing.Drbg.t ->
+    mvk:Abs.mvk ->
+    t ->
+    user:Zkqac_policy.Attr.Set.t ->
+    Box.t ->
+    Vo.t * query_stats
+  (** SP-side VO construction (the BFS of Algorithm 3). [pmap] lets the
+      caller parallelize the ABS.Relax jobs (Section 8.2); the default runs
+      them sequentially. *)
+
+  val verify :
+    ?batch:Zkqac_hashing.Drbg.t ->
+    mvk:Abs.mvk ->
+    t_universe:Zkqac_policy.Universe.t ->
+    ?hierarchy:Zkqac_policy.Hierarchy.t ->
+    user:Zkqac_policy.Attr.Set.t ->
+    query:Box.t ->
+    Vo.t ->
+    (Record.t list, Vo.error) result
+  (** User-side verification; a convenience wrapper over {!Vo.verify} that
+      computes the user's super policy exactly as the SP must have. *)
+
+  val to_bytes : t -> string
+  (** Versioned binary encoding of the whole outsourced ADS (structure,
+      policies, signatures). *)
+
+  val of_bytes : string -> t option
+
+  (** Internal access for the join algorithm. *)
+  type node
+  val root : t -> node
+  val node_box : node -> Box.t
+  val node_policy : node -> Zkqac_policy.Expr.t
+  val node_children : node -> node list
+  (** Empty for leaves. *)
+
+  val node_entry_inaccessible :
+    Zkqac_hashing.Drbg.t -> mvk:Abs.mvk -> t -> user:Zkqac_policy.Attr.Set.t -> node -> Vo.entry
+  (** The APS entry proving this node's subtree (or leaf) is out of reach. *)
+
+  val node_leaf_record : node -> Record.t option
+  val node_leaf_app : t -> node -> Abs.signature option
+  val node_accessible : t -> user:Zkqac_policy.Attr.Set.t -> node -> bool
+end

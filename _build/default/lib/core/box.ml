@@ -1,0 +1,114 @@
+type t = { lo : int array; hi : int array }
+
+let make ~lo ~hi =
+  let d = Array.length lo in
+  if d = 0 || d <> Array.length hi then invalid_arg "Box.make: dimension mismatch";
+  Array.iteri
+    (fun i l -> if l > hi.(i) then invalid_arg "Box.make: inverted bounds")
+    lo;
+  { lo = Array.copy lo; hi = Array.copy hi }
+
+let of_range ~alpha ~beta =
+  make ~lo:alpha ~hi:(Array.map (fun b -> b + 1) beta)
+
+let of_point key = make ~lo:key ~hi:(Array.map (fun k -> k + 1) key)
+
+let dims t = Array.length t.lo
+
+let equal a b =
+  dims a = dims b
+  && Array.for_all2 ( = ) a.lo b.lo
+  && Array.for_all2 ( = ) a.hi b.hi
+
+let is_empty t = Array.exists2 (fun l h -> l >= h) t.lo t.hi
+
+let volume t =
+  if is_empty t then 0
+  else begin
+    let v = ref 1 in
+    Array.iteri (fun i l -> v := !v * (t.hi.(i) - l)) t.lo;
+    !v
+  end
+
+let contains_point t p =
+  Array.length p = dims t
+  && Array.for_all2 ( <= ) t.lo p
+  && Array.for_all2 ( < ) p t.hi
+
+let contains_box outer inner =
+  dims outer = dims inner
+  && Array.for_all2 ( <= ) outer.lo inner.lo
+  && Array.for_all2 ( >= ) outer.hi inner.hi
+
+let intersect a b =
+  if dims a <> dims b then None
+  else begin
+    let lo = Array.map2 max a.lo b.lo in
+    let hi = Array.map2 min a.hi b.hi in
+    let r = { lo; hi } in
+    if Array.exists2 (fun l h -> l >= h) lo hi then None else Some r
+  end
+
+let intersects a b = intersect a b <> None
+let disjoint a b = not (intersects a b)
+
+let subtract a b =
+  match intersect a b with
+  | None -> if is_empty a then [] else [ a ]
+  | Some inter ->
+    (* Peel slabs off [a] on each side of the intersection, dimension by
+       dimension; the slabs are disjoint and their union is a \ b. *)
+    let pieces = ref [] in
+    let core_lo = Array.copy a.lo and core_hi = Array.copy a.hi in
+    for d = 0 to dims a - 1 do
+      if core_lo.(d) < inter.lo.(d) then begin
+        let lo = Array.copy core_lo and hi = Array.copy core_hi in
+        hi.(d) <- inter.lo.(d);
+        pieces := { lo; hi } :: !pieces
+      end;
+      if inter.hi.(d) < core_hi.(d) then begin
+        let lo = Array.copy core_lo and hi = Array.copy core_hi in
+        lo.(d) <- inter.hi.(d);
+        pieces := { lo; hi } :: !pieces
+      end;
+      core_lo.(d) <- inter.lo.(d);
+      core_hi.(d) <- inter.hi.(d)
+    done;
+    List.filter (fun p -> not (is_empty p)) !pieces
+
+let covers_union target pieces =
+  let remaining =
+    List.fold_left
+      (fun uncovered piece ->
+        List.concat_map (fun u -> subtract u piece) uncovered)
+      [ target ] pieces
+  in
+  List.for_all is_empty remaining
+
+let covers_exactly target pieces =
+  List.for_all (fun p -> contains_box target p && not (is_empty p)) pieces
+  && begin
+    (* Pairwise disjoint + total volume = target volume => exact tiling. *)
+    let rec pairwise = function
+      | [] -> true
+      | p :: rest -> List.for_all (disjoint p) rest && pairwise rest
+    in
+    pairwise pieces
+    && List.fold_left (fun acc p -> acc + volume p) 0 pieces = volume target
+  end
+
+let to_string t =
+  let corner a = "(" ^ String.concat "," (Array.to_list (Array.map string_of_int a)) ^ ")" in
+  corner t.lo ^ "-" ^ corner t.hi
+
+let encode t =
+  let buf = Buffer.create 32 in
+  Buffer.add_char buf (Char.chr (dims t));
+  let put v =
+    for i = 7 downto 0 do
+      Buffer.add_char buf (Char.chr ((v lsr (8 * i)) land 0xff))
+    done
+  in
+  Array.iter put t.lo;
+  Array.iter put t.hi;
+  Buffer.contents buf

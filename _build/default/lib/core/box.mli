@@ -1,0 +1,46 @@
+(** Axis-aligned integer boxes over the discrete query-attribute space.
+
+    A box is the paper's "grid box" [gb]: inclusive lower and exclusive upper
+    corners, one pair per dimension. Query ranges [α, β] (inclusive points)
+    are converted to boxes with [of_range]. *)
+
+type t = { lo : int array; hi : int array }
+(** Invariant: [Array.length lo = Array.length hi] and [lo.(d) <= hi.(d)];
+    the box is the product of half-open intervals [lo.(d), hi.(d)). *)
+
+val make : lo:int array -> hi:int array -> t
+(** @raise Invalid_argument on mismatched dimensions or inverted bounds. *)
+
+val of_range : alpha:int array -> beta:int array -> t
+(** Inclusive query corners [α, β] → half-open box. *)
+
+val of_point : int array -> t
+(** The unit cell containing a key. *)
+
+val dims : t -> int
+val equal : t -> t -> bool
+val is_empty : t -> bool
+val volume : t -> int
+val contains_point : t -> int array -> bool
+val contains_box : t -> t -> bool
+(** [contains_box outer inner]. *)
+
+val intersect : t -> t -> t option
+val intersects : t -> t -> bool
+val disjoint : t -> t -> bool
+
+val subtract : t -> t -> t list
+(** [subtract a b] decomposes [a ∖ b] into disjoint boxes (possibly empty). *)
+
+val covers_union : t -> t list -> bool
+(** Whether the union of the boxes (overlap allowed) contains the target —
+    the weaker completeness check used by join verification (Section 6.2). *)
+
+val covers_exactly : t -> t list -> bool
+(** Whether the given pairwise-disjoint boxes tile the target exactly — the
+    completeness check of Algorithm 3. Returns [false] if the boxes overlap,
+    spill outside the target, or leave gaps. *)
+
+val to_string : t -> string
+val encode : t -> string
+(** Canonical byte encoding, hashed into APP signatures of tree nodes. *)

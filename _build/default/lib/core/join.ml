@@ -1,0 +1,164 @@
+module Expr = Zkqac_policy.Expr
+module Wire = Zkqac_util.Wire
+module Universe = Zkqac_policy.Universe
+
+module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
+  module Abs = Zkqac_abs.Abs.Make (P)
+  module Vo = Vo.Make (P)
+  module Ap2g = Ap2g.Make (P)
+
+  type entry =
+    | Pair of {
+        r_record : Record.t;
+        r_app : Abs.signature;
+        s_record : Record.t;
+        s_app : Abs.signature;
+      }
+    | R_side of Vo.entry
+    | S_side of Vo.entry
+
+  type t = entry list
+
+  type stats = { relax_calls : int; nodes_visited : int; sp_time : float }
+
+  (* The smallest node under [start] whose box still covers [box]. *)
+  let rec smallest_covering start box =
+    let covering_child =
+      List.find_opt
+        (fun c -> Box.contains_box (Ap2g.node_box c) box)
+        (Ap2g.node_children start)
+    in
+    match covering_child with
+    | Some c -> smallest_covering c box
+    | None -> start
+
+  let join_vo drbg ~mvk ~r ~s ~user query =
+    if not (Keyspace.num_leaves (Ap2g.space r) = Keyspace.num_leaves (Ap2g.space s))
+    then invalid_arg "Join.join_vo: trees over different keyspaces";
+    let t0 = Unix.gettimeofday () in
+    let visited = ref 0 and relaxed = ref 0 in
+    let out = ref [] in
+    let queue = Queue.create () in
+    Queue.add (Ap2g.root r, Ap2g.root s) queue;
+    while not (Queue.is_empty queue) do
+      let nr, ns = Queue.pop queue in
+      incr visited;
+      let rbox = Ap2g.node_box nr in
+      if Box.contains_box query rbox then begin
+        if Ap2g.node_accessible r ~user nr then begin
+          let ns = smallest_covering ns rbox in
+          if Ap2g.node_accessible s ~user ns then begin
+            match Ap2g.node_leaf_record nr with
+            | Some r_record ->
+              (* nr is a unit cell, so the smallest covering accessible S
+                 node is the matching unit leaf. *)
+              let s_record = Option.get (Ap2g.node_leaf_record ns) in
+              let r_app = Option.get (Ap2g.node_leaf_app r nr) in
+              let s_app = Option.get (Ap2g.node_leaf_app s ns) in
+              out := Pair { r_record; r_app; s_record; s_app } :: !out
+            | None ->
+              List.iter (fun c -> Queue.add (c, ns) queue) (Ap2g.node_children nr)
+          end
+          else begin
+            incr relaxed;
+            out := S_side (Ap2g.node_entry_inaccessible drbg ~mvk s ~user ns) :: !out
+          end
+        end
+        else begin
+          incr relaxed;
+          out := R_side (Ap2g.node_entry_inaccessible drbg ~mvk r ~user nr) :: !out
+        end
+      end
+      else if Box.intersects query rbox then
+        List.iter (fun c -> Queue.add (c, ns) queue) (Ap2g.node_children nr)
+    done;
+    ( List.rev !out,
+      {
+        relax_calls = !relaxed;
+        nodes_visited = !visited;
+        sp_time = Unix.gettimeofday () -. t0;
+      } )
+
+  let verify ~mvk ~t_universe ~user ~query vo =
+    let ( let* ) = Result.bind in
+    let super_policy = Universe.super_policy t_universe ~user in
+    (* Completeness: pair cells and APS regions together cover the range. *)
+    let regions =
+      List.map
+        (function
+          | Pair { r_record; _ } -> Box.of_point r_record.Record.key
+          | R_side e | S_side e -> Vo.entry_region e)
+        vo
+    in
+    let* () =
+      if Box.covers_union query regions then Ok () else Error Vo.Bad_coverage
+    in
+    let check_entry entry =
+      match entry with
+      | Pair { r_record; r_app; s_record; s_app } ->
+        if r_record.Record.key <> s_record.Record.key then
+          Error (Vo.Bad_signature "join pair keys differ")
+        else if not (Box.contains_point query r_record.Record.key) then
+          Error (Vo.Record_outside_query r_record.Record.key)
+        else if
+          not
+            (Expr.eval r_record.Record.policy user
+             && Expr.eval s_record.Record.policy user)
+        then Error (Vo.Policy_not_satisfied r_record.Record.key)
+        else if
+          not
+            (Abs.verify mvk ~msg:(Record.message_of r_record)
+               ~policy:r_record.Record.policy r_app)
+        then Error (Vo.Bad_signature "join pair R APP")
+        else if
+          not
+            (Abs.verify mvk ~msg:(Record.message_of s_record)
+               ~policy:s_record.Record.policy s_app)
+        then Error (Vo.Bad_signature "join pair S APP")
+        else Ok ()
+      | R_side e | S_side e ->
+        (match e with
+         | Vo.Accessible _ -> Error (Vo.Bad_signature "accessible entry in join APS slot")
+         | Vo.Inaccessible_leaf { region; key; value_hash; aps } ->
+           let msg = Vo.leaf_message `Plain ~region ~key ~value_hash in
+           if Abs.verify mvk ~msg ~policy:super_policy aps then Ok ()
+           else Error (Vo.Bad_signature "join APS leaf")
+         | Vo.Inaccessible_node { region; aps } ->
+           if
+             Abs.verify mvk ~msg:(Vo.node_aps_message ~region) ~policy:super_policy
+               aps
+           then Ok ()
+           else Error (Vo.Bad_signature "join APS node"))
+    in
+    let* () =
+      List.fold_left
+        (fun acc e -> Result.bind acc (fun () -> check_entry e))
+        (Ok ()) vo
+    in
+    Ok
+      (List.filter_map
+         (function
+           | Pair { r_record; s_record; _ } -> Some (r_record, s_record)
+           | R_side _ | S_side _ -> None)
+         vo)
+
+  let size vo =
+    let w = Wire.writer () in
+    List.iter
+      (fun entry ->
+        match entry with
+        | Pair { r_record; r_app; s_record; s_app } ->
+          Wire.u8 w 0;
+          Wire.int_array w r_record.Record.key;
+          Wire.bytes w r_record.Record.value;
+          Wire.bytes w (Expr.to_string r_record.Record.policy);
+          Wire.bytes w (Abs.to_bytes r_app);
+          Wire.bytes w s_record.Record.value;
+          Wire.bytes w (Expr.to_string s_record.Record.policy);
+          Wire.bytes w (Abs.to_bytes s_app)
+        | R_side e | S_side e ->
+          Wire.u8 w 1;
+          Wire.bytes w (Vo.to_bytes [ e ]))
+      vo;
+    String.length (Wire.contents w)
+end

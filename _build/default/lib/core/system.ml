@@ -1,0 +1,141 @@
+module Expr = Zkqac_policy.Expr
+module Attr = Zkqac_policy.Attr
+module Universe = Zkqac_policy.Universe
+module Hierarchy = Zkqac_policy.Hierarchy
+module Drbg = Zkqac_hashing.Drbg
+
+module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
+  module Abs = Zkqac_abs.Abs.Make (P)
+  module Cpabe = Zkqac_cpabe.Cpabe.Make (P)
+  module Envelope = Zkqac_cpabe.Envelope.Make (P)
+  module Ap2g = Ap2g.Make (P)
+  module Vo = Vo.Make (P)
+
+  type owner = {
+    drbg : Drbg.t;
+    abs_msk : Abs.msk;
+    abs_mvk : Abs.mvk;
+    cpabe_mk : Cpabe.mk;
+    cpabe_pp : Cpabe.pp;
+    universe : Universe.t;
+    hierarchy : Hierarchy.t option;
+  }
+
+  type server = {
+    sp_drbg : Drbg.t;
+    tree : Ap2g.t;
+    mvk : Abs.mvk;
+    pp : Cpabe.pp;
+  }
+
+  type user = {
+    roles : Attr.Set.t;
+    user_mvk : Abs.mvk;
+    user_pp : Cpabe.pp;
+    cpabe_sk : Cpabe.secret_key;
+    user_universe : Universe.t;
+    user_hierarchy : Hierarchy.t option;
+  }
+
+  type plain_record = { key : int array; content : string; policy : Expr.t }
+
+  let setup ~seed ~space ~roles ?hierarchy plain_records =
+    let drbg = Drbg.create ~seed:("zkqac-system:" ^ seed) in
+    let abs_msk, abs_mvk = Abs.setup drbg in
+    let cpabe_mk, cpabe_pp = Cpabe.setup drbg in
+    let universe = Universe.create roles in
+    let sk = Abs.keygen drbg abs_msk (Universe.attrs universe) in
+    (* Content confidentiality: encrypt each value with CP-ABE under the
+       record's own policy before it ever reaches the SP. *)
+    let records =
+      List.map
+        (fun { key; content; policy } ->
+          let sealed = Envelope.seal drbg cpabe_pp ~policy content in
+          Record.make ~key ~value:(Envelope.to_bytes sealed) ~policy)
+        plain_records
+    in
+    let tree =
+      Ap2g.build drbg ~mvk:abs_mvk ~sk ~space ~universe ?hierarchy
+        ~pseudo_seed:(seed ^ ":pseudo") records
+    in
+    let owner = { drbg; abs_msk; abs_mvk; cpabe_mk; cpabe_pp; universe; hierarchy } in
+    let server =
+      {
+        sp_drbg = Drbg.create ~seed:("zkqac-sp:" ^ seed);
+        tree;
+        mvk = abs_mvk;
+        pp = cpabe_pp;
+      }
+    in
+    (owner, server)
+
+  let register_user owner roles =
+    Universe.validate_user owner.universe roles;
+    let roles_closed =
+      match owner.hierarchy with
+      | None -> roles
+      | Some h -> Hierarchy.close_user h roles
+    in
+    {
+      roles = roles_closed;
+      user_mvk = owner.abs_mvk;
+      user_pp = owner.cpabe_pp;
+      cpabe_sk = Cpabe.keygen owner.drbg owner.cpabe_mk owner.cpabe_pp roles_closed;
+      user_universe = owner.universe;
+      user_hierarchy = owner.hierarchy;
+    }
+
+  type response = { sealed : Envelope.sealed; query : Box.t }
+
+  let range_query server ~claimed_roles query =
+    let vo, _stats =
+      Ap2g.range_vo server.sp_drbg ~mvk:server.mvk server.tree ~user:claimed_roles
+        query
+    in
+    let payload = Vo.to_bytes vo in
+    (* Seal under the AND of the claimed roles: only a user actually holding
+       them can open the response. *)
+    let policy = Expr.of_attrs_and (Attr.Set.elements claimed_roles) in
+    let sealed = Envelope.seal server.sp_drbg server.pp ~policy payload in
+    { sealed; query }
+
+  let response_size r = Envelope.size r.sealed
+
+  type verified = {
+    results : (int array * string) list;
+    vo_entries : int;
+    vo_size : int;
+  }
+
+  let open_and_verify user ~query response =
+    if not (Box.equal query response.query) then Error "response for a different query"
+    else begin
+      match Envelope.open_ user.user_pp user.cpabe_sk response.sealed with
+      | None -> Error "cannot open response envelope (roles do not match)"
+      | Some payload ->
+        (match Vo.of_bytes payload with
+         | None -> Error "malformed VO payload"
+         | Some vo ->
+           (match
+              Ap2g.verify ~mvk:user.user_mvk ~t_universe:user.user_universe
+                ?hierarchy:user.user_hierarchy ~user:user.roles ~query vo
+            with
+            | Error e -> Error (Vo.error_to_string e)
+            | Ok records ->
+              let results =
+                List.map
+                  (fun (r : Record.t) ->
+                    match Envelope.of_bytes r.Record.value with
+                    | None -> (r.Record.key, "<malformed content>")
+                    | Some sealed ->
+                      (match Envelope.open_ user.user_pp user.cpabe_sk sealed with
+                       | Some content -> (r.Record.key, content)
+                       | None -> (r.Record.key, "<undecryptable content>")))
+                  records
+              in
+              Ok { results; vo_entries = List.length vo; vo_size = String.length payload }))
+    end
+
+  let user_roles u = u.roles
+  let universe o = o.universe
+end

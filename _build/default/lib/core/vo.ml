@@ -1,0 +1,211 @@
+module Expr = Zkqac_policy.Expr
+module Wire = Zkqac_util.Wire
+module Attr = Zkqac_policy.Attr
+
+module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
+  module Abs = Zkqac_abs.Abs.Make (P)
+
+  type entry =
+    | Accessible of { region : Box.t; record : Record.t; app : Abs.signature }
+    | Inaccessible_leaf of {
+        region : Box.t;
+        key : int array;
+        value_hash : string;
+        aps : Abs.signature;
+      }
+    | Inaccessible_node of { region : Box.t; aps : Abs.signature }
+
+  type t = entry list
+
+  let entry_region = function
+    | Accessible { region; _ } | Inaccessible_leaf { region; _ }
+    | Inaccessible_node { region; _ } ->
+      region
+
+  type binding = [ `Plain | `Boxed ]
+
+  type error =
+    | Bad_coverage
+    | Bad_signature of string
+    | Record_outside_query of int array
+    | Policy_not_satisfied of int array
+    | Malformed_vo
+
+  let error_to_string = function
+    | Bad_coverage -> "VO regions do not tile the query range"
+    | Bad_signature what -> "invalid signature: " ^ what
+    | Record_outside_query key ->
+      Printf.sprintf "record %s outside the query range" (Box.to_string (Box.of_point key))
+    | Policy_not_satisfied key ->
+      Printf.sprintf "record %s returned but not accessible" (Box.to_string (Box.of_point key))
+    | Malformed_vo -> "malformed VO"
+
+  let leaf_message binding ~region ~key ~value_hash =
+    let base = Record.message ~key ~value_hash in
+    match binding with
+    | `Plain -> base
+    | `Boxed -> Record.node_message region ^ base
+
+  let node_aps_message ~region = Record.node_message region
+
+  let verify ?(clip = false) ?batch ~mvk ~binding ~super_policy ~user ~query vo =
+    let ( let* ) = Result.bind in
+    (* Completeness: the regions tile the query box exactly (clipped to the
+       query first in kd-tree mode, where leaf regions are data-dependent and
+       may spill outside). *)
+    let regions = List.map entry_region vo in
+    let regions =
+      if clip then List.filter_map (Box.intersect query) regions else regions
+    in
+    let* () =
+      if Box.covers_exactly query regions then Ok () else Error Bad_coverage
+    in
+    (* Soundness: each entry's signature. *)
+    let check_entry entry =
+      match entry with
+      | Accessible { region; record; app } ->
+        if binding = `Plain && not (Box.equal region (Box.of_point record.Record.key))
+        then Error (Bad_signature "accessible region mismatch")
+        else if not (Box.contains_point region record.Record.key) then
+          Error (Bad_signature "accessible key outside its region")
+        else if (not clip) && not (Box.contains_point query record.Record.key) then
+          Error (Record_outside_query record.Record.key)
+        else if not (Expr.eval record.Record.policy user) then
+          Error (Policy_not_satisfied record.Record.key)
+        else begin
+          let msg =
+            leaf_message binding ~region ~key:record.Record.key
+              ~value_hash:(Record.value_hash record.Record.value)
+          in
+          if Abs.verify mvk ~msg ~policy:record.Record.policy app then Ok ()
+          else Error (Bad_signature "accessible record APP")
+        end
+      | Inaccessible_leaf { region; key; value_hash; aps } ->
+        if binding = `Plain && not (Box.equal region (Box.of_point key)) then
+          Error (Bad_signature "inaccessible leaf region mismatch")
+        else if batch <> None then Ok () (* checked below in one batch *)
+        else begin
+          let msg = leaf_message binding ~region ~key ~value_hash in
+          if Abs.verify mvk ~msg ~policy:super_policy aps then Ok ()
+          else Error (Bad_signature "inaccessible leaf APS")
+        end
+      | Inaccessible_node { region; aps } ->
+        if batch <> None then Ok ()
+        else if
+          Abs.verify mvk ~msg:(node_aps_message ~region) ~policy:super_policy aps
+        then Ok ()
+        else Error (Bad_signature "inaccessible node APS")
+    in
+    let* () =
+      List.fold_left
+        (fun acc entry -> Result.bind acc (fun () -> check_entry entry))
+        (Ok ()) vo
+    in
+    let* () =
+      match batch with
+      | None -> Ok ()
+      | Some drbg ->
+        let aps_entries =
+          List.filter_map
+            (function
+              | Inaccessible_leaf { region; key; value_hash; aps } ->
+                Some (leaf_message binding ~region ~key ~value_hash, aps)
+              | Inaccessible_node { region; aps } ->
+                Some (node_aps_message ~region, aps)
+              | Accessible _ -> None)
+            vo
+        in
+        if Abs.verify_batch drbg mvk ~policy:super_policy aps_entries then Ok ()
+        else Error (Bad_signature "batched APS verification")
+    in
+    Ok
+      (List.filter_map
+         (function
+           | Accessible { record; _ }
+             when Box.contains_point query record.Record.key ->
+             Some record
+           | Accessible _ | Inaccessible_leaf _ | Inaccessible_node _ -> None)
+         vo)
+
+  (* --- codec --- *)
+
+  let put_box w box =
+    Wire.int_array w box.Box.lo;
+    Wire.int_array w box.Box.hi
+
+  let get_box r =
+    let lo = Wire.rint_array r in
+    let hi = Wire.rint_array r in
+    Box.make ~lo ~hi
+
+  let put_entry w = function
+    | Accessible { region; record; app } ->
+      Wire.u8 w 0;
+      put_box w region;
+      Wire.int_array w record.Record.key;
+      Wire.bytes w record.Record.value;
+      Wire.bytes w (Expr.to_string record.Record.policy);
+      Wire.bytes w (Abs.to_bytes app)
+    | Inaccessible_leaf { region; key; value_hash; aps } ->
+      Wire.u8 w 1;
+      put_box w region;
+      Wire.int_array w key;
+      Wire.bytes w value_hash;
+      Wire.bytes w (Abs.to_bytes aps)
+    | Inaccessible_node { region; aps } ->
+      Wire.u8 w 2;
+      put_box w region;
+      Wire.bytes w (Abs.to_bytes aps)
+
+  let get_entry r =
+    match Wire.ru8 r with
+    | 0 ->
+      let region = get_box r in
+      let key = Wire.rint_array r in
+      let value = Wire.rbytes r in
+      let policy = Expr.of_string (Wire.rbytes r) in
+      let app =
+        match Abs.of_bytes (Wire.rbytes r) with
+        | Some s -> s
+        | None -> raise Wire.Malformed
+      in
+      Accessible { region; record = Record.make ~key ~value ~policy; app }
+    | 1 ->
+      let region = get_box r in
+      let key = Wire.rint_array r in
+      let value_hash = Wire.rbytes r in
+      let aps =
+        match Abs.of_bytes (Wire.rbytes r) with
+        | Some s -> s
+        | None -> raise Wire.Malformed
+      in
+      Inaccessible_leaf { region; key; value_hash; aps }
+    | 2 ->
+      let region = get_box r in
+      let aps =
+        match Abs.of_bytes (Wire.rbytes r) with
+        | Some s -> s
+        | None -> raise Wire.Malformed
+      in
+      Inaccessible_node { region; aps }
+    | _ -> raise Wire.Malformed
+
+  let to_bytes vo =
+    let w = Wire.writer () in
+    Wire.u32 w (List.length vo);
+    List.iter (put_entry w) vo;
+    Wire.contents w
+
+  let of_bytes data =
+    match
+      let r = Wire.reader data in
+      let n = Wire.ru32 r in
+      let rec go k acc = if k = 0 then List.rev acc else go (k - 1) (get_entry r :: acc) in
+      let vo = go n [] in
+      if Wire.at_end r then vo else raise Wire.Malformed
+    with
+    | vo -> Some vo
+    | exception (Wire.Malformed | Invalid_argument _) -> None
+
+  let size vo = String.length (to_bytes vo)
+end

@@ -1,0 +1,73 @@
+(** Verification objects for range (and equality) queries, with the
+    client-side soundness + completeness checks of Algorithm 3.
+
+    A VO is the complete query response: accessible records travel inside it
+    together with their APP signatures; inaccessible leaves and pruned
+    subtrees travel as APS signatures. Every entry carries the region of key
+    space it accounts for, and verification checks that the regions tile the
+    query box exactly ("one and only one entry per indexing space"). *)
+
+module Make (P : Zkqac_group.Pairing_intf.PAIRING) : sig
+  module Abs : module type of Zkqac_abs.Abs.Make (P)
+
+  type entry =
+    | Accessible of {
+        region : Box.t;
+        record : Record.t;
+        app : Abs.signature;
+      }  (** a query result, with the DO's original APP signature *)
+    | Inaccessible_leaf of {
+        region : Box.t;
+        key : int array;
+        value_hash : string;
+        aps : Abs.signature;
+      }  (** a single record (real or pseudo) proven out of reach *)
+    | Inaccessible_node of {
+        region : Box.t;
+        aps : Abs.signature;
+      }  (** a whole pruned subtree proven out of reach *)
+
+  type t = entry list
+
+  val entry_region : entry -> Box.t
+
+  (** How leaf messages are bound. [`Plain] is the AP²G-tree convention
+      (hash(o)|hash(v): the region of a record is derivable from its key).
+      [`Boxed] additionally binds the region box into every leaf message —
+      required by the AP²kd-tree, whose leaf regions are data-dependent and
+      would otherwise be forgeable. *)
+  type binding = [ `Plain | `Boxed ]
+
+  type error =
+    | Bad_coverage
+    | Bad_signature of string
+    | Record_outside_query of int array
+    | Policy_not_satisfied of int array
+    | Malformed_vo
+
+  val error_to_string : error -> string
+
+  val leaf_message : binding -> region:Box.t -> key:int array -> value_hash:string -> string
+  val node_aps_message : region:Box.t -> string
+
+  val verify :
+    ?clip:bool ->
+    ?batch:Zkqac_hashing.Drbg.t ->
+    mvk:Abs.mvk ->
+    binding:binding ->
+    super_policy:Zkqac_policy.Expr.t ->
+    user:Zkqac_policy.Attr.Set.t ->
+    query:Box.t ->
+    t ->
+    (Record.t list, error) result
+  (** The user-side check: soundness (every signature valid, results inside
+      the query and readable by the user, inaccessibility proven under
+      exactly the user's super policy) and completeness (regions tile the
+      query). Returns the accessible result records on success. *)
+
+  val size : t -> int
+  (** Serialized size in bytes — the "VO size" metric of the paper. *)
+
+  val to_bytes : t -> string
+  val of_bytes : string -> t option
+end

@@ -1,0 +1,1 @@
+lib/cpabe/cpabe.ml: Array List Map Option String Zkqac_bigint Zkqac_group Zkqac_hashing Zkqac_policy Zkqac_util

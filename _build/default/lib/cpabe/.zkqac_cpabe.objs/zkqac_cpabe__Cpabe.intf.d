@@ -1,0 +1,1 @@
+lib/cpabe/cpabe.mli: Zkqac_group Zkqac_hashing Zkqac_policy

@@ -1,0 +1,1 @@
+lib/cpabe/envelope.ml: Cpabe String Zkqac_group Zkqac_hashing Zkqac_symmetric Zkqac_util

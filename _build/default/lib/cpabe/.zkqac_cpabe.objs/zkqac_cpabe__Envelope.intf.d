@@ -1,0 +1,1 @@
+lib/cpabe/envelope.mli: Cpabe Zkqac_group Zkqac_hashing Zkqac_policy

@@ -1,0 +1,219 @@
+module B = Zkqac_bigint.Bigint
+module Attr = Zkqac_policy.Attr
+module Expr = Zkqac_policy.Expr
+module Drbg = Zkqac_hashing.Drbg
+module Wire = Zkqac_util.Wire
+
+module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
+  module G = P.G
+  module Gt = P.Gt
+
+  let order = P.order
+
+  type mk = { beta : B.t; g_alpha : G.t }
+
+  type pp = {
+    g : G.t;
+    h : G.t;            (* g^beta *)
+    egg_alpha : Gt.t;   (* e(g,g)^alpha *)
+  }
+
+  module Attr_map = Map.Make (String)
+
+  type secret_key = {
+    attrs : Attr.Set.t;
+    d : G.t;                         (* g^((alpha + r)/beta) *)
+    dj : (G.t * G.t) Attr_map.t;     (* D_j = g^r * H(j)^rj,  D'_j = g^rj *)
+  }
+
+  (* Ciphertext leaves are indexed by DFS position because the same attribute
+     may appear at several leaves of the policy tree. *)
+  type ciphertext = {
+    policy : Expr.t;
+    c_tilde : Gt.t;                  (* M * e(g,g)^(alpha s) *)
+    c : G.t;                         (* h^s *)
+    leaves : (Attr.t * G.t * G.t) array; (* attr, C_y = g^qy, C'_y = H(attr)^qy *)
+  }
+
+  let hash_attr a = G.hash_to ("cpabe-attr:" ^ a)
+
+  let setup drbg =
+    let alpha = P.rand_scalar drbg in
+    let beta = P.rand_scalar drbg in
+    let g = P.rand_g drbg in
+    let pp =
+      { g; h = G.pow g beta; egg_alpha = P.Gt.pow (P.e g g) alpha }
+    in
+    ({ beta; g_alpha = G.pow g alpha }, pp)
+
+  let keygen drbg mk pp attrs =
+    let r = P.rand_scalar drbg in
+    let d =
+      G.pow (G.mul mk.g_alpha (G.pow pp.g r)) (B.invmod mk.beta order)
+    in
+    let g_r = G.pow pp.g r in
+    let dj =
+      Attr.Set.fold
+        (fun a acc ->
+          let rj = P.rand_scalar drbg in
+          Attr_map.add a (G.mul g_r (G.pow (hash_attr a) rj), G.pow pp.g rj) acc)
+        attrs Attr_map.empty
+    in
+    { attrs; d; dj }
+
+  let random_message drbg pp =
+    Gt.pow (P.e pp.g pp.g) (P.rand_scalar drbg)
+
+  (* Secret sharing down the policy tree: a k-of-n threshold gate shares the
+     secret with a degree k-1 polynomial; AND is the n-of-n special case, OR
+     the 1-of-n one. Children are indexed 1..n. *)
+  let share drbg secret expr =
+    let leaves = ref [] in
+    let share_poly secret degree children go =
+      if degree = 0 then List.iter (fun c -> go c secret) children
+      else begin
+        (* q(0) = secret; q(x) = secret + c1 x + ... + c_degree x^degree. *)
+        let coeffs = Array.init degree (fun _ -> P.rand_scalar drbg) in
+        let eval x =
+          let acc = ref B.zero in
+          for k = Array.length coeffs - 1 downto 0 do
+            acc := B.erem (B.mul (B.add !acc coeffs.(k)) (B.of_int x)) order
+          done;
+          B.erem (B.add !acc secret) order
+        in
+        List.iteri (fun i c -> go c (eval (i + 1))) children
+      end
+    in
+    let rec go expr secret =
+      match expr with
+      | Expr.Leaf a -> leaves := (a, secret) :: !leaves
+      | Expr.Or children -> share_poly secret 0 children go
+      | Expr.And children -> share_poly secret (List.length children - 1) children go
+      | Expr.Threshold (k, children) -> share_poly secret (k - 1) children go
+    in
+    go expr secret;
+    Array.of_list (List.rev !leaves)
+
+  let encrypt drbg pp m ~policy =
+    let s = P.rand_scalar drbg in
+    let shares = share drbg s policy in
+    {
+      policy;
+      c_tilde = Gt.mul m (Gt.pow pp.egg_alpha s);
+      c = G.pow pp.h s;
+      leaves =
+        Array.map
+          (fun (a, q) -> (a, G.pow pp.g q, G.pow (hash_attr a) q))
+          shares;
+    }
+
+  (* Lagrange coefficient Delta_{i,S}(0) over Z_order. *)
+  let lagrange i s =
+    List.fold_left
+      (fun acc j ->
+        if j = i then acc
+        else begin
+          let num = B.erem (B.of_int (-j)) order in
+          let den = B.invmod (B.erem (B.of_int (i - j)) order) order in
+          B.erem (B.mul acc (B.mul num den)) order
+        end)
+      B.one s
+
+  let decrypt _pp sk ct =
+    if not (Expr.eval ct.policy sk.attrs) then None
+    else begin
+      (* Recursive DecryptNode; leaf_idx tracks DFS position to find the
+         matching ciphertext components. Lagrange-interpolate any k decrypted
+         children of a k-of-n gate at 0. *)
+      let idx = ref 0 in
+      let combine k results =
+        let indexed =
+          List.mapi (fun i r -> (i + 1, r)) results
+          |> List.filter_map (fun (i, r) -> Option.map (fun v -> (i, v)) r)
+        in
+        if List.length indexed < k then None
+        else begin
+          let chosen = List.filteri (fun j _ -> j < k) indexed in
+          let s = List.map fst chosen in
+          let acc = ref Gt.one in
+          List.iter
+            (fun (i, v) -> acc := Gt.mul !acc (Gt.pow v (lagrange i s)))
+            chosen;
+          Some !acc
+        end
+      in
+      let rec node expr : Gt.t option =
+        match expr with
+        | Expr.Leaf a ->
+          let i = !idx in
+          incr idx;
+          (match Attr_map.find_opt a sk.dj with
+           | None -> None
+           | Some (dj, dj') ->
+             let _, cy, cy' = ct.leaves.(i) in
+             (* e(D_j, C_y) / e(D'_j, C'_y) = e(g,g)^(r * q_y(0)) *)
+             Some (Gt.mul (P.e dj cy) (Gt.inv (P.e dj' cy'))))
+        | Expr.Or children ->
+          (* Evaluate every child to keep idx in sync; use the first
+             success. *)
+          let results = List.map node children in
+          List.find_opt Option.is_some results |> Option.join
+        | Expr.And children -> combine (List.length children) (List.map node children)
+        | Expr.Threshold (k, children) -> combine k (List.map node children)
+      in
+      match node ct.policy with
+      | None -> None
+      | Some a ->
+        (* M = C~ * A / e(C, D);  e(C,D) = e(g,g)^(s(alpha + r)), A = e(g,g)^(rs). *)
+        let ecd = P.e ct.c sk.d in
+        Some (Gt.mul ct.c_tilde (Gt.mul a (Gt.inv ecd)))
+    end
+
+  let ciphertext_to_bytes ct =
+    let w = Wire.writer () in
+    Wire.bytes w (Expr.to_string ct.policy);
+    Wire.bytes w (Gt.to_bytes ct.c_tilde);
+    Wire.bytes w (G.to_bytes ct.c);
+    Wire.u32 w (Array.length ct.leaves);
+    Array.iter
+      (fun (a, cy, cy') ->
+        Wire.bytes w a;
+        Wire.bytes w (G.to_bytes cy);
+        Wire.bytes w (G.to_bytes cy'))
+      ct.leaves;
+    Wire.contents w
+
+  let ciphertext_of_bytes data =
+    match
+      let r = Wire.reader data in
+      let policy = Expr.of_string (Wire.rbytes r) in
+      let gt () = match Gt.of_bytes (Wire.rbytes r) with Some x -> x | None -> raise Wire.Malformed in
+      let g () = match G.of_bytes (Wire.rbytes r) with Some x -> x | None -> raise Wire.Malformed in
+      let c_tilde = gt () in
+      let c = g () in
+      let n = Wire.ru32 r in
+      let rec go k acc =
+        if k = 0 then List.rev acc
+        else begin
+          let a = Wire.rbytes r in
+          let cy = g () in
+          let cy' = g () in
+          go (k - 1) ((a, cy, cy') :: acc)
+        end
+      in
+      let leaves = Array.of_list (go n []) in
+      if not (Wire.at_end r) then raise Wire.Malformed;
+      { policy; c_tilde; c; leaves }
+    with
+    | ct -> Some ct
+    | exception (Wire.Malformed | Invalid_argument _) -> None
+
+  let ciphertext_size ct =
+    let gsz = String.length (G.to_bytes ct.c) in
+    let gtsz = String.length (Gt.to_bytes ct.c_tilde) in
+    let policy_sz = String.length (Expr.to_string ct.policy) in
+    policy_sz + gtsz + gsz
+    + Array.fold_left
+        (fun acc (a, _, _) -> acc + String.length a + (2 * gsz))
+        0 ct.leaves
+end

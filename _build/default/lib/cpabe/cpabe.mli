@@ -1,0 +1,43 @@
+(** Ciphertext-policy attribute-based encryption (Bethencourt–Sahai–Waters,
+    S&P 2007) — the paper's reference [2].
+
+    The system uses CP-ABE in two places: record contents are encrypted under
+    each record's access policy, and the per-query AES key protecting the
+    result + VO is wrapped under the AND of the user's claimed roles
+    (Algorithm 1), which blocks impersonation.
+
+    Access policies are the same monotone AND/OR formulas as everywhere else
+    (AND = n-of-n gate, OR = 1-of-n gate in the BSW secret-sharing tree).
+    Messages are elements of Gt; see {!Envelope} for byte payloads. *)
+
+module Make (P : Zkqac_group.Pairing_intf.PAIRING) : sig
+  type mk
+  (** Master key (held by the data owner). *)
+
+  type pp
+  (** Public parameters. *)
+
+  type secret_key
+  (** A user's decryption key for an attribute set. *)
+
+  type ciphertext
+
+  val setup : Zkqac_hashing.Drbg.t -> mk * pp
+
+  val keygen : Zkqac_hashing.Drbg.t -> mk -> pp -> Zkqac_policy.Attr.Set.t -> secret_key
+
+  val random_message : Zkqac_hashing.Drbg.t -> pp -> P.Gt.t
+  (** Uniform message in the pairing target subgroup (for hybrid KEM use). *)
+
+  val encrypt :
+    Zkqac_hashing.Drbg.t -> pp -> P.Gt.t -> policy:Zkqac_policy.Expr.t -> ciphertext
+
+  val decrypt : pp -> secret_key -> ciphertext -> P.Gt.t option
+  (** [None] when the key's attributes do not satisfy the ciphertext
+      policy. *)
+
+  val ciphertext_size : ciphertext -> int
+
+  val ciphertext_to_bytes : ciphertext -> string
+  val ciphertext_of_bytes : string -> ciphertext option
+end

@@ -1,0 +1,69 @@
+module Aes = Zkqac_symmetric.Aes128
+module Sha256 = Zkqac_hashing.Sha256
+module Hmac = Zkqac_hashing.Hmac
+module Wire = Zkqac_util.Wire
+
+module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
+  module C = Cpabe.Make (P)
+
+  type sealed = {
+    kem : C.ciphertext;   (* CP-ABE encryption of the KEM element *)
+    nonce : string;
+    body : string;        (* AES-CTR encrypted payload *)
+    tag : string;         (* HMAC-SHA256 over nonce || body *)
+  }
+
+  (* Derive AES and MAC keys from the KEM group element. *)
+  let keys_of_element elt =
+    let seed = Sha256.digest_list [ "zkqac-envelope"; P.Gt.to_bytes elt ] in
+    let enc = String.sub (Sha256.digest_list [ "enc"; seed ]) 0 16 in
+    let mac = Sha256.digest_list [ "mac"; seed ] in
+    (enc, mac)
+
+  let seal drbg pp ~policy payload =
+    let m = C.random_message drbg pp in
+    let kem = C.encrypt drbg pp m ~policy in
+    let enc_key, mac_key = keys_of_element m in
+    let nonce = Zkqac_hashing.Drbg.generate drbg 12 in
+    let body = Aes.ctr ~key:enc_key ~nonce payload in
+    let tag = Hmac.mac ~key:mac_key (nonce ^ body) in
+    { kem; nonce; body; tag }
+
+  let open_ pp sk sealed =
+    match C.decrypt pp sk sealed.kem with
+    | None -> None
+    | Some m ->
+      let enc_key, mac_key = keys_of_element m in
+      let expect = Hmac.mac ~key:mac_key (sealed.nonce ^ sealed.body) in
+      if not (String.equal expect sealed.tag) then None
+      else Some (Aes.ctr ~key:enc_key ~nonce:sealed.nonce sealed.body)
+
+  let to_bytes sealed =
+    let w = Wire.writer () in
+    Wire.bytes w (C.ciphertext_to_bytes sealed.kem);
+    Wire.bytes w sealed.nonce;
+    Wire.bytes w sealed.body;
+    Wire.bytes w sealed.tag;
+    Wire.contents w
+
+  let of_bytes data =
+    match
+      let r = Wire.reader data in
+      let kem =
+        match C.ciphertext_of_bytes (Wire.rbytes r) with
+        | Some k -> k
+        | None -> raise Wire.Malformed
+      in
+      let nonce = Wire.rbytes r in
+      let body = Wire.rbytes r in
+      let tag = Wire.rbytes r in
+      if not (Wire.at_end r) then raise Wire.Malformed;
+      { kem; nonce; body; tag }
+    with
+    | s -> Some s
+    | exception Wire.Malformed -> None
+
+  let size sealed =
+    C.ciphertext_size sealed.kem + String.length sealed.nonce
+    + String.length sealed.body + String.length sealed.tag
+end

@@ -1,0 +1,30 @@
+(** Hybrid CP-ABE/AES encryption of byte payloads.
+
+    Implements the transport step of Algorithms 1 and 3: the payload
+    (query results + VO) is encrypted with AES-128-CTR under a fresh key,
+    and that key is derived from a random pairing-target element wrapped
+    with CP-ABE under a policy (for query responses: the AND of the user's
+    claimed roles, so only a user genuinely holding those roles can open
+    it). An HMAC tag authenticates the payload against accidental
+    corruption. *)
+
+module Make (P : Zkqac_group.Pairing_intf.PAIRING) : sig
+  module C : module type of Cpabe.Make (P)
+
+  type sealed
+
+  val seal :
+    Zkqac_hashing.Drbg.t ->
+    C.pp ->
+    policy:Zkqac_policy.Expr.t ->
+    string ->
+    sealed
+
+  val open_ : C.pp -> C.secret_key -> sealed -> string option
+  (** [None] if the key does not satisfy the policy or the payload fails
+      authentication. *)
+
+  val size : sealed -> int
+  val to_bytes : sealed -> string
+  val of_bytes : string -> sealed option
+end

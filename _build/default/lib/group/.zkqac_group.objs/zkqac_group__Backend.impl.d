@@ -1,0 +1,1 @@
+lib/group/backend.ml: Lazy Mock Typea Typea_params

@@ -1,0 +1,1 @@
+lib/group/curve.ml: Array Fp String Zkqac_bigint Zkqac_hashing

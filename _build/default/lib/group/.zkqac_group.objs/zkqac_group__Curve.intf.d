@@ -1,0 +1,1 @@
+lib/group/curve.mli: Fp Zkqac_bigint

@@ -1,0 +1,1 @@
+lib/group/fp.ml: Zkqac_bigint Zkqac_numth

@@ -1,0 +1,1 @@
+lib/group/fp.mli: Zkqac_bigint

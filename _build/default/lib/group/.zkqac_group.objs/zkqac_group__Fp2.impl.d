@@ -1,0 +1,1 @@
+lib/group/fp2.ml: Fp String Zkqac_bigint

@@ -1,0 +1,1 @@
+lib/group/fp2.mli: Fp Zkqac_bigint

@@ -1,0 +1,1 @@
+lib/group/mock.ml: Pairing_intf Printf String Zkqac_bigint Zkqac_hashing

@@ -1,0 +1,1 @@
+lib/group/pairing_intf.ml: Zkqac_bigint Zkqac_hashing

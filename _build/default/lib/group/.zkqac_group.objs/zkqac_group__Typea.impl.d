@@ -1,0 +1,1 @@
+lib/group/typea.ml: Curve Fp Fp2 Pairing_intf Printf Typea_params Zkqac_bigint Zkqac_hashing

@@ -1,0 +1,1 @@
+lib/group/typea_params.ml: Curve Fp Zkqac_bigint Zkqac_numth Zkqac_rng

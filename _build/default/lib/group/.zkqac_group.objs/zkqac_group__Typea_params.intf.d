@@ -1,0 +1,1 @@
+lib/group/typea_params.mli: Curve Fp Zkqac_bigint

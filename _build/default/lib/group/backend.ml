@@ -1,0 +1,24 @@
+(** Backend selection by name, for CLIs and benches. *)
+
+type kind = Mock | Typea_tiny | Typea_small | Typea_default
+
+let of_string = function
+  | "mock" -> Some Mock
+  | "typea" | "typea-default" -> Some Typea_default
+  | "typea-small" -> Some Typea_small
+  | "typea-tiny" -> Some Typea_tiny
+  | _ -> None
+
+let to_string = function
+  | Mock -> "mock"
+  | Typea_tiny -> "typea-tiny"
+  | Typea_small -> "typea-small"
+  | Typea_default -> "typea"
+
+let all = [ Mock; Typea_tiny; Typea_small; Typea_default ]
+
+let instantiate = function
+  | Mock -> Mock.create ()
+  | Typea_tiny -> Typea.create (Lazy.force Typea_params.tiny)
+  | Typea_small -> Typea.create (Lazy.force Typea_params.small)
+  | Typea_default -> Typea.create (Lazy.force Typea_params.default)

@@ -1,0 +1,29 @@
+(** The supersingular curve E : y² = x³ + x over F_p (p ≡ 3 mod 4).
+
+    With p ≡ 3 (mod 4), E is supersingular with #E(F_p) = p + 1 and embedding
+    degree 2 — the same curve family as the PBC library's "type a" pairing
+    parameters used by the paper's implementation. *)
+
+type point = Infinity | Affine of Zkqac_bigint.Bigint.t * Zkqac_bigint.Bigint.t
+
+val equal : point -> point -> bool
+val is_infinity : point -> bool
+val neg : Fp.ctx -> point -> point
+val is_on_curve : Fp.ctx -> point -> bool
+val add : Fp.ctx -> point -> point -> point
+val double : Fp.ctx -> point -> point
+
+val mul : Fp.ctx -> Zkqac_bigint.Bigint.t -> point -> point
+(** Scalar multiplication (double-and-add); scalar must be >= 0. *)
+
+val hash_to_point : Fp.ctx -> domain:string -> string -> point
+(** Try-and-increment: hash to an x-coordinate, bump until x³+x is square.
+    The result is on the full curve; callers multiply by the cofactor to land
+    in the prime-order subgroup. *)
+
+val to_bytes : Fp.ctx -> point -> string
+(** Compressed encoding: one tag byte (0 = infinity, 2/3 = sign of y) plus
+    the x-coordinate, fixed width. *)
+
+val of_bytes : Fp.ctx -> string -> point option
+val encoded_size : Fp.ctx -> int

@@ -1,0 +1,28 @@
+module B = Zkqac_bigint.Bigint
+
+type ctx = { p : B.t }
+
+let create p =
+  if B.compare p B.two < 0 then invalid_arg "Fp.create: modulus < 2";
+  { p }
+
+let modulus c = c.p
+let zero = B.zero
+let one = B.one
+let of_bigint c x = B.erem x c.p
+let of_int c x = B.erem (B.of_int x) c.p
+
+let add c a b =
+  let s = B.add a b in
+  if B.compare s c.p >= 0 then B.sub s c.p else s
+
+let sub c a b = if B.compare a b >= 0 then B.sub a b else B.add (B.sub a b) c.p
+let neg c a = if B.is_zero a then B.zero else B.sub c.p a
+let mul c a b = B.erem (B.mul a b) c.p
+let sqr c a = mul c a a
+let inv c a = B.invmod a c.p
+let div c a b = mul c a (inv c b)
+let pow c a e = B.powmod a e c.p
+let sqrt c a = Zkqac_numth.Primes.sqrt_mod a c.p
+let equal = B.equal
+let is_zero = B.is_zero

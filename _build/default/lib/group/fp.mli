@@ -1,0 +1,28 @@
+(** The prime field F_p, as a context of operations over canonical residues.
+
+    Elements are {!Zkqac_bigint.Bigint.t} values in [[0, p)]; all operations
+    assume (and preserve) canonical form. *)
+
+type ctx
+
+val create : Zkqac_bigint.Bigint.t -> ctx
+(** @raise Invalid_argument if the modulus is < 2. *)
+
+val modulus : ctx -> Zkqac_bigint.Bigint.t
+val zero : Zkqac_bigint.Bigint.t
+val one : Zkqac_bigint.Bigint.t
+val of_bigint : ctx -> Zkqac_bigint.Bigint.t -> Zkqac_bigint.Bigint.t
+val of_int : ctx -> int -> Zkqac_bigint.Bigint.t
+val add : ctx -> Zkqac_bigint.Bigint.t -> Zkqac_bigint.Bigint.t -> Zkqac_bigint.Bigint.t
+val sub : ctx -> Zkqac_bigint.Bigint.t -> Zkqac_bigint.Bigint.t -> Zkqac_bigint.Bigint.t
+val neg : ctx -> Zkqac_bigint.Bigint.t -> Zkqac_bigint.Bigint.t
+val mul : ctx -> Zkqac_bigint.Bigint.t -> Zkqac_bigint.Bigint.t -> Zkqac_bigint.Bigint.t
+val sqr : ctx -> Zkqac_bigint.Bigint.t -> Zkqac_bigint.Bigint.t
+val inv : ctx -> Zkqac_bigint.Bigint.t -> Zkqac_bigint.Bigint.t
+(** @raise Division_by_zero on 0. *)
+
+val div : ctx -> Zkqac_bigint.Bigint.t -> Zkqac_bigint.Bigint.t -> Zkqac_bigint.Bigint.t
+val pow : ctx -> Zkqac_bigint.Bigint.t -> Zkqac_bigint.Bigint.t -> Zkqac_bigint.Bigint.t
+val sqrt : ctx -> Zkqac_bigint.Bigint.t -> Zkqac_bigint.Bigint.t option
+val equal : Zkqac_bigint.Bigint.t -> Zkqac_bigint.Bigint.t -> bool
+val is_zero : Zkqac_bigint.Bigint.t -> bool

@@ -1,0 +1,61 @@
+module B = Zkqac_bigint.Bigint
+
+type t = { re : B.t; im : B.t }
+
+let zero = { re = B.zero; im = B.zero }
+let one = { re = B.one; im = B.zero }
+let make re im = { re; im }
+let of_fp re = { re; im = B.zero }
+let equal a b = B.equal a.re b.re && B.equal a.im b.im
+let is_zero a = B.is_zero a.re && B.is_zero a.im
+let is_one a = B.is_one a.re && B.is_zero a.im
+let add c a b = { re = Fp.add c a.re b.re; im = Fp.add c a.im b.im }
+let sub c a b = { re = Fp.sub c a.re b.re; im = Fp.sub c a.im b.im }
+let neg c a = { re = Fp.neg c a.re; im = Fp.neg c a.im }
+
+(* (a + bi)(c + di) = (ac - bd) + (ad + bc)i, via Karatsuba: three base
+   multiplications instead of four. *)
+let mul c x y =
+  let ac = Fp.mul c x.re y.re in
+  let bd = Fp.mul c x.im y.im in
+  let cross = Fp.mul c (Fp.add c x.re x.im) (Fp.add c y.re y.im) in
+  { re = Fp.sub c ac bd; im = Fp.sub c (Fp.sub c cross ac) bd }
+
+(* (a + bi)^2 = (a+b)(a-b) + 2ab i. *)
+let sqr c x =
+  let re = Fp.mul c (Fp.add c x.re x.im) (Fp.sub c x.re x.im) in
+  let ab = Fp.mul c x.re x.im in
+  { re; im = Fp.add c ab ab }
+
+let conj c a = { a with im = Fp.neg c a.im }
+
+(* 1 / (a + bi) = (a - bi) / (a^2 + b^2). *)
+let inv c a =
+  let norm = Fp.add c (Fp.sqr c a.re) (Fp.sqr c a.im) in
+  let ninv = Fp.inv c norm in
+  { re = Fp.mul c a.re ninv; im = Fp.neg c (Fp.mul c a.im ninv) }
+
+let pow c a e =
+  if B.sign e < 0 then invalid_arg "Fp2.pow: negative exponent";
+  let nb = B.num_bits e in
+  let r = ref one in
+  for i = nb - 1 downto 0 do
+    r := sqr c !r;
+    if B.testbit e i then r := mul c !r a
+  done;
+  !r
+
+let to_bytes c a =
+  let w = (B.num_bits (Fp.modulus c) + 7) / 8 in
+  B.to_bytes_be_pad w a.re ^ B.to_bytes_be_pad w a.im
+
+let of_bytes c s =
+  let w = (B.num_bits (Fp.modulus c) + 7) / 8 in
+  if String.length s <> 2 * w then None
+  else begin
+    let re = B.of_bytes_be (String.sub s 0 w) in
+    let im = B.of_bytes_be (String.sub s w w) in
+    if B.compare re (Fp.modulus c) < 0 && B.compare im (Fp.modulus c) < 0 then
+      Some { re; im }
+    else None
+  end

@@ -1,0 +1,67 @@
+(** The symmetric bilinear-pairing abstraction the whole system is built on.
+
+    The paper (like the PBC library its authors used) works with a symmetric
+    ("type-1") pairing e : G x G -> Gt on groups of prime order [order]. Two
+    implementations are provided:
+
+    - {!Typea}: a real supersingular-curve Tate pairing, the same curve family
+      as PBC's default "type a" parameters;
+    - {!Mock}: the generic-group model of the paper's own security proof
+      (Appendix B), where elements are opaque discrete logs. It satisfies
+      every equation of the protocols at a fraction of the cost, and is the
+      default backend for large benchmarks. *)
+
+module type PAIRING = sig
+  val name : string
+
+  val order : Zkqac_bigint.Bigint.t
+  (** Prime order of G and Gt; scalars live in Z_order. *)
+
+  module G : sig
+    type t
+
+    val one : t
+    (** Identity element. *)
+
+    val g : t
+    (** Fixed generator. *)
+
+    val mul : t -> t -> t
+    val inv : t -> t
+    val pow : t -> Zkqac_bigint.Bigint.t -> t
+    val equal : t -> t -> bool
+    val is_one : t -> bool
+
+    val to_bytes : t -> string
+    (** Fixed-width canonical encoding (used for VO sizing and hashing). *)
+
+    val of_bytes : string -> t option
+
+    val hash_to : string -> t
+    (** Hash arbitrary bytes to a group element of full order. *)
+  end
+
+  module Gt : sig
+    type t
+
+    val one : t
+    val mul : t -> t -> t
+    val inv : t -> t
+    val pow : t -> Zkqac_bigint.Bigint.t -> t
+    val equal : t -> t -> bool
+    val is_one : t -> bool
+    val to_bytes : t -> string
+    val of_bytes : string -> t option
+  end
+
+  val e : G.t -> G.t -> Gt.t
+  (** The bilinear map. *)
+
+  val rand_scalar : Zkqac_hashing.Drbg.t -> Zkqac_bigint.Bigint.t
+  (** Uniform in [1, order). *)
+
+  val rand_g : Zkqac_hashing.Drbg.t -> G.t
+  (** Uniform non-identity group element. *)
+end
+
+type t = (module PAIRING)

@@ -1,0 +1,128 @@
+(* The type-A symmetric pairing: Tate pairing on the supersingular curve
+   E : y^2 = x^3 + x over F_p, embedding degree 2, with the distortion map
+   psi(x, y) = (-x, i*y) providing symmetry.
+
+   Denominator elimination applies throughout: psi maps x-coordinates into
+   F_p, so every vertical-line value lies in F_p* and is annihilated by the
+   (p - 1) factor of the final exponentiation (p^2 - 1)/r = (p-1) * cofactor.
+   The Miller loop therefore only accumulates the tangent/chord lines. *)
+
+module B = Zkqac_bigint.Bigint
+
+let create (params : Typea_params.t) : (module Pairing_intf.PAIRING) =
+  let { Typea_params.r; p; cofactor; fp; g = gen } = params in
+  (module struct
+    let name = Printf.sprintf "typea(r=%d bits, p=%d bits)" (B.num_bits r) (B.num_bits p)
+    let order = r
+
+    module G = struct
+      type t = Curve.point
+
+      let one = Curve.Infinity
+      let g = gen
+      let mul = Curve.add fp
+      let inv = Curve.neg fp
+      let pow pt k = Curve.mul fp (B.erem k r) pt
+      let equal = Curve.equal
+      let is_one = Curve.is_infinity
+      let to_bytes = Curve.to_bytes fp
+
+      let of_bytes s =
+        match Curve.of_bytes fp s with
+        | Some pt when Curve.is_infinity pt || Curve.is_infinity (Curve.mul fp r pt) ->
+          Some pt
+        | Some _ | None -> None
+
+      let hash_to msg =
+        let rec go ctr =
+          let pt = Curve.hash_to_point fp ~domain:"typea-g" (msg ^ "#" ^ string_of_int ctr) in
+          let pt = Curve.mul fp cofactor pt in
+          if Curve.is_infinity pt then go (ctr + 1) else pt
+        in
+        go 0
+    end
+
+    module Gt = struct
+      type t = Fp2.t
+
+      let one = Fp2.one
+      let mul = Fp2.mul fp
+      let inv = Fp2.inv fp
+      let pow a k = Fp2.pow fp a (B.erem k r)
+      let equal = Fp2.equal
+      let is_one = Fp2.is_one
+      let to_bytes = Fp2.to_bytes fp
+      let of_bytes s = Fp2.of_bytes fp s
+    end
+
+    (* Miller loop computing f_{r,P}(psi(Q)) for affine P, Q. The evaluation
+       point psi(Q) = (-xq, yq*i) has F_p real coordinate and purely
+       imaginary y, so each line value is (re, yq) in F_p2. *)
+    let miller xp yp xq yq =
+      let xq' = Fp.neg fp xq in
+      let eval_line lambda xv yv =
+        (* y_psi - yv - lambda * (x_psi - xv), with y_psi = yq * i. *)
+        let re = Fp.sub fp (Fp.neg fp yv) (Fp.mul fp lambda (Fp.sub fp xq' xv)) in
+        Fp2.make re yq
+      in
+      let f = ref Fp2.one in
+      let v = ref (Curve.Affine (xp, yp)) in
+      let nb = B.num_bits r in
+      for i = nb - 2 downto 0 do
+        f := Fp2.sqr fp !f;
+        (match !v with
+         | Curve.Infinity -> ()
+         | Curve.Affine (xv, yv) ->
+           if Fp.is_zero yv then v := Curve.Infinity
+           else begin
+             let lambda =
+               Fp.div fp
+                 (Fp.add fp (Fp.mul fp (Fp.of_int fp 3) (Fp.sqr fp xv)) Fp.one)
+                 (Fp.add fp yv yv)
+             in
+             f := Fp2.mul fp !f (eval_line lambda xv yv);
+             v := Curve.double fp !v
+           end);
+        if B.testbit r i then begin
+          match !v with
+          | Curve.Infinity -> ()
+          | Curve.Affine (xv, yv) ->
+            if B.equal xv xp then begin
+              (* Vertical chord (V = -P or V = P with doubling handled
+                 above): the line value lies in F_p and is eliminated. *)
+              if B.equal yv yp then begin
+                let lambda =
+                  Fp.div fp
+                    (Fp.add fp (Fp.mul fp (Fp.of_int fp 3) (Fp.sqr fp xv)) Fp.one)
+                    (Fp.add fp yv yv)
+                in
+                f := Fp2.mul fp !f (eval_line lambda xv yv);
+                v := Curve.double fp !v
+              end
+              else v := Curve.Infinity
+            end
+            else begin
+              let lambda = Fp.div fp (Fp.sub fp yp yv) (Fp.sub fp xp xv) in
+              f := Fp2.mul fp !f (eval_line lambda xv yv);
+              v := Curve.add fp !v (Curve.Affine (xp, yp))
+            end
+        end
+      done;
+      !f
+
+    let e a b =
+      match (a, b) with
+      | Curve.Infinity, _ | _, Curve.Infinity -> Fp2.one
+      | Curve.Affine (xp, yp), Curve.Affine (xq, yq) ->
+        let f = miller xp yp xq yq in
+        (* Final exponentiation: f^(p-1) via Frobenius (conjugation), then
+           raise to the cofactor (p+1)/r. *)
+        let f1 = Fp2.mul fp (Fp2.conj fp f) (Fp2.inv fp f) in
+        Fp2.pow fp f1 cofactor
+
+    let rand_scalar drbg = Zkqac_hashing.Drbg.nonzero_bigint drbg r
+
+    let rand_g drbg =
+      let k = rand_scalar drbg in
+      G.pow gen k
+  end)

@@ -1,0 +1,58 @@
+(* Parameter generation for the type-A supersingular pairing.
+
+   Mirrors PBC's "type a" parameter generation: pick a prime group order r,
+   then search for a prime p = c*r - 1 with 4 | c, so that p = 3 (mod 4) and
+   E : y^2 = x^3 + x over F_p is supersingular with #E = p + 1 = c*r.
+   Generation is deterministic in the seed, so presets are stable across
+   runs without shipping hard-coded constants. *)
+
+module B = Zkqac_bigint.Bigint
+module Primes = Zkqac_numth.Primes
+
+type t = {
+  r : B.t;           (* prime order of the pairing groups *)
+  p : B.t;           (* field characteristic, p = 3 (mod 4) *)
+  cofactor : B.t;    (* (p + 1) / r *)
+  fp : Fp.ctx;
+  g : Curve.point;   (* generator of the order-r subgroup *)
+}
+
+let generate ~seed ~rbits ~pbits =
+  if pbits < rbits + 3 then invalid_arg "Typea_params.generate: pbits too small";
+  let rng = Zkqac_rng.Prng.create seed in
+  let r = Primes.random_prime rng ~bits:rbits in
+  (* Search cofactors c = 4 * c0 with c0 random of the right size until
+     p = c*r - 1 is prime. *)
+  let c0_bits = pbits - rbits - 2 in
+  let rec find_p () =
+    let c0 =
+      if c0_bits <= 1 then B.one
+      else
+        B.add (B.shift_left B.one (c0_bits - 1))
+          (Zkqac_rng.Prng.bigint rng (B.shift_left B.one (c0_bits - 1)))
+    in
+    let c = B.shift_left c0 2 in
+    let p = B.sub (B.mul c r) B.one in
+    if Primes.is_probable_prime p then (p, c) else find_p ()
+  in
+  let p, cofactor = find_p () in
+  assert (B.testbit p 0 && B.testbit p 1);
+  let fp = Fp.create p in
+  (* Generator: hash to a curve point, clear the cofactor. *)
+  let rec find_g ctr =
+    let pt = Curve.hash_to_point fp ~domain:"typea-gen" (string_of_int ctr) in
+    let g = Curve.mul fp cofactor pt in
+    if Curve.is_infinity g then find_g (ctr + 1) else g
+  in
+  let g = find_g 0 in
+  assert (Curve.is_on_curve fp g);
+  assert (Curve.is_infinity (Curve.mul fp r g));
+  { r; p; cofactor; fp; g }
+
+(* Presets, generated lazily; "tiny" keeps the real-pairing unit tests fast,
+   "default" matches the 160-bit-group / 512-bit-field setting of PBC's
+   standard a-type parameters (what the paper's numbers are based on). *)
+
+let tiny = lazy (generate ~seed:0x7ea1 ~rbits:50 ~pbits:96)
+let small = lazy (generate ~seed:0x7ea2 ~rbits:80 ~pbits:160)
+let default = lazy (generate ~seed:0x7ea3 ~rbits:160 ~pbits:512)

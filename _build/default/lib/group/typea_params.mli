@@ -1,0 +1,21 @@
+(** Deterministic parameter generation for the type-A pairing. *)
+
+type t = {
+  r : Zkqac_bigint.Bigint.t;        (** prime group order *)
+  p : Zkqac_bigint.Bigint.t;        (** field characteristic, ≡ 3 (mod 4) *)
+  cofactor : Zkqac_bigint.Bigint.t; (** (p+1)/r *)
+  fp : Fp.ctx;
+  g : Curve.point;                  (** generator of the order-r subgroup *)
+}
+
+val generate : seed:int -> rbits:int -> pbits:int -> t
+
+val tiny : t lazy_t
+(** ~50-bit group over a ~96-bit field: fast enough for unit tests. *)
+
+val small : t lazy_t
+(** ~80-bit group over a ~160-bit field. *)
+
+val default : t lazy_t
+(** 160-bit group over a 512-bit field — PBC's standard "type a" sizing,
+    matching the paper's experimental setup. *)

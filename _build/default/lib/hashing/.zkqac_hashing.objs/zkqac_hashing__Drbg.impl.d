@@ -1,0 +1,1 @@
+lib/hashing/drbg.ml: Buffer Bytes Char Hmac String Zkqac_bigint

@@ -1,0 +1,1 @@
+lib/hashing/drbg.mli: Zkqac_bigint

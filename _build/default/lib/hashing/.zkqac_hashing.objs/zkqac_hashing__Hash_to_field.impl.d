@@ -1,0 +1,1 @@
+lib/hashing/hash_to_field.ml: Buffer List Printf Sha256 String Zkqac_bigint

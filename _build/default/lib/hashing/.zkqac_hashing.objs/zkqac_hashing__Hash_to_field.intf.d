@@ -1,0 +1,1 @@
+lib/hashing/hash_to_field.mli: Zkqac_bigint

@@ -1,0 +1,1 @@
+lib/hashing/hex.ml: Buffer Char Printf String

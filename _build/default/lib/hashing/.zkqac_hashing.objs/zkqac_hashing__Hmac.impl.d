@@ -1,0 +1,1 @@
+lib/hashing/hmac.ml: Char Sha256 String

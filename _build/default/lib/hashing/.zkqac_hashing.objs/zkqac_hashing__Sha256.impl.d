@@ -1,0 +1,1 @@
+lib/hashing/sha256.ml: Array Buffer Bytes Char List Printf String

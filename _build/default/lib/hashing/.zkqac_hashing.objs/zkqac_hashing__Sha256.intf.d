@@ -1,0 +1,1 @@
+lib/hashing/sha256.mli:

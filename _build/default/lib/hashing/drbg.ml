@@ -1,0 +1,53 @@
+(* HMAC_DRBG (NIST SP 800-90A, SHA-256 instantiation, no reseeding).
+
+   This is the source of the "random values" the paper's cryptographic
+   algorithms draw (ABS nonces, CP-ABE secrets, re-randomizers). Being
+   deterministic in the seed makes every protocol run replayable. *)
+
+module B = Zkqac_bigint.Bigint
+
+type t = { mutable key : string; mutable v : string }
+
+let create ~seed =
+  let t = { key = String.make 32 '\000'; v = String.make 32 '\x01' } in
+  let update provided =
+    t.key <- Hmac.mac ~key:t.key (t.v ^ "\x00" ^ provided);
+    t.v <- Hmac.mac ~key:t.key t.v;
+    if provided <> "" then begin
+      t.key <- Hmac.mac ~key:t.key (t.v ^ "\x01" ^ provided);
+      t.v <- Hmac.mac ~key:t.key t.v
+    end
+  in
+  update seed;
+  t
+
+let generate t n =
+  let buf = Buffer.create n in
+  while Buffer.length buf < n do
+    t.v <- Hmac.mac ~key:t.key t.v;
+    Buffer.add_string buf t.v
+  done;
+  t.key <- Hmac.mac ~key:t.key (t.v ^ "\x00");
+  t.v <- Hmac.mac ~key:t.key t.v;
+  String.sub (Buffer.contents buf) 0 n
+
+let bigint t bound =
+  if B.compare bound B.zero <= 0 then invalid_arg "Drbg.bigint";
+  let nb = B.num_bits bound in
+  let nbytes = (nb + 7) / 8 in
+  let topbits = nb - ((nbytes - 1) * 8) in
+  let rec draw () =
+    let s = Bytes.of_string (generate t nbytes) in
+    let m = (1 lsl topbits) - 1 in
+    Bytes.set s 0 (Char.chr (Char.code (Bytes.get s 0) land m));
+    let v = B.of_bytes_be (Bytes.to_string s) in
+    if B.compare v bound < 0 then v else draw ()
+  in
+  draw ()
+
+let nonzero_bigint t bound =
+  let rec draw () =
+    let v = bigint t bound in
+    if B.is_zero v then draw () else v
+  in
+  draw ()

@@ -1,0 +1,14 @@
+(** HMAC_DRBG (SP 800-90A) over SHA-256: deterministic cryptographic-quality
+    byte stream, used for all protocol-level randomness so runs replay. *)
+
+type t
+
+val create : seed:string -> t
+val generate : t -> int -> string
+(** Next [n] bytes of output. *)
+
+val bigint : t -> Zkqac_bigint.Bigint.t -> Zkqac_bigint.Bigint.t
+(** Uniform in [0, bound) by rejection sampling. *)
+
+val nonzero_bigint : t -> Zkqac_bigint.Bigint.t -> Zkqac_bigint.Bigint.t
+(** Uniform in [1, bound). *)

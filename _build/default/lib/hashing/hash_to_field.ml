@@ -1,0 +1,28 @@
+(* Hashing arbitrary strings into Z_p, with domain separation.
+
+   We expand with counter-mode SHA-256 to 128 bits more than |p| and reduce,
+   which keeps the output distribution within 2^-128 of uniform -- the
+   standard hash_to_field recipe. *)
+
+module B = Zkqac_bigint.Bigint
+
+let expand ~domain msg nbytes =
+  let buf = Buffer.create nbytes in
+  let ctr = ref 0 in
+  while Buffer.length buf < nbytes do
+    Buffer.add_string buf
+      (Sha256.digest_list [ domain; msg; string_of_int !ctr ]);
+    incr ctr
+  done;
+  String.sub (Buffer.contents buf) 0 nbytes
+
+let to_zp ~domain ~p msg =
+  let nbytes = ((B.num_bits p + 7) / 8) + 16 in
+  B.erem (B.of_bytes_be (expand ~domain msg nbytes)) p
+
+let to_zp_list ~domain ~p parts =
+  let joined =
+    String.concat ""
+      (List.map (fun s -> Printf.sprintf "%08d:%s" (String.length s) s) parts)
+  in
+  to_zp ~domain ~p joined

@@ -1,0 +1,5 @@
+(** Hexadecimal encoding of byte strings. *)
+
+val encode : string -> string
+val decode : string -> string
+(** @raise Invalid_argument on malformed input. *)

@@ -1,0 +1,13 @@
+(* HMAC-SHA256 (RFC 2104). Used by the DRBG and by keyed derivation of
+   pseudo-record contents. *)
+
+let block_size = 64
+
+let mac ~key msg =
+  let key = if String.length key > block_size then Sha256.digest key else key in
+  let key = key ^ String.make (block_size - String.length key) '\000' in
+  let xor_pad byte =
+    String.init block_size (fun i -> Char.chr (Char.code key.[i] lxor byte))
+  in
+  let inner = Sha256.digest (xor_pad 0x36 ^ msg) in
+  Sha256.digest (xor_pad 0x5c ^ inner)

@@ -1,0 +1,4 @@
+(** HMAC-SHA256 (RFC 2104). *)
+
+val mac : key:string -> string -> string
+(** 32-byte raw tag. *)

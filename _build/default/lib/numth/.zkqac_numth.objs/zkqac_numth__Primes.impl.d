@@ -1,0 +1,1 @@
+lib/numth/primes.ml: Zkqac_bigint Zkqac_hashing Zkqac_rng

@@ -1,0 +1,1 @@
+lib/numth/primes.mli: Zkqac_bigint Zkqac_rng

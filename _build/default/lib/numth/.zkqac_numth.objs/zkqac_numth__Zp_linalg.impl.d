@@ -1,0 +1,1 @@
+lib/numth/zp_linalg.ml: Array Zkqac_bigint

@@ -1,0 +1,1 @@
+lib/numth/zp_linalg.mli: Zkqac_bigint

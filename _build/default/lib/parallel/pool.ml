@@ -1,0 +1,37 @@
+let available_cores () = Domain.recommended_domain_count ()
+
+exception Job_failed of exn
+
+let map ~threads jobs =
+  let jobs = Array.of_list jobs in
+  let n = Array.length jobs in
+  if threads <= 1 || n <= 1 then Array.to_list (Array.map (fun j -> j ()) jobs)
+  else begin
+    let threads = min threads n in
+    let results = Array.make n None in
+    let failure = Atomic.make None in
+    (* Static block partition: domain k takes the contiguous slice
+       [k*n/threads, (k+1)*n/threads). *)
+    let worker k () =
+      let lo = k * n / threads and hi = (k + 1) * n / threads in
+      try
+        for i = lo to hi - 1 do
+          results.(i) <- Some (jobs.(i) ())
+        done
+      with e -> Atomic.set failure (Some e)
+    in
+    let domains = List.init threads (fun k -> Domain.spawn (worker k)) in
+    List.iter Domain.join domains;
+    (match Atomic.get failure with
+     | Some e -> raise (Job_failed e)
+     | None -> ());
+    Array.to_list
+      (Array.map
+         (function Some v -> v | None -> raise (Job_failed Not_found))
+         results)
+  end
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, Unix.gettimeofday () -. t0)

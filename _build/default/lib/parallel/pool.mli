@@ -1,0 +1,16 @@
+(** Parallel map over OCaml 5 domains — the Section 8.2 optimization.
+
+    The paper parallelizes the independent ABS.Relax jobs of a query across
+    OpenMP threads; this module provides the same fan-out with domains. Jobs
+    are deterministic-output thunks; the result order matches the input
+    order. *)
+
+val available_cores : unit -> int
+
+val map : threads:int -> (unit -> 'a) list -> 'a list
+(** Run the thunks on [threads] domains (static block partitioning, like an
+    OpenMP static schedule). [threads <= 1] runs inline. Exceptions raised by
+    a job are re-raised in the caller. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** Wall-clock timing helper for benches. *)

@@ -1,0 +1,1 @@
+lib/policy/attr.ml: List Set String

@@ -1,0 +1,1 @@
+lib/policy/attr.mli: Set

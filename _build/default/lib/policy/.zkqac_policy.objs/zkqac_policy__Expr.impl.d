@@ -1,0 +1,1 @@
+lib/policy/expr.ml: Array Attr Format List Printf Stdlib String Zkqac_rng

@@ -1,0 +1,1 @@
+lib/policy/expr.mli: Attr Format Zkqac_rng

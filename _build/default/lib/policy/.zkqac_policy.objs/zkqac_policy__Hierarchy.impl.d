@@ -1,0 +1,1 @@
+lib/policy/hierarchy.ml: Attr Expr Hashtbl List Universe

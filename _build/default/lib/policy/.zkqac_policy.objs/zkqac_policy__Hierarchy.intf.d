@@ -1,0 +1,1 @@
+lib/policy/hierarchy.mli: Attr Expr Universe

@@ -1,0 +1,1 @@
+lib/policy/kd_split.ml: Array Attr Expr List Set String

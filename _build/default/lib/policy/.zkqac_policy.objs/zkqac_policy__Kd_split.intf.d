@@ -1,0 +1,1 @@
+lib/policy/kd_split.mli: Expr

@@ -1,0 +1,1 @@
+lib/policy/msp.ml: Array Attr Expr List Option Stdlib

@@ -1,0 +1,1 @@
+lib/policy/msp.mli: Attr Expr

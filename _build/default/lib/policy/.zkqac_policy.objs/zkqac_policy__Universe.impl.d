@@ -1,0 +1,1 @@
+lib/policy/universe.ml: Attr Expr List Printf

@@ -1,0 +1,1 @@
+lib/policy/universe.mli: Attr Expr

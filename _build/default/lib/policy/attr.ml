@@ -1,0 +1,16 @@
+type t = string
+
+let pseudo_role = "@empty"
+
+let is_valid s =
+  String.length s > 0
+  && String.for_all
+       (fun c -> not (List.mem c [ '&'; '|'; '('; ')'; ','; ' '; '\t'; '\n' ]))
+       s
+
+let compare = String.compare
+let equal = String.equal
+
+module Set = Set.Make (String)
+
+let set_of_list = Set.of_list

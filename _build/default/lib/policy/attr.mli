@@ -1,0 +1,22 @@
+(** Attributes (a.k.a. roles — the paper uses the terms interchangeably).
+
+    An attribute is a non-empty name not containing policy syntax characters.
+    The distinguished pseudo role [Role_∅] (Section 5) is an attribute that no
+    user ever possesses; it is the access policy of pseudo (non-existent)
+    records, making "no such record" and "record you may not see"
+    indistinguishable. *)
+
+type t = string
+
+val pseudo_role : t
+(** The paper's [Role_∅]. Possessed by no user. *)
+
+val is_valid : t -> bool
+(** Usable in policies: non-empty, no '&' '|' '(' ')' ',' or whitespace. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+module Set : Set.S with type elt = t
+
+val set_of_list : t list -> Set.t

@@ -1,0 +1,65 @@
+type t = { parent : (Attr.t, Attr.t) Hashtbl.t }
+
+let flat = { parent = Hashtbl.create 1 }
+
+let create edges =
+  let parent = Hashtbl.create (List.length edges) in
+  List.iter
+    (fun (child, par) ->
+      if Hashtbl.mem parent child then
+        invalid_arg ("Hierarchy.create: two parents for " ^ child);
+      Hashtbl.add parent child par)
+    edges;
+  (* Reject cycles by walking every chain with a step bound. *)
+  let n = Hashtbl.length parent in
+  Hashtbl.iter
+    (fun child _ ->
+      let rec walk a steps =
+        if steps > n then invalid_arg "Hierarchy.create: cycle"
+        else
+          match Hashtbl.find_opt parent a with
+          | None -> ()
+          | Some p -> walk p (steps + 1)
+      in
+      walk child 0)
+    parent;
+  { parent }
+
+let edges t =
+  List.sort compare (Hashtbl.fold (fun c p acc -> (c, p) :: acc) t.parent [])
+
+let parents t a =
+  let rec go a acc =
+    match Hashtbl.find_opt t.parent a with
+    | None -> List.rev acc
+    | Some p -> go p (p :: acc)
+  in
+  go a []
+
+let close_user t user =
+  Attr.Set.fold
+    (fun a acc -> List.fold_left (fun acc p -> Attr.Set.add p acc) acc (parents t a))
+    user user
+
+let augment_policy t expr =
+  let dnf = Expr.to_dnf expr in
+  let augmented =
+    List.map
+      (fun clause ->
+        Attr.Set.fold
+          (fun a acc ->
+            List.fold_left (fun acc p -> Attr.Set.add p acc) acc (parents t a))
+          clause clause)
+      dnf
+  in
+  Expr.of_dnf augmented
+
+let reduce_missing t missing =
+  Attr.Set.filter
+    (fun a -> not (List.exists (fun p -> Attr.Set.mem p missing) (parents t a)))
+    missing
+
+let super_policy t universe ~user =
+  let user = close_user t user in
+  let missing = Universe.missing universe ~user in
+  Expr.of_attrs_or (Attr.Set.elements (reduce_missing t missing))

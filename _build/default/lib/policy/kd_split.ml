@@ -1,0 +1,86 @@
+(* Clause sets are compared by canonical string keys. *)
+module Clause_set = Set.Make (String)
+
+let clause_key c = String.concat "&" (Attr.Set.elements c)
+
+let clauses_of policies =
+  List.fold_left
+    (fun acc p ->
+      List.fold_left
+        (fun acc c -> Clause_set.add (clause_key c) acc)
+        acc (Expr.to_dnf p))
+    Clause_set.empty policies
+
+let objective left right =
+  Clause_set.cardinal (Clause_set.inter (clauses_of left) (clauses_of right))
+
+let prefix_clauses policies =
+  (* prefix.(i) = clauses of policies[0..i-1]. *)
+  let n = Array.length policies in
+  let prefix = Array.make (n + 1) Clause_set.empty in
+  for i = 0 to n - 1 do
+    prefix.(i + 1) <-
+      List.fold_left
+        (fun acc c -> Clause_set.add (clause_key c) acc)
+        prefix.(i)
+        (Expr.to_dnf policies.(i))
+  done;
+  prefix
+
+let suffix_clauses policies =
+  let n = Array.length policies in
+  let suffix = Array.make (n + 1) Clause_set.empty in
+  for i = n - 1 downto 0 do
+    suffix.(i) <-
+      List.fold_left
+        (fun acc c -> Clause_set.add (clause_key c) acc)
+        suffix.(i + 1)
+        (Expr.to_dnf policies.(i))
+  done;
+  suffix
+
+(* Algorithm 7, literally: a linear recursion that extends the best split of
+   the first n-1 policies by comparing it with splitting just before the
+   last one. *)
+let split policies =
+  let n = Array.length policies in
+  if n < 2 then invalid_arg "Kd_split.split: need >= 2 policies";
+  let x_set i j =
+    (* clauses of policies[i..j-1] *)
+    clauses_of (Array.to_list (Array.sub policies i (j - i)))
+  in
+  let rec go n =
+    if n = 2 then 1
+    else if n = 3 then begin
+      let x1 = x_set 0 1 and x2 = x_set 1 2 and x3 = x_set 2 3 in
+      if Clause_set.cardinal (Clause_set.inter x1 x2)
+         < Clause_set.cardinal (Clause_set.inter x2 x3)
+      then 1
+      else 2
+    end
+    else begin
+      let x' = go (n - 1) in
+      let a =
+        Clause_set.cardinal (Clause_set.inter (x_set 0 x') (x_set x' (n - 1)))
+      in
+      let b = Clause_set.cardinal (Clause_set.inter (x_set x' (n - 1)) (x_set (n - 1) n)) in
+      if a < b then x' else n - 1
+    end
+  in
+  go n
+
+let split_exhaustive policies =
+  let n = Array.length policies in
+  if n < 2 then invalid_arg "Kd_split.split_exhaustive: need >= 2 policies";
+  let prefix = prefix_clauses policies in
+  let suffix = suffix_clauses policies in
+  let best = ref 1 in
+  let best_f = ref max_int in
+  for x = 1 to n - 1 do
+    let f = Clause_set.cardinal (Clause_set.inter prefix.(x) suffix.(x)) in
+    if f < !best_f then begin
+      best_f := f;
+      best := x
+    end
+  done;
+  !best

@@ -1,0 +1,136 @@
+type t = {
+  rows : int;
+  cols : int;
+  matrix : int array array;
+  labels : Attr.t array;
+}
+
+(* Internal binary form: AND gates are folded to binary so that a single
+   2-row gadget covers them; OR stays n-ary (all children share the head
+   column, no gadget needed). *)
+type bin =
+  | BLeaf of Attr.t
+  | BOr of bin list
+  | BAnd of bin * bin
+
+let rec to_bin_expanded (e : Expr.t) =
+  match e with
+  | Expr.Leaf a -> BLeaf a
+  | Expr.Or xs -> BOr (List.map to_bin_expanded xs)
+  | Expr.And [] -> invalid_arg "Msp: empty And"
+  | Expr.And [ x ] -> to_bin_expanded x
+  | Expr.And (x :: rest) -> BAnd (to_bin_expanded x, to_bin_expanded (Expr.And rest))
+  | Expr.Threshold _ -> invalid_arg "Msp: unexpanded threshold"
+
+(* Threshold gates are compiled away first, so the span program only ever
+   sees AND/OR structure (and the purge/satisfying traversals agree). *)
+let to_bin e = to_bin_expanded (Expr.expand_thresholds e)
+
+(* The three traversals below must allocate gate columns and row indices in
+   the same DFS order; they share this helper discipline:
+   - row indices are assigned at leaves, in DFS order;
+   - an AND gate allocates its fresh column *before* descending. *)
+
+let build expr =
+  let bin = to_bin expr in
+  let next_col = ref 1 in
+  let rows = ref [] in
+  let rec go node head =
+    match node with
+    | BLeaf a -> rows := (a, head) :: !rows
+    | BOr children -> List.iter (fun c -> go c head) children
+    | BAnd (c1, c2) ->
+      let g = !next_col in
+      incr next_col;
+      go c1 (((g, -1) :: head));
+      go c2 [ (g, 1) ]
+  in
+  go bin [ (0, 1) ];
+  let row_list = List.rev !rows in
+  let nrows = List.length row_list in
+  let ncols = !next_col in
+  let matrix = Array.make_matrix nrows ncols 0 in
+  let labels = Array.make nrows "" in
+  List.iteri
+    (fun i (a, head) ->
+      labels.(i) <- a;
+      List.iter (fun (c, v) -> matrix.(i).(c) <- matrix.(i).(c) + v) head)
+    row_list;
+  { rows = nrows; cols = ncols; matrix; labels }
+
+let satisfying_rows msp expr attrs =
+  let bin = to_bin expr in
+  let next_row = ref 0 in
+  let rec go node =
+    match node with
+    | BLeaf a ->
+      let idx = !next_row in
+      incr next_row;
+      if Attr.Set.mem a attrs then Some [ idx ] else None
+    | BOr children ->
+      (* Traverse every child to keep the row counter in sync, then keep the
+         first satisfying one. *)
+      let results = List.map go children in
+      List.find_opt Option.is_some results |> Option.join
+    | BAnd (c1, c2) ->
+      let r1 = go c1 in
+      let r2 = go c2 in
+      (match (r1, r2) with Some a, Some b -> Some (a @ b) | _, _ -> None)
+  in
+  match go bin with
+  | None -> None
+  | Some selected ->
+    assert (!next_row = msp.rows);
+    let v = Array.make msp.rows 0 in
+    List.iter (fun i -> v.(i) <- 1) selected;
+    Some v
+
+type purge_result = { kept_rows : int list; kept_cols : int list }
+
+let purge expr ~keep =
+  let bin = to_bin expr in
+  let next_col = ref 1 in
+  let next_row = ref 0 in
+  let rec go node =
+    match node with
+    | BLeaf a ->
+      let idx = !next_row in
+      incr next_row;
+      if Attr.Set.mem a keep then Some ([ idx ], []) else None
+    | BOr children ->
+      (* An OR node relaxes only if every child does (Algorithm 6: flag is
+         the AND of child flags); all kept rows and columns accumulate. *)
+      let results = List.map go children in
+      if List.for_all Option.is_some results then begin
+        let rows = List.concat_map (fun r -> fst (Option.get r)) results in
+        let cols = List.concat_map (fun r -> snd (Option.get r)) results in
+        Some (rows, cols)
+      end
+      else None
+    | BAnd (c1, c2) ->
+      let g = !next_col in
+      incr next_col;
+      let r1 = go c1 in
+      let r2 = go c2 in
+      (match (r1, r2) with
+       | Some (rows1, cols1), _ ->
+         (* Keep the first qualified child; its head form already includes
+            (head, -1@g) but with g excluded from T the -1 never fires. *)
+         Some (rows1, cols1)
+       | None, Some (rows2, cols2) ->
+         (* Keep the second child: select its head by including g in T,
+            which simultaneously cancels child 1's head (+1 - 1 = 0). *)
+         Some (rows2, g :: cols2)
+       | None, None -> None)
+  in
+  match go bin with
+  | None -> None
+  | Some (rows, cols) ->
+    Some
+      {
+        kept_rows = List.sort Stdlib.compare rows;
+        kept_cols = List.sort Stdlib.compare (0 :: cols);
+      }
+
+let check_purge_condition expr ~universe ~keep =
+  not (Expr.eval expr (Attr.Set.diff universe keep))

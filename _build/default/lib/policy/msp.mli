@@ -1,0 +1,49 @@
+(** Monotone span programs (Definition 5.3 / Algorithm 5) and the predicate
+    relaxation purge step (Algorithm 6).
+
+    The recursive insertion construction is used: a leaf contributes the 1x1
+    matrix [1]; OR children share their parent's first column; a binary AND
+    gate contributes the gadget rows [(1, -1)] / [(0, 1)] over a fresh column.
+    N-ary ANDs are folded to binary internally. Entries are in {-1, 0, 1}.
+
+    Two properties are relied on (and property-tested against a Gaussian-
+    elimination oracle):
+
+    - Span semantics: [Υ(A) = 1] iff rows labelled by [A] span [e1], and the
+      satisfying combination {!satisfying_rows} uses only 0/1 coefficients;
+    - Purge semantics: whenever [Υ(𝔸∖A') = 0] there is a column subset
+      [T ∋ 0] whose row-sums are 1 exactly on a set of rows labelled within
+      [A'] and 0 elsewhere — this is what lets [ABS.Relax] rebuild a
+      signature on the super-policy [∨_{a∈A'} a] out of signature components
+      without the signing key. *)
+
+type t = {
+  rows : int;
+  cols : int;
+  matrix : int array array;  (** [rows x cols], entries in \{-1, 0, 1\} *)
+  labels : Attr.t array;     (** row labelling function u : [rows] -> attrs *)
+}
+
+val build : Expr.t -> t
+(** Algorithm 5. *)
+
+val satisfying_rows : t -> Expr.t -> Attr.Set.t -> int array option
+(** [satisfying_rows msp policy attrs] is the 0/1 vector [v] of
+    Definition 5.3 with [v * M = e1] and [v_i = 0] whenever
+    [labels.(i) ∉ attrs]; [None] iff the policy rejects [attrs].
+    [msp] must be [build policy]. *)
+
+type purge_result = {
+  kept_rows : int list;  (** rows of the relaxed signature, in row order *)
+  kept_cols : int list;  (** column subset T (always contains column 0) *)
+}
+
+val purge : Expr.t -> keep:Attr.Set.t -> purge_result option
+(** Algorithm 6: [purge policy ~keep:a'] succeeds iff [Υ(𝔸∖A') = 0]
+    (equivalently: every satisfying set intersects [A']), returning the rows
+    to keep (all labelled within [A']) and the column subset [T]. [None]
+    means relaxation to [∨_{a∈A'} a] is impossible. *)
+
+val check_purge_condition : Expr.t -> universe:Attr.Set.t -> keep:Attr.Set.t -> bool
+(** The semantic condition [Υ(𝔸∖A') = 0] that {!purge} realizes, evaluated
+    directly; exposed for testing and for SP-side sanity checks. *)

@@ -1,0 +1,1 @@
+lib/rng/prng.ml: Array Bytes Char Int64 Zkqac_bigint

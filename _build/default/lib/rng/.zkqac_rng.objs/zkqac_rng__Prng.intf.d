@@ -1,0 +1,1 @@
+lib/rng/prng.mli: Zkqac_bigint

@@ -1,0 +1,83 @@
+module B = Zkqac_bigint.Bigint
+
+(* splitmix64 (Steele, Lea, Flood 2014): tiny state, excellent statistical
+   quality, and trivially splittable -- exactly what reproducible workload
+   generation needs. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let int64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t =
+  let s = int64 t in
+  { state = Int64.mul s 0xDA942042E4DD58B5L }
+
+let copy t = { state = t.state }
+
+let bits t n =
+  if n < 0 || n > 62 then invalid_arg "Prng.bits";
+  if n = 0 then 0
+  else Int64.to_int (Int64.shift_right_logical (int64 t) (64 - n)) land ((1 lsl n) - 1)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int";
+  if bound = 1 then 0
+  else begin
+    (* Rejection sampling to avoid modulo bias. *)
+    let rec nbits b acc = if b = 0 then acc else nbits (b lsr 1) (acc + 1) in
+    let k = nbits (bound - 1) 0 in
+    let rec draw () =
+      let v = bits t k in
+      if v < bound then v else draw ()
+    in
+    draw ()
+  end
+
+let float t bound =
+  let v = bits t 53 in
+  bound *. (float_of_int v /. 9007199254740992.0)
+
+let bool t = bits t 1 = 1
+
+let bytes t n =
+  let b = Bytes.create n in
+  for i = 0 to n - 1 do
+    Bytes.set b i (Char.chr (bits t 8))
+  done;
+  Bytes.to_string b
+
+let bigint t bound =
+  if B.compare bound B.zero <= 0 then invalid_arg "Prng.bigint";
+  let nb = B.num_bits bound in
+  let nbytes = (nb + 7) / 8 in
+  let topbits = nb - ((nbytes - 1) * 8) in
+  let rec draw () =
+    let s = Bytes.of_string (bytes t nbytes) in
+    (* Mask the top byte so rejection succeeds with probability >= 1/2. *)
+    let m = (1 lsl topbits) - 1 in
+    Bytes.set s 0 (Char.chr (Char.code (Bytes.get s 0) land m));
+    let v = B.of_bytes_be (Bytes.to_string s) in
+    if B.compare v bound < 0 then v else draw ()
+  in
+  draw ()
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let pick t a =
+  if Array.length a = 0 then invalid_arg "Prng.pick: empty array";
+  a.(int t (Array.length a))

@@ -1,0 +1,45 @@
+(** Deterministic, seedable pseudo-random generator (splitmix64).
+
+    Not a cryptographic RNG: used wherever the paper says "pick random" so
+    that tests and benchmarks are reproducible. Cryptographic nonces in the
+    signature schemes draw from {!Zkqac_hashing.Drbg} instead when a caller
+    wants hash-based expansion, but for a reproduction the distinction is
+    operational, not security-critical. *)
+
+type t
+
+val create : int -> t
+(** Seeded generator. Equal seeds yield equal streams. *)
+
+val split : t -> t
+(** Derive an independent generator (consumes one draw from the parent). *)
+
+val copy : t -> t
+
+val int64 : t -> int64
+(** Next 64 uniformly random bits. *)
+
+val bits : t -> int -> int
+(** [bits t n] is a uniform integer in [0, 2^n) for [0 <= n <= 62]. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound). @raise Invalid_argument if
+    [bound <= 0]. *)
+
+val float : t -> float -> float
+(** Uniform in [0, bound). *)
+
+val bool : t -> bool
+
+val bytes : t -> int -> string
+(** [bytes t n] is an [n]-byte uniformly random string. *)
+
+val bigint : t -> Zkqac_bigint.Bigint.t -> Zkqac_bigint.Bigint.t
+(** [bigint t bound] is uniform in [0, bound) by rejection sampling.
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)

@@ -1,0 +1,1 @@
+lib/symmetric/aes128.ml: Array Bytes Char String

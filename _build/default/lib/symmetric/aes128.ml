@@ -1,0 +1,167 @@
+(* AES-128 per FIPS 197.
+
+   Tables are computed at module load from first principles (GF(2^8) log /
+   antilog with generator 3, then the affine transform), which removes any
+   chance of a transcription error in the 256-entry S-box. *)
+
+let xtime b =
+  let b2 = b lsl 1 in
+  if b2 land 0x100 <> 0 then (b2 lxor 0x1b) land 0xff else b2
+
+let gmul a b =
+  let acc = ref 0 in
+  let a = ref a and b = ref b in
+  for _ = 0 to 7 do
+    if !b land 1 <> 0 then acc := !acc lxor !a;
+    a := xtime !a;
+    b := !b lsr 1
+  done;
+  !acc
+
+let sbox, inv_sbox =
+  let s = Array.make 256 0 in
+  let si = Array.make 256 0 in
+  (* Multiplicative inverse table via log/antilog with generator 3. *)
+  let log = Array.make 256 0 and alog = Array.make 256 0 in
+  let x = ref 1 in
+  for i = 0 to 254 do
+    alog.(i) <- !x;
+    log.(!x) <- i;
+    x := gmul !x 3
+  done;
+  let inv v = if v = 0 then 0 else alog.((255 - log.(v)) mod 255) in
+  let rotl8 v n = ((v lsl n) lor (v lsr (8 - n))) land 0xff in
+  for v = 0 to 255 do
+    let b = inv v in
+    let t = b lxor rotl8 b 1 lxor rotl8 b 2 lxor rotl8 b 3 lxor rotl8 b 4 lxor 0x63 in
+    s.(v) <- t;
+    si.(t) <- v
+  done;
+  (s, si)
+
+let rcon = [| 0x01; 0x02; 0x04; 0x08; 0x10; 0x20; 0x40; 0x80; 0x1b; 0x36 |]
+
+type key = { rk : int array array (* 11 round keys of 16 bytes *) }
+
+let expand_key keystr =
+  if String.length keystr <> 16 then invalid_arg "Aes128.expand_key: need 16 bytes";
+  let w = Array.make 44 0 in
+  for i = 0 to 3 do
+    w.(i) <-
+      (Char.code keystr.[4 * i] lsl 24)
+      lor (Char.code keystr.[(4 * i) + 1] lsl 16)
+      lor (Char.code keystr.[(4 * i) + 2] lsl 8)
+      lor Char.code keystr.[(4 * i) + 3]
+  done;
+  let sub_word v =
+    (sbox.((v lsr 24) land 0xff) lsl 24)
+    lor (sbox.((v lsr 16) land 0xff) lsl 16)
+    lor (sbox.((v lsr 8) land 0xff) lsl 8)
+    lor sbox.(v land 0xff)
+  in
+  let rot_word v = ((v lsl 8) lor (v lsr 24)) land 0xFFFFFFFF in
+  for i = 4 to 43 do
+    let t = w.(i - 1) in
+    let t = if i mod 4 = 0 then sub_word (rot_word t) lxor (rcon.((i / 4) - 1) lsl 24) else t in
+    w.(i) <- w.(i - 4) lxor t
+  done;
+  let rk =
+    Array.init 11 (fun r ->
+        Array.init 16 (fun b ->
+            let word = w.((r * 4) + (b / 4)) in
+            (word lsr (8 * (3 - (b mod 4)))) land 0xff))
+  in
+  { rk }
+
+let add_round_key state rk = Array.iteri (fun i _ -> state.(i) <- state.(i) lxor rk.(i)) state
+
+(* State layout: state.(4*c + r) is row r, column c (column-major bytes,
+   matching the byte order of the input block). *)
+
+let sub_bytes state = Array.iteri (fun i v -> state.(i) <- sbox.(v)) state
+let inv_sub_bytes state = Array.iteri (fun i v -> state.(i) <- inv_sbox.(v)) state
+
+let shift_rows state =
+  let t = Array.copy state in
+  for c = 0 to 3 do
+    for r = 0 to 3 do
+      state.((4 * c) + r) <- t.((4 * ((c + r) mod 4)) + r)
+    done
+  done
+
+let inv_shift_rows state =
+  let t = Array.copy state in
+  for c = 0 to 3 do
+    for r = 0 to 3 do
+      state.((4 * ((c + r) mod 4)) + r) <- t.((4 * c) + r)
+    done
+  done
+
+let mix_columns state =
+  for c = 0 to 3 do
+    let a0 = state.(4 * c) and a1 = state.((4 * c) + 1) and a2 = state.((4 * c) + 2) and a3 = state.((4 * c) + 3) in
+    state.(4 * c) <- gmul a0 2 lxor gmul a1 3 lxor a2 lxor a3;
+    state.((4 * c) + 1) <- a0 lxor gmul a1 2 lxor gmul a2 3 lxor a3;
+    state.((4 * c) + 2) <- a0 lxor a1 lxor gmul a2 2 lxor gmul a3 3;
+    state.((4 * c) + 3) <- gmul a0 3 lxor a1 lxor a2 lxor gmul a3 2
+  done
+
+let inv_mix_columns state =
+  for c = 0 to 3 do
+    let a0 = state.(4 * c) and a1 = state.((4 * c) + 1) and a2 = state.((4 * c) + 2) and a3 = state.((4 * c) + 3) in
+    state.(4 * c) <- gmul a0 14 lxor gmul a1 11 lxor gmul a2 13 lxor gmul a3 9;
+    state.((4 * c) + 1) <- gmul a0 9 lxor gmul a1 14 lxor gmul a2 11 lxor gmul a3 13;
+    state.((4 * c) + 2) <- gmul a0 13 lxor gmul a1 9 lxor gmul a2 14 lxor gmul a3 11;
+    state.((4 * c) + 3) <- gmul a0 11 lxor gmul a1 13 lxor gmul a2 9 lxor gmul a3 14
+  done
+
+let encrypt_block key block =
+  if String.length block <> 16 then invalid_arg "Aes128.encrypt_block: need 16 bytes";
+  let state = Array.init 16 (fun i -> Char.code block.[i]) in
+  add_round_key state key.rk.(0);
+  for round = 1 to 9 do
+    sub_bytes state;
+    shift_rows state;
+    mix_columns state;
+    add_round_key state key.rk.(round)
+  done;
+  sub_bytes state;
+  shift_rows state;
+  add_round_key state key.rk.(10);
+  String.init 16 (fun i -> Char.chr state.(i))
+
+let decrypt_block key block =
+  if String.length block <> 16 then invalid_arg "Aes128.decrypt_block: need 16 bytes";
+  let state = Array.init 16 (fun i -> Char.code block.[i]) in
+  add_round_key state key.rk.(10);
+  inv_shift_rows state;
+  inv_sub_bytes state;
+  for round = 9 downto 1 do
+    add_round_key state key.rk.(round);
+    inv_mix_columns state;
+    inv_shift_rows state;
+    inv_sub_bytes state
+  done;
+  add_round_key state key.rk.(0);
+  String.init 16 (fun i -> Char.chr state.(i))
+
+let ctr ~key ~nonce msg =
+  if String.length nonce > 16 then invalid_arg "Aes128.ctr: nonce too long";
+  let k = expand_key key in
+  let n = String.length msg in
+  let out = Bytes.create n in
+  let block = Bytes.make 16 '\000' in
+  Bytes.blit_string nonce 0 block 0 (min 12 (String.length nonce));
+  let nblocks = (n + 15) / 16 in
+  for i = 0 to nblocks - 1 do
+    for b = 0 to 3 do
+      Bytes.set block (12 + b) (Char.chr ((i lsr (8 * (3 - b))) land 0xff))
+    done;
+    let ks = encrypt_block k (Bytes.to_string block) in
+    let lo = i * 16 in
+    let len = min 16 (n - lo) in
+    for j = 0 to len - 1 do
+      Bytes.set out (lo + j) (Char.chr (Char.code msg.[lo + j] lxor Char.code ks.[j]))
+    done
+  done;
+  Bytes.to_string out

@@ -1,0 +1,22 @@
+(** AES-128 (FIPS 197) block cipher and CTR-mode stream encryption.
+
+    This is the "traditional one-key cipher" of Algorithm 1: the SP encrypts
+    each query result + VO under a fresh AES key, and that key is wrapped with
+    CP-ABE under the AND of the user's claimed roles. The S-box is derived
+    from the GF(2^8) inverse + affine map rather than transcribed, and the
+    implementation is validated against the FIPS 197 vector in tests. *)
+
+type key
+
+val expand_key : string -> key
+(** @raise Invalid_argument unless the key is exactly 16 bytes. *)
+
+val encrypt_block : key -> string -> string
+(** Encrypt one 16-byte block. *)
+
+val decrypt_block : key -> string -> string
+
+val ctr : key:string -> nonce:string -> string -> string
+(** CTR-mode keystream XOR: encryption and decryption are the same
+    operation. [nonce] must be 16 bytes or fewer (zero-padded; the final
+    4 bytes are reserved for the counter). *)

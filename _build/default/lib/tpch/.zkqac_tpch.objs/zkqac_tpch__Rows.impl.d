@@ -1,0 +1,1 @@
+lib/tpch/rows.ml: Array List Printf String Zkqac_rng

@@ -1,0 +1,1 @@
+lib/tpch/rows.mli: Zkqac_rng

@@ -1,0 +1,1 @@
+lib/tpch/workload.ml: Array Hashtbl List Rows String Zkqac_core Zkqac_policy Zkqac_rng

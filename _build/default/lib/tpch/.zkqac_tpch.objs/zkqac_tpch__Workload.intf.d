@@ -1,0 +1,1 @@
+lib/tpch/workload.mli: Zkqac_core Zkqac_policy Zkqac_rng

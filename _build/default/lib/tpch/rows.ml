@@ -1,0 +1,80 @@
+module Prng = Zkqac_rng.Prng
+
+type lineitem = {
+  l_orderkey : int;
+  l_partkey : int;
+  l_quantity : int;
+  l_extendedprice : float;
+  l_discount : int;
+  l_tax : int;
+  l_shipdate : int;
+  l_returnflag : char;
+  l_linestatus : char;
+  l_shipmode : string;
+  l_comment : string;
+}
+
+type order = {
+  o_orderkey : int;
+  o_custkey : int;
+  o_totalprice : float;
+  o_orderdate : int;
+  o_orderpriority : string;
+  o_comment : string;
+}
+
+let shipdate_days = 2526 (* 1992-01-01 .. 1998-12-01, as in dbgen *)
+
+let ship_modes = [| "REG AIR"; "AIR"; "RAIL"; "SHIP"; "TRUCK"; "MAIL"; "FOB" |]
+let priorities = [| "1-URGENT"; "2-HIGH"; "3-MEDIUM"; "4-NOT SPECIFIED"; "5-LOW" |]
+
+let noise_words =
+  [| "carefully"; "quickly"; "furiously"; "slyly"; "blithely"; "deposits";
+     "requests"; "packages"; "instructions"; "accounts"; "theodolites";
+     "pinto"; "beans"; "foxes"; "ideas" |]
+
+let comment rng =
+  String.concat " "
+    (List.init (2 + Prng.int rng 5) (fun _ -> Prng.pick rng noise_words))
+
+let lineitems rng ~n ~max_orderkey =
+  List.init n (fun _ ->
+      let quantity = 1 + Prng.int rng 50 in
+      let price = float_of_int (90000 + Prng.int rng 110000) /. 100.0 in
+      {
+        l_orderkey = 1 + Prng.int rng max_orderkey;
+        l_partkey = 1 + Prng.int rng 200000;
+        l_quantity = quantity;
+        l_extendedprice = price *. float_of_int quantity /. 50.0;
+        l_discount = Prng.int rng 11;
+        l_tax = Prng.int rng 9;
+        l_shipdate = Prng.int rng shipdate_days;
+        l_returnflag = (match Prng.int rng 3 with 0 -> 'R' | 1 -> 'A' | _ -> 'N');
+        l_linestatus = (if Prng.bool rng then 'O' else 'F');
+        l_shipmode = Prng.pick rng ship_modes;
+        l_comment = comment rng;
+      })
+
+let orders rng ~n ~max_orderkey =
+  (* Distinct orderkeys, dbgen-style sparse keys. *)
+  let keys = Array.init max_orderkey (fun i -> i + 1) in
+  Prng.shuffle rng keys;
+  let n = min n max_orderkey in
+  List.init n (fun i ->
+      {
+        o_orderkey = keys.(i);
+        o_custkey = 1 + Prng.int rng 150000;
+        o_totalprice = float_of_int (10000 + Prng.int rng 50000000) /. 100.0;
+        o_orderdate = Prng.int rng shipdate_days;
+        o_orderpriority = Prng.pick rng priorities;
+        o_comment = comment rng;
+      })
+
+let lineitem_payload l =
+  Printf.sprintf "%d|%d|%d|%.2f|0.%02d|0.%02d|%d|%c|%c|%s|%s" l.l_orderkey
+    l.l_partkey l.l_quantity l.l_extendedprice l.l_discount l.l_tax l.l_shipdate
+    l.l_returnflag l.l_linestatus l.l_shipmode l.l_comment
+
+let order_payload o =
+  Printf.sprintf "%d|%d|%.2f|%d|%s|%s" o.o_orderkey o.o_custkey o.o_totalprice
+    o.o_orderdate o.o_orderpriority o.o_comment

@@ -1,0 +1,41 @@
+(** TPC-H-like row synthesis (a "dbgen-lite").
+
+    The paper evaluates on the TPC-H Lineitem and Orders tables; this module
+    generates rows with the same attributes and value distributions
+    (shipdate over the 1992–1998 window, discount 0–0.10, quantity 1–50,
+    clustered orderkeys), scaled down to whatever cardinality an experiment
+    asks for. *)
+
+type lineitem = {
+  l_orderkey : int;
+  l_partkey : int;
+  l_quantity : int;        (** 1..50 *)
+  l_extendedprice : float;
+  l_discount : int;        (** percent points, 0..10 *)
+  l_tax : int;             (** percent points, 0..8 *)
+  l_shipdate : int;        (** days since 1992-01-01, 0..2525 *)
+  l_returnflag : char;
+  l_linestatus : char;
+  l_shipmode : string;
+  l_comment : string;
+}
+
+type order = {
+  o_orderkey : int;
+  o_custkey : int;
+  o_totalprice : float;
+  o_orderdate : int;
+  o_orderpriority : string;
+  o_comment : string;
+}
+
+val shipdate_days : int
+(** Size of the shipdate domain. *)
+
+val lineitems : Zkqac_rng.Prng.t -> n:int -> max_orderkey:int -> lineitem list
+val orders : Zkqac_rng.Prng.t -> n:int -> max_orderkey:int -> order list
+
+val lineitem_payload : lineitem -> string
+(** The pipe-separated row, used as record content. *)
+
+val order_payload : order -> string

@@ -1,0 +1,128 @@
+module Prng = Zkqac_rng.Prng
+module Expr = Zkqac_policy.Expr
+module Attr = Zkqac_policy.Attr
+module Universe = Zkqac_policy.Universe
+module Record = Zkqac_core.Record
+module Keyspace = Zkqac_core.Keyspace
+module Box = Zkqac_core.Box
+
+type policy_config = {
+  num_policies : int;
+  num_roles : int;
+  or_fanin : int;
+  and_fanin : int;
+}
+
+let default_policies = { num_policies = 10; num_roles = 10; or_fanin = 3; and_fanin = 2 }
+
+let gen_policies rng cfg =
+  let roles = Universe.roles ~prefix:"Role" cfg.num_roles in
+  let role_arr = Array.of_list roles in
+  (* Distinct policies: re-draw on canonical-form collision. *)
+  let seen = Hashtbl.create cfg.num_policies in
+  let rec fresh tries =
+    let p = Expr.random rng ~roles:role_arr ~or_fanin:cfg.or_fanin ~and_fanin:cfg.and_fanin in
+    let key = Expr.to_string (Expr.canonical p) in
+    if Hashtbl.mem seen key && tries < 200 then fresh (tries + 1)
+    else begin
+      Hashtbl.replace seen key ();
+      p
+    end
+  in
+  (roles, Array.init cfg.num_policies (fun _ -> fresh 0))
+
+(* Discretize a raw value in [0, domain) into [0, side). *)
+let bucket ~domain ~side v = min (side - 1) (v * side / domain)
+
+let lineitem_records rng ~space ~rows ~policies =
+  if Keyspace.dims space <> 3 then invalid_arg "Workload.lineitem_records: need 3 dims";
+  let side = Keyspace.side space in
+  let rows = Rows.lineitems rng ~n:rows ~max_orderkey:(max 1 (rows / 4)) in
+  (* Merge rows into super-records per discretized key (Appendix E). *)
+  let tbl = Hashtbl.create 1024 in
+  List.iter
+    (fun (l : Rows.lineitem) ->
+      let key =
+        [| bucket ~domain:Rows.shipdate_days ~side l.Rows.l_shipdate;
+           bucket ~domain:11 ~side l.Rows.l_discount;
+           bucket ~domain:51 ~side l.Rows.l_quantity |]
+      in
+      let k = Array.to_list key in
+      let prev = try Hashtbl.find tbl k with Not_found -> [] in
+      Hashtbl.replace tbl k (Rows.lineitem_payload l :: prev))
+    rows;
+  Hashtbl.fold
+    (fun k payloads acc ->
+      let key = Array.of_list k in
+      let policy = policies.(Prng.int rng (Array.length policies)) in
+      Record.make ~key ~value:(String.concat "\n" payloads) ~policy :: acc)
+    tbl []
+
+let orderkey_tables rng ~space ~lineitem_rows ~order_rows ~policies =
+  if Keyspace.dims space <> 1 then invalid_arg "Workload.orderkey_tables: need 1 dim";
+  let side = Keyspace.side space in
+  let max_orderkey = side in
+  let pick_policy () = policies.(Prng.int rng (Array.length policies)) in
+  let lineitems = Rows.lineitems rng ~n:lineitem_rows ~max_orderkey in
+  let tbl = Hashtbl.create 1024 in
+  List.iter
+    (fun (l : Rows.lineitem) ->
+      let k = l.Rows.l_orderkey - 1 in
+      let prev = try Hashtbl.find tbl k with Not_found -> [] in
+      Hashtbl.replace tbl k (Rows.lineitem_payload l :: prev))
+    lineitems;
+  let lineitem_records =
+    Hashtbl.fold
+      (fun k payloads acc ->
+        Record.make ~key:[| k |] ~value:(String.concat "\n" payloads)
+          ~policy:(pick_policy ())
+        :: acc)
+      tbl []
+  in
+  let orders = Rows.orders rng ~n:order_rows ~max_orderkey in
+  let order_records =
+    List.map
+      (fun (o : Rows.order) ->
+        Record.make ~key:[| o.Rows.o_orderkey - 1 |]
+          ~value:(Rows.order_payload o) ~policy:(pick_policy ()))
+      orders
+  in
+  (lineitem_records, order_records)
+
+let range_query rng ~space ~frac =
+  let dims = Keyspace.dims space in
+  let side = Keyspace.side space in
+  (* Per-dimension extent: frac^(1/dims) of the side, at least one cell. *)
+  let per_dim = frac ** (1.0 /. float_of_int dims) in
+  let extent = max 1 (int_of_float (ceil (per_dim *. float_of_int side))) in
+  let extent = min extent side in
+  let alpha = Array.init dims (fun _ -> Prng.int rng (side - extent + 1)) in
+  let beta = Array.map (fun a -> a + extent - 1) alpha in
+  Box.of_range ~alpha ~beta
+
+let user_for_fraction rng ~roles ~policies ~frac =
+  let role_arr = Array.of_list roles in
+  let n = Array.length role_arr in
+  let fraction_of subset =
+    let sat =
+      Array.fold_left
+        (fun acc p -> if Expr.eval p subset then acc + 1 else acc)
+        0 policies
+    in
+    float_of_int sat /. float_of_int (Array.length policies)
+  in
+  let best = ref Attr.Set.empty in
+  let best_err = ref (abs_float (0.0 -. frac)) in
+  for _ = 1 to 512 do
+    let subset =
+      Array.to_list role_arr
+      |> List.filter (fun _ -> Prng.int rng n < 3)
+      |> Attr.set_of_list
+    in
+    let err = abs_float (fraction_of subset -. frac) in
+    if err < !best_err then begin
+      best := subset;
+      best_err := err
+    end
+  done;
+  !best

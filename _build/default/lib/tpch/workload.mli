@@ -1,0 +1,54 @@
+(** Experiment workloads: discretized TPC-H records, random access policies,
+    Q6-style range queries, Q12-style join inputs, and role sets hitting a
+    target accessibility fraction — the knobs of Section 10. *)
+
+module Expr := Zkqac_policy.Expr
+
+type policy_config = {
+  num_policies : int;  (** distinct policies (default 10 in the paper) *)
+  num_roles : int;     (** role universe size (default 10) *)
+  or_fanin : int;      (** root OR gate inputs (default 3) *)
+  and_fanin : int;     (** roles per AND clause (default 2) *)
+}
+
+val default_policies : policy_config
+
+val gen_policies :
+  Zkqac_rng.Prng.t -> policy_config -> Zkqac_policy.Attr.t list * Expr.t array
+(** The role names and the policy pool. *)
+
+val lineitem_records :
+  Zkqac_rng.Prng.t ->
+  space:Zkqac_core.Keyspace.t ->
+  rows:int ->
+  policies:Expr.t array ->
+  Zkqac_core.Record.t list
+(** Generate [rows] Lineitem rows, discretize (shipdate, discount, quantity)
+    into the keyspace, and merge rows sharing a discretized key into one
+    record (the Appendix E super-record merge), so keys are distinct. Records
+    under the same key share one policy, as in the paper's assignment. *)
+
+val orderkey_tables :
+  Zkqac_rng.Prng.t ->
+  space:Zkqac_core.Keyspace.t ->
+  lineitem_rows:int ->
+  order_rows:int ->
+  policies:Expr.t array ->
+  Zkqac_core.Record.t list * Zkqac_core.Record.t list
+(** 1D tables over orderkey for the Q12-style join: (lineitem side, orders
+    side), lineitems merged per orderkey. *)
+
+val range_query :
+  Zkqac_rng.Prng.t -> space:Zkqac_core.Keyspace.t -> frac:float -> Zkqac_core.Box.t
+(** A random query box covering approximately [frac] of the key space
+    (the paper's "query range = 0.03%..1% of the data space"). *)
+
+val user_for_fraction :
+  Zkqac_rng.Prng.t ->
+  roles:Zkqac_policy.Attr.t list ->
+  policies:Expr.t array ->
+  frac:float ->
+  Zkqac_policy.Attr.Set.t
+(** A role set under which approximately [frac] of the policy pool is
+    satisfied (the paper's "roles that can access 20% of the records"),
+    found by sampling candidate subsets and keeping the closest. *)

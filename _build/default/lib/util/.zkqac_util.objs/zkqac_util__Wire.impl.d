@@ -1,0 +1,1 @@
+lib/util/wire.ml: Array Buffer Char List String

@@ -1,0 +1,60 @@
+(* Minimal length-prefixed binary writer/reader used by the VO codecs. *)
+
+type writer = Buffer.t
+
+let writer () = Buffer.create 256
+
+let u8 buf v =
+  if v < 0 || v > 0xff then invalid_arg "Wire.u8";
+  Buffer.add_char buf (Char.chr v)
+
+let u32 buf v =
+  if v < 0 then invalid_arg "Wire.u32";
+  for i = 3 downto 0 do
+    Buffer.add_char buf (Char.chr ((v lsr (8 * i)) land 0xff))
+  done
+
+let bytes buf s =
+  u32 buf (String.length s);
+  Buffer.add_string buf s
+
+let int_array buf a =
+  u8 buf (Array.length a);
+  Array.iter (fun v -> u32 buf v) a
+
+let contents = Buffer.contents
+
+type reader = { data : string; mutable pos : int }
+
+exception Malformed
+
+let reader data = { data; pos = 0 }
+
+let ru8 r =
+  if r.pos + 1 > String.length r.data then raise Malformed;
+  let v = Char.code r.data.[r.pos] in
+  r.pos <- r.pos + 1;
+  v
+
+let ru32 r =
+  if r.pos + 4 > String.length r.data then raise Malformed;
+  let v = ref 0 in
+  for _ = 1 to 4 do
+    v := (!v lsl 8) lor Char.code r.data.[r.pos];
+    r.pos <- r.pos + 1
+  done;
+  !v
+
+let rbytes r =
+  let n = ru32 r in
+  if r.pos + n > String.length r.data then raise Malformed;
+  let s = String.sub r.data r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let rint_array r =
+  let n = ru8 r in
+  let rec go k acc = if k = 0 then List.rev acc else go (k - 1) (ru32 r :: acc) in
+  Array.of_list (go n [])
+
+let at_end r = r.pos = String.length r.data

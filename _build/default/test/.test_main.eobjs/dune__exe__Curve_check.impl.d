@@ -1,0 +1,1 @@
+test/curve_check.ml: Zkqac_group

@@ -1,0 +1,1 @@
+test/test_abs.ml: Alcotest Array Bytes Char List Option String Zkqac_abs Zkqac_bigint Zkqac_group Zkqac_hashing Zkqac_policy Zkqac_rng

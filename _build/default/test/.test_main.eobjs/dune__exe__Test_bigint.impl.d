@@ -1,0 +1,1 @@
+test/test_bigint.ml: Alcotest List Printf QCheck2 QCheck_alcotest Stdlib String Zkqac_bigint

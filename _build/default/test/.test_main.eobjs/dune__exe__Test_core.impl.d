@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array List Printf String Zkqac_abs Zkqac_bigint Zkqac_core Zkqac_group Zkqac_hashing Zkqac_policy Zkqac_rng

@@ -1,0 +1,1 @@
+test/test_cpabe.ml: Alcotest List String Zkqac_cpabe Zkqac_group Zkqac_hashing Zkqac_policy Zkqac_symmetric

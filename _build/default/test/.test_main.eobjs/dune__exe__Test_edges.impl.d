@@ -1,0 +1,1 @@
+test/test_edges.ml: Alcotest Lazy List Printf Zkqac_abs Zkqac_bigint Zkqac_core Zkqac_group Zkqac_hashing Zkqac_numth Zkqac_policy

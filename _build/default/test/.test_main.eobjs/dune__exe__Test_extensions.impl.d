@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array List Printf String Zkqac_abs Zkqac_core Zkqac_group Zkqac_hashing Zkqac_parallel Zkqac_policy Zkqac_rng Zkqac_tpch Zkqac_util

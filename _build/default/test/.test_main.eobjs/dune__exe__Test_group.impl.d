@@ -1,0 +1,1 @@
+test/test_group.ml: Alcotest Curve_check Lazy List String Zkqac_bigint Zkqac_group Zkqac_hashing Zkqac_numth

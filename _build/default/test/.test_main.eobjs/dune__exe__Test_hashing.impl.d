@@ -1,0 +1,1 @@
+test/test_hashing.ml: Alcotest List Printf String Zkqac_bigint Zkqac_hashing

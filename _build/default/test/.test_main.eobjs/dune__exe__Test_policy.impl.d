@@ -1,0 +1,1 @@
+test/test_policy.ml: Alcotest Array Fun List Printf Zkqac_bigint Zkqac_numth Zkqac_policy Zkqac_rng

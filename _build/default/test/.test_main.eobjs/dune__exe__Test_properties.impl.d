@@ -1,0 +1,1 @@
+test/test_properties.ml: Array Char List Printf QCheck2 QCheck_alcotest Result String Zkqac_abs Zkqac_bigint Zkqac_core Zkqac_group Zkqac_hashing Zkqac_numth Zkqac_policy Zkqac_rng Zkqac_symmetric

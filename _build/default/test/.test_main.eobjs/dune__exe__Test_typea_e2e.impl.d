@@ -1,0 +1,1 @@
+test/test_typea_e2e.ml: Alcotest List Zkqac_abs Zkqac_core Zkqac_group Zkqac_hashing Zkqac_policy

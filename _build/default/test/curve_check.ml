@@ -1,0 +1,2 @@
+(* Small helper so tests can reach the curve module through the library. *)
+let on_curve fp pt = Zkqac_group.Curve.is_on_curve fp pt

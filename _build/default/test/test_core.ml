@@ -1,0 +1,467 @@
+module B = Zkqac_bigint.Bigint
+module Attr = Zkqac_policy.Attr
+module Expr = Zkqac_policy.Expr
+module Universe = Zkqac_policy.Universe
+module Hierarchy = Zkqac_policy.Hierarchy
+module Drbg = Zkqac_hashing.Drbg
+module Prng = Zkqac_rng.Prng
+module Box = Zkqac_core.Box
+module Keyspace = Zkqac_core.Keyspace
+module Record = Zkqac_core.Record
+
+let attrs = Attr.set_of_list
+
+(* --- plain geometry tests --- *)
+
+let test_box_basics () =
+  let b = Box.make ~lo:[| 0; 0 |] ~hi:[| 4; 4 |] in
+  Alcotest.(check int) "volume" 16 (Box.volume b);
+  Alcotest.(check bool) "contains" true (Box.contains_point b [| 3; 3 |]);
+  Alcotest.(check bool) "not contains" false (Box.contains_point b [| 4; 0 |]);
+  let q = Box.of_range ~alpha:[| 1; 1 |] ~beta:[| 2; 2 |] in
+  Alcotest.(check int) "range volume" 4 (Box.volume q);
+  Alcotest.(check bool) "intersects" true (Box.intersects b q);
+  Alcotest.(check bool) "contains box" true (Box.contains_box b q)
+
+let test_box_cover () =
+  let target = Box.make ~lo:[| 0; 0 |] ~hi:[| 4; 2 |] in
+  let a = Box.make ~lo:[| 0; 0 |] ~hi:[| 2; 2 |] in
+  let b = Box.make ~lo:[| 2; 0 |] ~hi:[| 4; 2 |] in
+  Alcotest.(check bool) "tiles" true (Box.covers_exactly target [ a; b ]);
+  Alcotest.(check bool) "gap" false (Box.covers_exactly target [ a ]);
+  Alcotest.(check bool) "overlap" false (Box.covers_exactly target [ a; b; a ]);
+  Alcotest.(check bool) "union allows overlap" true (Box.covers_union target [ a; b; a ]);
+  Alcotest.(check bool) "union gap" false (Box.covers_union target [ a ]);
+  (* subtract *)
+  let rest = Box.subtract target a in
+  Alcotest.(check int) "subtract volume" (Box.volume target - Box.volume a)
+    (List.fold_left (fun acc p -> acc + Box.volume p) 0 rest)
+
+let test_keyspace () =
+  let space = Keyspace.create ~dims:2 ~depth:3 in
+  Alcotest.(check int) "side" 8 (Keyspace.side space);
+  Alcotest.(check int) "leaves" 64 (Keyspace.num_leaves space);
+  let whole = Keyspace.whole space in
+  let children = Keyspace.children_boxes space whole in
+  Alcotest.(check int) "quad children" 4 (List.length children);
+  Alcotest.(check bool) "children tile" true (Box.covers_exactly whole children);
+  let unit = Box.of_point [| 3; 5 |] in
+  Alcotest.(check bool) "unit" true (Keyspace.is_unit unit);
+  Alcotest.(check (list int)) "key of unit" [ 3; 5 ]
+    (Array.to_list (Keyspace.key_of_unit unit))
+
+(* --- fixture: a small 2D database with mixed policies --- *)
+
+module Mock_backend = (val Zkqac_group.Backend.instantiate Zkqac_group.Backend.Mock)
+
+module Make_core_tests (P : Zkqac_group.Pairing_intf.PAIRING) = struct
+  module Abs = Zkqac_abs.Abs.Make (P)
+  module Vo = Zkqac_core.Vo.Make (P)
+  module Ap2g = Zkqac_core.Ap2g.Make (P)
+  module Ap2kd = Zkqac_core.Ap2kd.Make (P)
+  module Equality = Zkqac_core.Equality.Make (P)
+  module Join = Zkqac_core.Join.Make (P)
+  module System = Zkqac_core.System.Make (P)
+
+  let drbg = Drbg.create ~seed:("core:" ^ P.name)
+  let msk, mvk = Abs.setup drbg
+  let roles = [ "RoleA"; "RoleB"; "RoleC" ]
+  let universe = Universe.create roles
+  let sk = Abs.keygen drbg msk (Universe.attrs universe)
+  let space = Keyspace.create ~dims:2 ~depth:3
+
+  (* Records scattered over the 8x8 grid with various policies. *)
+  let records =
+    [
+      ([| 1; 1 |], "v11", "RoleA");
+      ([| 2; 5 |], "v25", "RoleB");
+      ([| 3; 3 |], "v33", "RoleA & RoleB");
+      ([| 4; 6 |], "v46", "RoleA | RoleC");
+      ([| 5; 2 |], "v52", "RoleC");
+      ([| 6; 6 |], "v66", "RoleB | (RoleA & RoleC)");
+      ([| 7; 0 |], "v70", "RoleA");
+      ([| 0; 7 |], "v07", "RoleB & RoleC");
+    ]
+    |> List.map (fun (key, value, p) ->
+           Record.make ~key ~value ~policy:(Expr.of_string p))
+
+  let tree =
+    Ap2g.build drbg ~mvk ~sk ~space ~universe ~pseudo_seed:"seed" records
+
+  let users =
+    [ attrs [ "RoleA" ]; attrs [ "RoleB" ]; attrs [ "RoleC" ];
+      attrs [ "RoleA"; "RoleB" ]; attrs [ "RoleA"; "RoleC" ]; attrs []; ]
+
+  let queries rng n =
+    List.init n (fun _ ->
+        let x1 = Prng.int rng 8 and y1 = Prng.int rng 8 in
+        let x2 = x1 + Prng.int rng (8 - x1) and y2 = y1 + Prng.int rng (8 - y1) in
+        Box.of_range ~alpha:[| x1; y1 |] ~beta:[| x2; y2 |])
+
+  let expected_results user query =
+    List.filter
+      (fun (r : Record.t) ->
+        Box.contains_point query r.Record.key && Expr.eval r.Record.policy user)
+      records
+
+  let test_tree_build () =
+    let stats = Ap2g.stats tree in
+    Alcotest.(check int) "leaf signatures = all cells" 64 stats.Ap2g.leaf_signatures;
+    (* Complete 4-ary tree over 64 leaves: 16 + 4 + 1 internal nodes. *)
+    Alcotest.(check int) "node signatures" 21 stats.Ap2g.node_signatures;
+    Alcotest.(check int) "records" 8 (Ap2g.num_records tree)
+
+  let test_range_correct_results () =
+    let rng = Prng.create 5 in
+    let qs = queries rng 12 in
+    List.iter
+      (fun user ->
+        List.iter
+          (fun query ->
+            let vo, _ = Ap2g.range_vo drbg ~mvk tree ~user query in
+            match Ap2g.verify ~mvk ~t_universe:universe ~user ~query vo with
+            | Error e -> Alcotest.failf "verify failed: %s" (Vo.error_to_string e)
+            | Ok results ->
+              let expected = expected_results user query in
+              let sort = List.sort (fun (a : Record.t) b -> compare a.Record.key b.Record.key) in
+              Alcotest.(check int)
+                (Printf.sprintf "result count for %s" (Box.to_string query))
+                (List.length expected) (List.length results);
+              List.iter2
+                (fun (e : Record.t) (g : Record.t) ->
+                  Alcotest.(check bool) "same record" true (e.Record.key = g.Record.key && e.Record.value = g.Record.value))
+                (sort expected) (sort results))
+          qs)
+      users
+
+  let test_vo_roundtrip () =
+    let user = attrs [ "RoleA" ] in
+    let query = Box.of_range ~alpha:[| 0; 0 |] ~beta:[| 7; 7 |] in
+    let vo, _ = Ap2g.range_vo drbg ~mvk tree ~user query in
+    let bytes = Vo.to_bytes vo in
+    (match Vo.of_bytes bytes with
+     | None -> Alcotest.fail "VO roundtrip failed"
+     | Some vo' ->
+       Alcotest.(check int) "entries" (List.length vo) (List.length vo');
+       (match Ap2g.verify ~mvk ~t_universe:universe ~user ~query vo' with
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "decoded VO fails: %s" (Vo.error_to_string e)));
+    Alcotest.(check bool) "garbage rejected" true (Vo.of_bytes "junk" = None);
+    Alcotest.(check int) "size" (String.length bytes) (Vo.size vo)
+
+  (* Unforgeability (Definition 7.4) case 3: dropping an accessible result
+     must be caught by the coverage check. *)
+  let test_omission_detected () =
+    let user = attrs [ "RoleA" ] in
+    let query = Box.of_range ~alpha:[| 0; 0 |] ~beta:[| 7; 7 |] in
+    let vo, _ = Ap2g.range_vo drbg ~mvk tree ~user query in
+    let dropped =
+      List.filter (function Vo.Accessible _ -> false | _ -> true) vo
+    in
+    (match Ap2g.verify ~mvk ~t_universe:universe ~user ~query dropped with
+     | Error Vo.Bad_coverage -> ()
+     | Error e -> Alcotest.failf "unexpected error: %s" (Vo.error_to_string e)
+     | Ok _ -> Alcotest.fail "omission must be detected")
+
+  (* Definition 7.4 case 1: tampering with a returned value breaks the APP
+     signature. *)
+  let test_tampered_value_detected () =
+    let user = attrs [ "RoleA" ] in
+    let query = Box.of_range ~alpha:[| 0; 0 |] ~beta:[| 7; 7 |] in
+    let vo, _ = Ap2g.range_vo drbg ~mvk tree ~user query in
+    let tampered =
+      List.map
+        (function
+          | Vo.Accessible { region; record; app } ->
+            Vo.Accessible
+              { region; record = { record with Record.value = record.Record.value ^ "!" }; app }
+          | e -> e)
+        vo
+    in
+    (match Ap2g.verify ~mvk ~t_universe:universe ~user ~query tampered with
+     | Error (Vo.Bad_signature _) -> ()
+     | Error e -> Alcotest.failf "unexpected error: %s" (Vo.error_to_string e)
+     | Ok _ -> Alcotest.fail "tampering must be detected")
+
+  (* Definition 7.4 case 2: returning an inaccessible record as a result. *)
+  let test_inaccessible_returned_detected () =
+    let user = attrs [ "RoleA" ] in
+    (* RoleC-only record 5,2: craft a VO that claims it accessible, reusing
+       the DO's real APP signature for it (the strongest attack). *)
+    let query = Box.of_point [| 5; 2 |] in
+    let vo_honest, _ = Ap2g.range_vo drbg ~mvk tree ~user:(attrs [ "RoleC" ]) query in
+    (match Ap2g.verify ~mvk ~t_universe:universe ~user ~query vo_honest with
+     | Error (Vo.Policy_not_satisfied _) -> ()
+     | Error (Vo.Bad_signature _) -> ()
+     | Error e -> Alcotest.failf "unexpected error: %s" (Vo.error_to_string e)
+     | Ok results ->
+       Alcotest.(check bool) "no result leaks" true (results = []))
+
+  (* Zero-knowledge (Definition 7.5): the real VO and the VO built from the
+     simulator's database (inaccessible records replaced by pseudo records)
+     must be indistinguishable in structure: same entry kinds, same regions,
+     same sizes. *)
+  let test_zero_knowledge_game () =
+    let user = attrs [ "RoleA" ] in
+    let simulated_records =
+      List.filter (fun (r : Record.t) -> Expr.eval r.Record.policy user) records
+    in
+    let sim_tree =
+      Ap2g.build drbg ~mvk ~sk ~space ~universe ~pseudo_seed:"other-seed"
+        simulated_records
+    in
+    let rng = Prng.create 77 in
+    List.iter
+      (fun query ->
+        let vo_real, _ = Ap2g.range_vo drbg ~mvk tree ~user query in
+        let vo_sim, _ = Ap2g.range_vo drbg ~mvk sim_tree ~user query in
+        let shape vo =
+          List.map
+            (function
+              | Vo.Accessible { region; record; _ } ->
+                ("acc", Box.to_string region, record.Record.value)
+              | Vo.Inaccessible_leaf { region; _ } -> ("leaf", Box.to_string region, "")
+              | Vo.Inaccessible_node { region; _ } -> ("node", Box.to_string region, ""))
+            vo
+          |> List.sort compare
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "shape identical for %s" (Box.to_string query))
+          true
+          (shape vo_real = shape vo_sim))
+      (queries rng 10)
+
+  (* Equality queries: all three outcomes of Section 5. *)
+  let test_equality () =
+    let flat = Equality.of_ap2g tree in
+    let user = attrs [ "RoleA" ] in
+    (* accessible *)
+    let e1 = Equality.query_vo drbg ~mvk flat ~user [| 1; 1 |] in
+    (match Equality.verify_equality ~mvk ~t_universe:universe ~user ~key:[| 1; 1 |] e1 with
+     | Ok (Equality.Result r) -> Alcotest.(check string) "value" "v11" r.Record.value
+     | Ok Equality.Denied -> Alcotest.fail "should be accessible"
+     | Error e -> Alcotest.failf "verify: %s" (Vo.error_to_string e));
+    (* inaccessible *)
+    let e2 = Equality.query_vo drbg ~mvk flat ~user [| 5; 2 |] in
+    (match Equality.verify_equality ~mvk ~t_universe:universe ~user ~key:[| 5; 2 |] e2 with
+     | Ok Equality.Denied -> ()
+     | Ok (Equality.Result _) -> Alcotest.fail "should be denied"
+     | Error e -> Alcotest.failf "verify: %s" (Vo.error_to_string e));
+    (* non-existent: same outcome as inaccessible *)
+    let e3 = Equality.query_vo drbg ~mvk flat ~user [| 0; 0 |] in
+    (match Equality.verify_equality ~mvk ~t_universe:universe ~user ~key:[| 0; 0 |] e3 with
+     | Ok Equality.Denied -> ()
+     | Ok (Equality.Result _) -> Alcotest.fail "should be denied"
+     | Error e -> Alcotest.failf "verify: %s" (Vo.error_to_string e))
+
+  (* The Basic baseline returns the same verified results as the tree. *)
+  let test_basic_matches_tree () =
+    let flat = Equality.of_ap2g tree in
+    let rng = Prng.create 11 in
+    List.iter
+      (fun query ->
+        List.iter
+          (fun user ->
+            let vo_b, _ = Equality.range_vo drbg ~mvk flat ~user query in
+            match Equality.verify_range ~mvk ~t_universe:universe ~user ~query vo_b with
+            | Error e -> Alcotest.failf "basic verify: %s" (Vo.error_to_string e)
+            | Ok results ->
+              Alcotest.(check int) "same results as expected"
+                (List.length (expected_results user query))
+                (List.length results))
+          users)
+      (queries rng 4)
+
+  (* Basic VO is strictly larger than the tree VO on big inaccessible
+     ranges: the headline claim of Figure 7. *)
+  let test_tree_beats_basic () =
+    let flat = Equality.of_ap2g tree in
+    let user = attrs [ "RoleC" ] in
+    let query = Box.of_range ~alpha:[| 0; 0 |] ~beta:[| 7; 7 |] in
+    let vo_tree, st_tree = Ap2g.range_vo drbg ~mvk tree ~user query in
+    let vo_basic, st_basic = Equality.range_vo drbg ~mvk flat ~user query in
+    Alcotest.(check bool) "fewer entries" true
+      (List.length vo_tree < List.length vo_basic);
+    Alcotest.(check bool) "smaller VO" true (Vo.size vo_tree < Vo.size vo_basic);
+    Alcotest.(check bool) "fewer relax calls" true
+      (st_tree.Ap2g.relax_calls < st_basic.Ap2g.relax_calls)
+
+  (* --- AP2kd tree --- *)
+
+  let kd_tree = Ap2kd.build drbg ~mvk ~sk ~space ~universe records
+
+  let test_kd_range () =
+    let rng = Prng.create 21 in
+    List.iter
+      (fun query ->
+        List.iter
+          (fun user ->
+            let vo, _ = Ap2kd.range_vo drbg ~mvk kd_tree ~user query in
+            match Ap2kd.verify ~mvk ~t_universe:universe ~user ~query vo with
+            | Error e -> Alcotest.failf "kd verify: %s" (Vo.error_to_string e)
+            | Ok results ->
+              Alcotest.(check int)
+                (Printf.sprintf "kd results for %s" (Box.to_string query))
+                (List.length (expected_results user query))
+                (List.length results))
+          users)
+      (queries rng 8)
+
+  let test_kd_fewer_nodes_than_grid () =
+    let st = Ap2kd.stats kd_tree in
+    let gst = Ap2g.stats tree in
+    Alcotest.(check bool) "kd signs fewer leaves" true
+      (st.Ap2kd.leaf_signatures + st.Ap2kd.pseudo_regions
+       < gst.Ap2g.leaf_signatures);
+    Alcotest.(check int) "one leaf per record" (List.length records)
+      st.Ap2kd.leaf_signatures
+
+  (* --- join --- *)
+
+  let space1 = Keyspace.create ~dims:1 ~depth:4
+
+  let make_1d specs =
+    List.map
+      (fun (k, v, p) -> Record.make ~key:[| k |] ~value:v ~policy:(Expr.of_string p))
+      specs
+
+  let r_tree =
+    Ap2g.build drbg ~mvk ~sk ~space:space1 ~universe ~pseudo_seed:"r"
+      (make_1d
+         [ (1, "r1", "RoleA"); (3, "r3", "RoleB"); (5, "r5", "RoleA");
+           (8, "r8", "RoleC"); (12, "r12", "RoleA & RoleB") ])
+
+  let s_tree =
+    Ap2g.build drbg ~mvk ~sk ~space:space1 ~universe ~pseudo_seed:"s"
+      (make_1d
+         [ (1, "s1", "RoleA"); (5, "s5", "RoleC"); (8, "s8", "RoleC");
+           (12, "s12", "RoleA") ])
+
+  let test_join () =
+    let check user alpha beta expected_keys =
+      let query = Box.of_range ~alpha:[| alpha |] ~beta:[| beta |] in
+      let vo, _ = Join.join_vo drbg ~mvk ~r:r_tree ~s:s_tree ~user query in
+      match Join.verify ~mvk ~t_universe:universe ~user ~query vo with
+      | Error e -> Alcotest.failf "join verify: %s" (Vo.error_to_string e)
+      | Ok pairs ->
+        let keys =
+          List.sort compare (List.map (fun ((r : Record.t), _) -> r.Record.key.(0)) pairs)
+        in
+        Alcotest.(check (list int))
+          (Printf.sprintf "join results [%d,%d]" alpha beta)
+          expected_keys keys
+    in
+    (* RoleA user: R accessible at 1,5,12(needs B too -> no); S accessible at 1,12.
+       Pairs where both sides accessible: key 1 (r1,s1) and key 12? r12 needs
+       RoleA & RoleB -> no. So just 1. *)
+    check (attrs [ "RoleA" ]) 0 15 [ 1 ];
+    check (attrs [ "RoleA"; "RoleB" ]) 0 15 [ 1; 12 ];
+    check (attrs [ "RoleC" ]) 0 15 [ 8 ];
+    check (attrs []) 0 15 [];
+    check (attrs [ "RoleA" ]) 2 9 []
+
+  let test_join_omission_detected () =
+    let user = attrs [ "RoleA" ] in
+    let query = Box.of_range ~alpha:[| 0 |] ~beta:[| 15 |] in
+    let vo, _ = Join.join_vo drbg ~mvk ~r:r_tree ~s:s_tree ~user query in
+    let dropped = List.filter (function Join.Pair _ -> false | _ -> true) vo in
+    (match Join.verify ~mvk ~t_universe:universe ~user ~query dropped with
+     | Error Vo.Bad_coverage -> ()
+     | Error e -> Alcotest.failf "unexpected: %s" (Vo.error_to_string e)
+     | Ok _ -> Alcotest.fail "join omission must be detected")
+
+  (* --- hierarchy end to end --- *)
+
+  let test_hierarchical_tree () =
+    let h = Hierarchy.create [ ("RoleA.P", "RoleA"); ("RoleA.S", "RoleA") ] in
+    let roles_h = [ "RoleA"; "RoleA.P"; "RoleA.S"; "RoleB" ] in
+    let universe_h = Universe.create roles_h in
+    let sk_h = Abs.keygen drbg msk (Universe.attrs universe_h) in
+    let recs =
+      [ Record.make ~key:[| 0; 0 |] ~value:"prof" ~policy:(Expr.of_string "RoleA.P");
+        Record.make ~key:[| 3; 3 |] ~value:"any" ~policy:(Expr.of_string "RoleB") ]
+    in
+    let tree_h =
+      Ap2g.build drbg ~mvk ~sk:sk_h ~space ~universe:universe_h ~hierarchy:h
+        ~pseudo_seed:"h" recs
+    in
+    let query = Box.of_range ~alpha:[| 0; 0 |] ~beta:[| 7; 7 |] in
+    List.iter
+      (fun (user, expected) ->
+        let vo, _ = Ap2g.range_vo drbg ~mvk tree_h ~user query in
+        match
+          Ap2g.verify ~mvk ~t_universe:universe_h ~hierarchy:h ~user ~query vo
+        with
+        | Error e -> Alcotest.failf "hier verify: %s" (Vo.error_to_string e)
+        | Ok results -> Alcotest.(check int) "hier results" expected (List.length results))
+      [ (attrs [ "RoleA.P" ], 1); (attrs [ "RoleB" ], 1); (attrs [ "RoleA.S" ], 0) ];
+    (* The reduced predicate is smaller than the flat one. *)
+    let sp = Ap2g.super_policy_for tree_h ~user:(attrs [ "RoleB" ]) in
+    Alcotest.(check bool) "reduced size" true
+      (Expr.num_leaves sp < Attr.Set.cardinal (Universe.attrs universe_h))
+
+  (* --- full protocol --- *)
+
+  let test_system_end_to_end () =
+    let plain =
+      List.map
+        (fun (r : Record.t) ->
+          { System.key = r.Record.key; content = "secret:" ^ r.Record.value;
+            policy = r.Record.policy })
+        records
+    in
+    let owner, server = System.setup ~seed:"e2e" ~space ~roles plain in
+    let alice = System.register_user owner (attrs [ "RoleA" ]) in
+    let query = Box.of_range ~alpha:[| 0; 0 |] ~beta:[| 7; 7 |] in
+    let resp = System.range_query server ~claimed_roles:(attrs [ "RoleA" ]) query in
+    (match System.open_and_verify alice ~query resp with
+     | Error e -> Alcotest.failf "system verify: %s" e
+     | Ok v ->
+       (* RoleA accessible: v11, v46 (RoleA|RoleC), v70 -> 3 records. *)
+       Alcotest.(check int) "decrypted results" 3 (List.length v.System.results);
+       List.iter
+         (fun (_, content) ->
+           Alcotest.(check bool) "content decrypted" true
+             (String.length content > 7 && String.sub content 0 7 = "secret:"))
+         v.System.results);
+    (* An impostor claiming RoleA without holding it cannot open the
+       response. *)
+    let mallory = System.register_user owner (attrs [ "RoleC" ]) in
+    (match System.open_and_verify mallory ~query resp with
+     | Error _ -> ()
+     | Ok _ -> Alcotest.fail "impostor must not open the response")
+
+  let suite name =
+    [
+      Alcotest.test_case (name ^ " tree build") `Quick test_tree_build;
+      Alcotest.test_case (name ^ " range correct") `Quick test_range_correct_results;
+      Alcotest.test_case (name ^ " vo roundtrip") `Quick test_vo_roundtrip;
+      Alcotest.test_case (name ^ " omission detected") `Quick test_omission_detected;
+      Alcotest.test_case (name ^ " tamper detected") `Quick test_tampered_value_detected;
+      Alcotest.test_case (name ^ " inaccessible-as-result detected") `Quick
+        test_inaccessible_returned_detected;
+      Alcotest.test_case (name ^ " zero-knowledge game") `Quick test_zero_knowledge_game;
+      Alcotest.test_case (name ^ " equality outcomes") `Quick test_equality;
+      Alcotest.test_case (name ^ " basic matches tree") `Quick test_basic_matches_tree;
+      Alcotest.test_case (name ^ " tree beats basic") `Quick test_tree_beats_basic;
+      Alcotest.test_case (name ^ " kd range") `Quick test_kd_range;
+      Alcotest.test_case (name ^ " kd compactness") `Quick test_kd_fewer_nodes_than_grid;
+      Alcotest.test_case (name ^ " join") `Quick test_join;
+      Alcotest.test_case (name ^ " join omission detected") `Quick test_join_omission_detected;
+      Alcotest.test_case (name ^ " hierarchy end-to-end") `Quick test_hierarchical_tree;
+      Alcotest.test_case (name ^ " system end-to-end") `Quick test_system_end_to_end;
+    ]
+end
+
+module Core_mock = Make_core_tests (Mock_backend)
+
+let suite =
+  [
+    ( "core-geometry",
+      [
+        Alcotest.test_case "box basics" `Quick test_box_basics;
+        Alcotest.test_case "box cover" `Quick test_box_cover;
+        Alcotest.test_case "keyspace" `Quick test_keyspace;
+      ] );
+    ("core", Core_mock.suite "mock");
+  ]

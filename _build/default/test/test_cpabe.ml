@@ -1,0 +1,114 @@
+module Attr = Zkqac_policy.Attr
+module Expr = Zkqac_policy.Expr
+module Drbg = Zkqac_hashing.Drbg
+module Aes = Zkqac_symmetric.Aes128
+module Hex = Zkqac_hashing.Hex
+
+let attrs = Attr.set_of_list
+
+(* FIPS 197 Appendix C.1-equivalent vector for AES-128. *)
+let test_aes_fips_vector () =
+  let key = Hex.decode "000102030405060708090a0b0c0d0e0f" in
+  let pt = Hex.decode "00112233445566778899aabbccddeeff" in
+  let k = Aes.expand_key key in
+  let ct = Aes.encrypt_block k pt in
+  Alcotest.(check string) "encrypt" "69c4e0d86a7b0430d8cdb78070b4c55a" (Hex.encode ct);
+  Alcotest.(check string) "decrypt" (Hex.encode pt) (Hex.encode (Aes.decrypt_block k ct))
+
+let test_aes_ctr () =
+  let key = "0123456789abcdef" in
+  let nonce = "nonce" in
+  List.iter
+    (fun msg ->
+      let ct = Aes.ctr ~key ~nonce msg in
+      Alcotest.(check string) "roundtrip" msg (Aes.ctr ~key ~nonce ct);
+      if String.length msg > 0 then
+        Alcotest.(check bool) "not identity" false (String.equal ct msg))
+    [ ""; "x"; "exactly sixteen!"; String.make 100 'q'; String.make 4096 'z' ];
+  (* Different nonces give different streams. *)
+  let m = String.make 32 'a' in
+  Alcotest.(check bool) "nonce matters" false
+    (String.equal (Aes.ctr ~key ~nonce:"n1" m) (Aes.ctr ~key ~nonce:"n2" m))
+
+module Make_tests (P : Zkqac_group.Pairing_intf.PAIRING) = struct
+  module C = Zkqac_cpabe.Cpabe.Make (P)
+  module E = Zkqac_cpabe.Envelope.Make (P)
+
+  let drbg = Drbg.create ~seed:("cpabe:" ^ P.name)
+  let mk, pp = C.setup drbg
+
+  let test_encrypt_decrypt () =
+    List.iter
+      (fun (pstr, ok_attrs, bad_attrs) ->
+        let policy = Expr.of_string pstr in
+        let m = C.random_message drbg pp in
+        let ct = C.encrypt drbg pp m ~policy in
+        let sk_ok = C.keygen drbg mk pp (attrs ok_attrs) in
+        let sk_bad = C.keygen drbg mk pp (attrs bad_attrs) in
+        (match C.decrypt pp sk_ok ct with
+         | Some m' -> Alcotest.(check bool) (pstr ^ " decrypts") true (P.Gt.equal m m')
+         | None -> Alcotest.failf "%s should decrypt" pstr);
+        Alcotest.(check bool) (pstr ^ " denied") true (C.decrypt pp sk_bad ct = None))
+      [ ("A", [ "A" ], [ "B" ]);
+        ("A & B", [ "A"; "B" ], [ "A" ]);
+        ("A | B", [ "B" ], [ "C" ]);
+        ("A & (B | C)", [ "A"; "C" ], [ "B"; "C" ]);
+        ("(A & B) | (C & D)", [ "C"; "D" ], [ "A"; "C" ]);
+        ("A & B & C", [ "A"; "B"; "C" ], [ "A"; "B" ]) ]
+
+  (* The same attribute appearing at several leaves must still decrypt. *)
+  let test_duplicate_leaves () =
+    let policy = Expr.of_string "(A & B) | (A & C)" in
+    let m = C.random_message drbg pp in
+    let ct = C.encrypt drbg pp m ~policy in
+    let sk = C.keygen drbg mk pp (attrs [ "A"; "C" ]) in
+    match C.decrypt pp sk ct with
+    | Some m' -> Alcotest.(check bool) "decrypts" true (P.Gt.equal m m')
+    | None -> Alcotest.fail "should decrypt"
+
+  let test_wrong_user_key_mix () =
+    (* Collusion smoke test: two users who jointly satisfy A & B but
+       individually do not; each alone must fail. *)
+    let policy = Expr.of_string "A & B" in
+    let m = C.random_message drbg pp in
+    let ct = C.encrypt drbg pp m ~policy in
+    let sk_a = C.keygen drbg mk pp (attrs [ "A" ]) in
+    let sk_b = C.keygen drbg mk pp (attrs [ "B" ]) in
+    Alcotest.(check bool) "A alone fails" true (C.decrypt pp sk_a ct = None);
+    Alcotest.(check bool) "B alone fails" true (C.decrypt pp sk_b ct = None)
+
+  let test_envelope () =
+    let policy = Expr.of_string "RoleA & RoleB" in
+    let payload = "the query results and the verification object" in
+    let sealed = E.seal drbg pp ~policy payload in
+    let sk = E.C.keygen drbg mk pp (attrs [ "RoleA"; "RoleB" ]) in
+    (match E.open_ pp sk sealed with
+     | Some p -> Alcotest.(check string) "payload" payload p
+     | None -> Alcotest.fail "envelope should open");
+    let sk_bad = E.C.keygen drbg mk pp (attrs [ "RoleA" ]) in
+    Alcotest.(check bool) "denied" true (E.open_ pp sk_bad sealed = None);
+    Alcotest.(check bool) "size positive" true (E.size sealed > String.length payload)
+
+  let suite name =
+    [
+      Alcotest.test_case (name ^ " encrypt/decrypt") `Quick test_encrypt_decrypt;
+      Alcotest.test_case (name ^ " duplicate leaves") `Quick test_duplicate_leaves;
+      Alcotest.test_case (name ^ " no collusion") `Quick test_wrong_user_key_mix;
+      Alcotest.test_case (name ^ " envelope") `Quick test_envelope;
+    ]
+end
+
+module Mock_backend = (val Zkqac_group.Backend.instantiate Zkqac_group.Backend.Mock)
+module Typea_backend = (val Zkqac_group.Backend.instantiate Zkqac_group.Backend.Typea_tiny)
+module Mock_tests = Make_tests (Mock_backend)
+module Typea_tests = Make_tests (Typea_backend)
+
+let suite =
+  [
+    ( "cpabe",
+      [
+        Alcotest.test_case "aes FIPS vector" `Quick test_aes_fips_vector;
+        Alcotest.test_case "aes ctr" `Quick test_aes_ctr;
+      ]
+      @ Mock_tests.suite "mock" @ Typea_tests.suite "typea-tiny" );
+  ]

@@ -1,0 +1,383 @@
+(* Tests for the extension features: threshold gates, batch verification,
+   verified aggregation, ADS persistence, the CLI-facing codecs, and the
+   Figure-1 baselines (Schnorr, signature chaining, Merkle hash tree). *)
+
+module Attr = Zkqac_policy.Attr
+module Expr = Zkqac_policy.Expr
+module Universe = Zkqac_policy.Universe
+module Msp = Zkqac_policy.Msp
+module Drbg = Zkqac_hashing.Drbg
+module Prng = Zkqac_rng.Prng
+module Box = Zkqac_core.Box
+module Keyspace = Zkqac_core.Keyspace
+module Record = Zkqac_core.Record
+
+let attrs = Attr.set_of_list
+
+module Mock_backend = (val Zkqac_group.Backend.instantiate Zkqac_group.Backend.Mock)
+module Abs = Zkqac_abs.Abs.Make (Mock_backend)
+module Cpabe = Zkqac_cpabe.Cpabe.Make (Mock_backend)
+module Ap2g = Zkqac_core.Ap2g.Make (Mock_backend)
+module Vo = Zkqac_core.Vo.Make (Mock_backend)
+module Aggregate = Zkqac_core.Aggregate.Make (Mock_backend)
+module Ads_io = Zkqac_core.Ads_io.Make (Mock_backend)
+module Schnorr = Zkqac_baseline.Schnorr.Make (Mock_backend)
+module Merkle = Zkqac_baseline.Merkle.Make (Mock_backend)
+module Sigchain = Zkqac_baseline.Sigchain.Make (Mock_backend)
+
+let drbg = Drbg.create ~seed:"features"
+let msk, mvk = Abs.setup drbg
+let roles = [ "RoleA"; "RoleB"; "RoleC"; "RoleD" ]
+let universe = Universe.create roles
+let sk = Abs.keygen drbg msk (Universe.attrs universe)
+
+(* --- threshold gates --- *)
+
+let test_threshold_eval () =
+  let t = Expr.threshold 2 [ Expr.leaf "A"; Expr.leaf "B"; Expr.leaf "C" ] in
+  Alcotest.(check bool) "2of3 ab" true (Expr.eval t (attrs [ "A"; "B" ]));
+  Alcotest.(check bool) "2of3 ac" true (Expr.eval t (attrs [ "A"; "C" ]));
+  Alcotest.(check bool) "2of3 a" false (Expr.eval t (attrs [ "A" ]));
+  Alcotest.(check bool) "2of3 abc" true (Expr.eval t (attrs [ "A"; "B"; "C" ]));
+  (* Degenerate thresholds normalize. *)
+  Alcotest.(check bool) "1ofn = or" true
+    (Expr.equal (Expr.threshold 1 [ Expr.leaf "A"; Expr.leaf "B" ])
+       (Expr.of_string "A | B"));
+  Alcotest.(check bool) "nofn = and" true
+    (Expr.equal (Expr.threshold 2 [ Expr.leaf "A"; Expr.leaf "B" ])
+       (Expr.of_string "A & B"))
+
+let test_threshold_expand_semantics () =
+  let rng = Prng.create 31 in
+  let role_arr = [| "A"; "B"; "C"; "D"; "E" |] in
+  for _ = 1 to 100 do
+    let k = 1 + Prng.int rng 3 in
+    let n = k + Prng.int rng (5 - k + 1) in
+    let children =
+      List.init n (fun i -> Expr.leaf role_arr.(i mod Array.length role_arr))
+    in
+    let t = Expr.threshold k children in
+    let expanded = Expr.expand_thresholds t in
+    for mask = 0 to 31 do
+      let a =
+        attrs
+          (List.filteri (fun i _ -> mask land (1 lsl i) <> 0)
+             (Array.to_list role_arr))
+      in
+      if Expr.eval t a <> Expr.eval expanded a then
+        Alcotest.failf "expansion mismatch for %s" (Expr.to_string t)
+    done
+  done
+
+let test_threshold_parser_roundtrip () =
+  List.iter
+    (fun s ->
+      let e = Expr.of_string s in
+      let e' = Expr.of_string (Expr.to_string e) in
+      Alcotest.(check bool) s true (Expr.equal e e'))
+    [ "2of(A, B, C)"; "2of(A & B, C, D | E)"; "A & 2of(B, C, D)";
+      "3of(A, B, C, D) | E" ]
+
+let test_threshold_abs_sign_verify () =
+  let policy = Expr.of_string "2of(RoleA, RoleB, RoleC)" in
+  let sigma = Abs.sign drbg mvk sk ~msg:"t" ~policy in
+  Alcotest.(check bool) "verifies" true (Abs.verify mvk ~msg:"t" ~policy sigma);
+  (* A user holding only RoleD cannot satisfy it; relaxation works. *)
+  let keep = Universe.missing universe ~user:(attrs [ "RoleD" ]) in
+  (match Abs.relax drbg mvk sigma ~msg:"t" ~policy ~keep with
+   | Some r ->
+     Alcotest.(check bool) "relaxed verifies" true
+       (Abs.verify mvk ~msg:"t" ~policy:(Abs.relaxed_policy keep) r)
+   | None -> Alcotest.fail "threshold relaxation should succeed");
+  (* A user holding RoleA+RoleB satisfies it: relaxation must refuse. *)
+  let keep2 = Universe.missing universe ~user:(attrs [ "RoleA"; "RoleB" ]) in
+  Alcotest.(check bool) "relaxation refused" true
+    (Abs.relax drbg mvk sigma ~msg:"t" ~policy ~keep:keep2 = None)
+
+let test_threshold_cpabe () =
+  let cp_mk, cp_pp = Cpabe.setup drbg in
+  let policy = Expr.threshold 2 [ Expr.leaf "A"; Expr.leaf "B"; Expr.leaf "C" ] in
+  let m = Cpabe.random_message drbg cp_pp in
+  let ct = Cpabe.encrypt drbg cp_pp m ~policy in
+  let check user expected =
+    let skx = Cpabe.keygen drbg cp_mk cp_pp (attrs user) in
+    match Cpabe.decrypt cp_pp skx ct with
+    | Some m' ->
+      Alcotest.(check bool) "decrypts" true expected;
+      Alcotest.(check bool) "right message" true (Mock_backend.Gt.equal m m')
+    | None -> Alcotest.(check bool) "denied" false expected
+  in
+  check [ "A"; "C" ] true;
+  check [ "B"; "C" ] true;
+  check [ "A" ] false;
+  check [ "D" ] false;
+  check [ "A"; "B"; "C" ] true
+
+(* --- batch verification --- *)
+
+let batch_fixture () =
+  let user = attrs [ "RoleD" ] in
+  let keep = Universe.missing universe ~user in
+  let super = Abs.relaxed_policy keep in
+  let sigs =
+    List.init 8 (fun i ->
+        let msg = "batch-" ^ string_of_int i in
+        let policy = Expr.of_string (if i mod 2 = 0 then "RoleA & RoleB" else "RoleC") in
+        let sigma = Abs.sign drbg mvk sk ~msg ~policy in
+        let aps = Option.get (Abs.relax drbg mvk sigma ~msg ~policy ~keep) in
+        (msg, aps))
+  in
+  (super, sigs)
+
+let test_batch_verify_accepts () =
+  let super, sigs = batch_fixture () in
+  Alcotest.(check bool) "batch accepts" true
+    (Abs.verify_batch drbg mvk ~policy:super sigs);
+  Alcotest.(check bool) "empty batch" true (Abs.verify_batch drbg mvk ~policy:super []);
+  Alcotest.(check bool) "singleton batch" true
+    (Abs.verify_batch drbg mvk ~policy:super [ List.hd sigs ])
+
+let test_batch_verify_rejects () =
+  let super, sigs = batch_fixture () in
+  (* Corrupt one message: the whole batch must fail. *)
+  let corrupted =
+    List.mapi (fun i (m, s) -> if i = 3 then (m ^ "!", s) else (m, s)) sigs
+  in
+  Alcotest.(check bool) "batch rejects corruption" false
+    (Abs.verify_batch drbg mvk ~policy:super corrupted);
+  (* Swap two signatures' messages: also caught. *)
+  (match sigs with
+   | (m1, s1) :: (m2, s2) :: rest ->
+     Alcotest.(check bool) "batch rejects swap" false
+       (Abs.verify_batch drbg mvk ~policy:super ((m1, s2) :: (m2, s1) :: rest))
+   | _ -> assert false)
+
+let space = Keyspace.create ~dims:2 ~depth:3
+
+let records =
+  [ ([| 1; 1 |], "10.5", "RoleA"); ([| 2; 5 |], "20.25", "RoleB");
+    ([| 3; 3 |], "30.0", "RoleA & RoleB"); ([| 5; 2 |], "7.5", "RoleA");
+    ([| 6; 6 |], "1.0", "RoleC") ]
+  |> List.map (fun (k, v, p) -> Record.make ~key:k ~value:v ~policy:(Expr.of_string p))
+
+let tree = Ap2g.build drbg ~mvk ~sk ~space ~universe ~pseudo_seed:"feat" records
+
+let test_batched_vo_verify () =
+  let user = attrs [ "RoleA" ] in
+  let query = Box.of_range ~alpha:[| 0; 0 |] ~beta:[| 7; 7 |] in
+  let vo, _ = Ap2g.range_vo drbg ~mvk tree ~user query in
+  (match Ap2g.verify ~batch:drbg ~mvk ~t_universe:universe ~user ~query vo with
+   | Ok results -> Alcotest.(check int) "batched results" 2 (List.length results)
+   | Error e -> Alcotest.failf "batched verify: %s" (Vo.error_to_string e));
+  (* Tampering caught in batch mode too. *)
+  let tampered =
+    List.map
+      (function
+        | Vo.Inaccessible_leaf { region; key; value_hash; aps } ->
+          Vo.Inaccessible_leaf
+            { region; key; value_hash = String.map Char.uppercase_ascii value_hash; aps }
+        | e -> e)
+      vo
+  in
+  match Ap2g.verify ~batch:drbg ~mvk ~t_universe:universe ~user ~query tampered with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "batched verify must catch tampering"
+
+(* --- aggregation --- *)
+
+let test_aggregate () =
+  let user = attrs [ "RoleA" ] in
+  let query = Box.of_range ~alpha:[| 0; 0 |] ~beta:[| 7; 7 |] in
+  let vo, _ = Ap2g.range_vo drbg ~mvk tree ~user query in
+  let extract (r : Record.t) = float_of_string_opt r.Record.value in
+  (match Aggregate.count ~mvk ~tree_universe:universe ~user ~query vo with
+   | Ok c ->
+     Alcotest.(check int) "count" 2 c.Aggregate.value (* 10.5 and 7.5 records *)
+   | Error e -> Alcotest.failf "count: %s" (Vo.error_to_string e));
+  (match Aggregate.sum ~mvk ~tree_universe:universe ~user ~query ~extract vo with
+   | Ok s -> Alcotest.(check (float 0.001)) "sum" 18.0 s.Aggregate.value
+   | Error e -> Alcotest.failf "sum: %s" (Vo.error_to_string e));
+  (match Aggregate.min_max ~mvk ~tree_universe:universe ~user ~query ~extract vo with
+   | Ok { Aggregate.value = Some (lo, hi); _ } ->
+     Alcotest.(check (float 0.001)) "min" 7.5 lo;
+     Alcotest.(check (float 0.001)) "max" 10.5 hi
+   | Ok { Aggregate.value = None; _ } -> Alcotest.fail "expected min/max"
+   | Error e -> Alcotest.failf "minmax: %s" (Vo.error_to_string e));
+  (* Aggregation refuses unverifiable input. *)
+  let dropped = List.filter (function Vo.Accessible _ -> false | _ -> true) vo in
+  match Aggregate.count ~mvk ~tree_universe:universe ~user ~query dropped with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "aggregate over tampered VO must fail"
+
+(* --- ADS persistence --- *)
+
+let test_ads_roundtrip () =
+  let bytes = Ap2g.to_bytes tree in
+  (match Ap2g.of_bytes bytes with
+   | None -> Alcotest.fail "tree roundtrip failed"
+   | Some tree' ->
+     let user = attrs [ "RoleA" ] in
+     let query = Box.of_range ~alpha:[| 0; 0 |] ~beta:[| 7; 7 |] in
+     let vo, _ = Ap2g.range_vo drbg ~mvk tree' ~user query in
+     (match Ap2g.verify ~mvk ~t_universe:(Ap2g.universe tree') ~user ~query vo with
+      | Ok results -> Alcotest.(check int) "results from loaded tree" 2 (List.length results)
+      | Error e -> Alcotest.failf "loaded tree verify: %s" (Vo.error_to_string e)));
+  Alcotest.(check bool) "garbage rejected" true (Ap2g.of_bytes "nope" = None)
+
+let test_ads_file_roundtrip () =
+  let path = Filename.temp_file "zkqac-test" ".ads" in
+  Ads_io.save ~path ~mvk tree;
+  (match Ads_io.load ~path with
+   | Error e -> Alcotest.failf "load: %s" e
+   | Ok (mvk', tree') ->
+     Alcotest.(check int) "records preserved" (Ap2g.num_records tree)
+       (Ap2g.num_records tree');
+     let user = attrs [ "RoleB" ] in
+     let query = Box.of_range ~alpha:[| 0; 0 |] ~beta:[| 7; 7 |] in
+     let vo, _ = Ap2g.range_vo drbg ~mvk:mvk' tree' ~user query in
+     (match Ap2g.verify ~mvk:mvk' ~t_universe:(Ap2g.universe tree') ~user ~query vo with
+      | Ok results -> Alcotest.(check int) "loaded results" 1 (List.length results)
+      | Error e -> Alcotest.failf "verify: %s" (Vo.error_to_string e)));
+  (* Corruption is detected by the checksum. *)
+  let data = In_channel.with_open_bin path In_channel.input_all in
+  let corrupted = Bytes.of_string data in
+  Bytes.set corrupted (Bytes.length corrupted / 2)
+    (Char.chr (Char.code (Bytes.get corrupted (Bytes.length corrupted / 2)) lxor 1));
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc (Bytes.to_string corrupted));
+  (match Ads_io.load ~path with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "corrupted ADS must be rejected");
+  Sys.remove path
+
+(* --- Schnorr --- *)
+
+let test_schnorr () =
+  let secret, public = Schnorr.keygen drbg in
+  let sigma = Schnorr.sign drbg secret "hello" in
+  Alcotest.(check bool) "verifies" true (Schnorr.verify public "hello" sigma);
+  Alcotest.(check bool) "wrong msg" false (Schnorr.verify public "hell0" sigma);
+  let _, public2 = Schnorr.keygen drbg in
+  Alcotest.(check bool) "wrong key" false (Schnorr.verify public2 "hello" sigma);
+  (match Schnorr.of_bytes (Schnorr.to_bytes sigma) with
+   | Some sigma' -> Alcotest.(check bool) "roundtrip" true (Schnorr.verify public "hello" sigma')
+   | None -> Alcotest.fail "codec roundtrip")
+
+(* --- Merkle baseline --- *)
+
+let records_1d =
+  [ (3, "a"); (7, "b"); (12, "c"); (20, "d"); (28, "e"); (40, "f"); (55, "g") ]
+  |> List.map (fun (k, v) ->
+         Record.make ~key:[| k |] ~value:v ~policy:(Expr.of_string "RoleA"))
+
+let test_merkle () =
+  let secret, public = Schnorr.keygen drbg in
+  let mht = Merkle.build drbg secret records_1d in
+  Alcotest.(check int) "records" 7 (Merkle.num_records mht);
+  List.iter
+    (fun (lo, hi, expected) ->
+      let vo = Merkle.range_vo mht ~lo ~hi in
+      match Merkle.verify ~public ~lo ~hi vo with
+      | Ok rs ->
+        Alcotest.(check int) (Printf.sprintf "mht [%d,%d]" lo hi) expected
+          (List.length rs);
+        Alcotest.(check bool) "vo size" true (Merkle.vo_size vo > 0)
+      | Error e -> Alcotest.failf "mht [%d,%d]: %s" lo hi e)
+    [ (0, 100, 7); (5, 25, 3); (8, 11, 0); (0, 2, 0); (56, 99, 0); (3, 3, 1);
+      (28, 55, 3) ]
+
+let test_merkle_omission_detected () =
+  let secret, public = Schnorr.keygen drbg in
+  let mht = Merkle.build drbg secret records_1d in
+  (* Build a VO for a smaller range and try to pass it off for a bigger one:
+     the boundary checks must catch it. *)
+  let vo_small = Merkle.range_vo mht ~lo:5 ~hi:25 in
+  (match Merkle.verify ~public ~lo:5 ~hi:45 vo_small with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "MHT range substitution must be detected")
+
+let test_sigchain () =
+  let secret, public = Schnorr.keygen drbg in
+  let chain = Sigchain.build drbg secret records_1d in
+  Alcotest.(check int) "one signature per record" 7 (Sigchain.num_signatures chain);
+  List.iter
+    (fun (lo, hi, expected) ->
+      let vo = Sigchain.range_vo chain ~lo ~hi in
+      match Sigchain.verify ~public ~lo ~hi vo with
+      | Ok rs ->
+        Alcotest.(check int) (Printf.sprintf "chain [%d,%d]" lo hi) expected
+          (List.length rs)
+      | Error e -> Alcotest.failf "chain [%d,%d]: %s" lo hi e)
+    [ (0, 100, 7); (5, 25, 3); (8, 11, 0); (0, 2, 0); (56, 99, 0) ]
+
+let test_sigchain_gap_detected () =
+  let secret, public = Schnorr.keygen drbg in
+  let chain = Sigchain.build drbg secret records_1d in
+  let vo = Sigchain.range_vo chain ~lo:0 ~hi:100 in
+  (* Splice out a middle record: discontinuity detected. *)
+  let vo_small = Sigchain.range_vo chain ~lo:0 ~hi:10 in
+  ignore vo_small;
+  match Sigchain.verify ~public ~lo:0 ~hi:100 (Sigchain.range_vo chain ~lo:20 ~hi:40) with
+  | Error _ -> ignore vo
+  | Ok _ -> Alcotest.fail "sigchain range substitution must be detected"
+
+(* --- the leakage contrast the paper motivates --- *)
+
+let test_baselines_leak_what_zkqac_hides () =
+  (* Same database, a user who can access nothing: the MHT VO necessarily
+     contains every record in range (their existence leaks); the AP2G VO
+     shows only opaque region proofs. *)
+  let secret, public = Schnorr.keygen drbg in
+  let hidden =
+    List.map
+      (fun (r : Record.t) -> { r with Record.policy = Expr.of_string "RoleD" })
+      records_1d
+  in
+  let mht = Merkle.build drbg secret hidden in
+  let mvo = Merkle.range_vo mht ~lo:0 ~hi:63 in
+  (* MHT verification succeeds and hands the user all 7 hidden records. *)
+  (match Merkle.verify ~public ~lo:0 ~hi:63 mvo with
+   | Ok rs -> Alcotest.(check int) "mht leaks all" 7 (List.length rs)
+   | Error e -> Alcotest.failf "mht: %s" e);
+  let space1 = Keyspace.create ~dims:1 ~depth:6 in
+  let ztree = Ap2g.build drbg ~mvk ~sk ~space:space1 ~universe ~pseudo_seed:"z" hidden in
+  let user = attrs [ "RoleA" ] in
+  let query = Box.of_range ~alpha:[| 0 |] ~beta:[| 63 |] in
+  let zvo, _ = Ap2g.range_vo drbg ~mvk ztree ~user query in
+  match Ap2g.verify ~mvk ~t_universe:universe ~user ~query zvo with
+  | Ok rs ->
+    Alcotest.(check int) "zkqac returns nothing" 0 (List.length rs);
+    List.iter
+      (function
+        | Vo.Accessible _ -> Alcotest.fail "no record should be exposed"
+        | Vo.Inaccessible_leaf _ | Vo.Inaccessible_node _ -> ())
+      zvo
+  | Error e -> Alcotest.failf "zkqac: %s" (Vo.error_to_string e)
+
+let suite =
+  [
+    ( "features",
+      [
+        Alcotest.test_case "threshold eval" `Quick test_threshold_eval;
+        Alcotest.test_case "threshold expansion semantics" `Quick
+          test_threshold_expand_semantics;
+        Alcotest.test_case "threshold parser roundtrip" `Quick
+          test_threshold_parser_roundtrip;
+        Alcotest.test_case "threshold ABS sign/verify/relax" `Quick
+          test_threshold_abs_sign_verify;
+        Alcotest.test_case "threshold CP-ABE" `Quick test_threshold_cpabe;
+        Alcotest.test_case "batch verify accepts" `Quick test_batch_verify_accepts;
+        Alcotest.test_case "batch verify rejects" `Quick test_batch_verify_rejects;
+        Alcotest.test_case "batched VO verify" `Quick test_batched_vo_verify;
+        Alcotest.test_case "aggregation" `Quick test_aggregate;
+        Alcotest.test_case "ads bytes roundtrip" `Quick test_ads_roundtrip;
+        Alcotest.test_case "ads file roundtrip" `Quick test_ads_file_roundtrip;
+        Alcotest.test_case "schnorr" `Quick test_schnorr;
+        Alcotest.test_case "merkle baseline" `Quick test_merkle;
+        Alcotest.test_case "merkle omission" `Quick test_merkle_omission_detected;
+        Alcotest.test_case "sigchain baseline" `Quick test_sigchain;
+        Alcotest.test_case "sigchain gap" `Quick test_sigchain_gap_detected;
+        Alcotest.test_case "baselines leak, zkqac hides" `Quick
+          test_baselines_leak_what_zkqac_hides;
+      ] );
+  ]

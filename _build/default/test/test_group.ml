@@ -1,0 +1,109 @@
+module B = Zkqac_bigint.Bigint
+module Group = Zkqac_group
+module Drbg = Zkqac_hashing.Drbg
+
+let backends () =
+  [ ("mock", Group.Backend.instantiate Group.Backend.Mock);
+    ("typea-tiny", Group.Backend.instantiate Group.Backend.Typea_tiny) ]
+
+let test_group_laws (name, m) () =
+  let module P = (val m : Group.Pairing_intf.PAIRING) in
+  let drbg = Drbg.create ~seed:("laws" ^ name) in
+  for _ = 1 to 10 do
+    let a = P.rand_g drbg and b = P.rand_g drbg and c = P.rand_g drbg in
+    Alcotest.(check bool) "assoc" true
+      (P.G.equal (P.G.mul (P.G.mul a b) c) (P.G.mul a (P.G.mul b c)));
+    Alcotest.(check bool) "comm" true (P.G.equal (P.G.mul a b) (P.G.mul b a));
+    Alcotest.(check bool) "id" true (P.G.equal (P.G.mul a P.G.one) a);
+    Alcotest.(check bool) "inv" true (P.G.is_one (P.G.mul a (P.G.inv a)));
+    Alcotest.(check bool) "order" true (P.G.is_one (P.G.pow a P.order))
+  done
+
+let test_pow_laws (name, m) () =
+  let module P = (val m : Group.Pairing_intf.PAIRING) in
+  let drbg = Drbg.create ~seed:("pow" ^ name) in
+  for _ = 1 to 5 do
+    let a = P.rand_g drbg in
+    let x = P.rand_scalar drbg and y = P.rand_scalar drbg in
+    Alcotest.(check bool) "pow add" true
+      (P.G.equal (P.G.pow a (B.erem (B.add x y) P.order)) (P.G.mul (P.G.pow a x) (P.G.pow a y)));
+    Alcotest.(check bool) "pow mul" true
+      (P.G.equal (P.G.pow (P.G.pow a x) y) (P.G.pow a (B.erem (B.mul x y) P.order)))
+  done
+
+let test_bilinearity (name, m) () =
+  let module P = (val m : Group.Pairing_intf.PAIRING) in
+  let drbg = Drbg.create ~seed:("bilin" ^ name) in
+  (* Non-degeneracy on the generator. *)
+  Alcotest.(check bool) "non-degenerate" false (P.Gt.is_one (P.e P.G.g P.G.g));
+  for _ = 1 to 5 do
+    let a = P.rand_scalar drbg and b = P.rand_scalar drbg in
+    let ga = P.G.pow P.G.g a and gb = P.G.pow P.G.g b in
+    let lhs = P.e ga gb in
+    let rhs = P.Gt.pow (P.e P.G.g P.G.g) (B.erem (B.mul a b) P.order) in
+    Alcotest.(check bool) "e(g^a,g^b) = e(g,g)^(ab)" true (P.Gt.equal lhs rhs);
+    (* Bilinearity in each slot. *)
+    let u = P.rand_g drbg and v = P.rand_g drbg and w = P.rand_g drbg in
+    Alcotest.(check bool) "left linear" true
+      (P.Gt.equal (P.e (P.G.mul u v) w) (P.Gt.mul (P.e u w) (P.e v w)));
+    Alcotest.(check bool) "right linear" true
+      (P.Gt.equal (P.e u (P.G.mul v w)) (P.Gt.mul (P.e u v) (P.e u w)));
+    (* Symmetry (type-1 pairing). *)
+    Alcotest.(check bool) "symmetric" true (P.Gt.equal (P.e u v) (P.e v u))
+  done
+
+let test_gt_order (name, m) () =
+  let module P = (val m : Group.Pairing_intf.PAIRING) in
+  let drbg = Drbg.create ~seed:("gt" ^ name) in
+  let u = P.rand_g drbg and v = P.rand_g drbg in
+  let z = P.e u v in
+  Alcotest.(check bool) "gt order" true (P.Gt.is_one (P.Gt.pow z P.order));
+  Alcotest.(check bool) "gt inv" true (P.Gt.is_one (P.Gt.mul z (P.Gt.inv z)))
+
+let test_serialization (name, m) () =
+  let module P = (val m : Group.Pairing_intf.PAIRING) in
+  let drbg = Drbg.create ~seed:("ser" ^ name) in
+  for _ = 1 to 10 do
+    let a = P.rand_g drbg in
+    let s = P.G.to_bytes a in
+    (match P.G.of_bytes s with
+     | Some a' -> Alcotest.(check bool) "roundtrip" true (P.G.equal a a')
+     | None -> Alcotest.fail "of_bytes failed");
+    Alcotest.(check int) "fixed width" (String.length (P.G.to_bytes P.G.g)) (String.length s)
+  done;
+  Alcotest.(check bool) "garbage rejected" true (P.G.of_bytes "garbage" = None)
+
+let test_hash_to_group (_name, m) () =
+  let module P = (val m : Group.Pairing_intf.PAIRING) in
+  let a = P.G.hash_to "hello" in
+  let a' = P.G.hash_to "hello" in
+  let b = P.G.hash_to "world" in
+  Alcotest.(check bool) "deterministic" true (P.G.equal a a');
+  Alcotest.(check bool) "distinct" false (P.G.equal a b);
+  Alcotest.(check bool) "in subgroup" true (P.G.is_one (P.G.pow a P.order));
+  Alcotest.(check bool) "not identity" false (P.G.is_one a)
+
+let test_curve_basics () =
+  let params = Lazy.force Zkqac_group.Typea_params.tiny in
+  let fp = params.fp in
+  Alcotest.(check bool) "generator on curve" true (Curve_check.on_curve fp params.g);
+  (* p = 3 (mod 4) *)
+  Alcotest.(check bool) "p mod 4" true (B.testbit params.p 0 && B.testbit params.p 1);
+  Alcotest.(check bool) "r prime" true (Zkqac_numth.Primes.is_probable_prime params.r);
+  Alcotest.(check bool) "p prime" true (Zkqac_numth.Primes.is_probable_prime params.p);
+  Alcotest.(check bool) "p+1 = c*r" true
+    (B.equal (B.add params.p B.one) (B.mul params.cofactor params.r))
+
+let suite =
+  let per_backend =
+    List.concat_map
+      (fun (name, m) ->
+        [ Alcotest.test_case (name ^ " group laws") `Quick (test_group_laws (name, m));
+          Alcotest.test_case (name ^ " pow laws") `Quick (test_pow_laws (name, m));
+          Alcotest.test_case (name ^ " bilinearity") `Quick (test_bilinearity (name, m));
+          Alcotest.test_case (name ^ " gt order") `Quick (test_gt_order (name, m));
+          Alcotest.test_case (name ^ " serialization") `Quick (test_serialization (name, m));
+          Alcotest.test_case (name ^ " hash to group") `Quick (test_hash_to_group (name, m)) ])
+      (backends ())
+  in
+  [ ("group", Alcotest.test_case "typea params" `Quick test_curve_basics :: per_backend) ]

@@ -1,0 +1,115 @@
+module Sha256 = Zkqac_hashing.Sha256
+module Hmac = Zkqac_hashing.Hmac
+module Hex = Zkqac_hashing.Hex
+module Drbg = Zkqac_hashing.Drbg
+module Htf = Zkqac_hashing.Hash_to_field
+module B = Zkqac_bigint.Bigint
+
+(* NIST FIPS 180-4 test vectors. *)
+let test_sha256_vectors () =
+  Alcotest.(check string) "empty"
+    "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+    (Sha256.hex "");
+  Alcotest.(check string) "abc"
+    "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+    (Sha256.hex "abc");
+  Alcotest.(check string) "two blocks"
+    "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+    (Sha256.hex "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq");
+  Alcotest.(check string) "million a"
+    "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+    (Sha256.hex (String.make 1_000_000 'a'))
+
+let test_sha256_incremental () =
+  let whole = Sha256.digest "the quick brown fox jumps over the lazy dog" in
+  let ctx = Sha256.init () in
+  List.iter (Sha256.update ctx)
+    [ "the quick "; ""; "brown fox jumps"; " over the lazy dog" ];
+  Alcotest.(check string) "incremental" (Hex.encode whole)
+    (Hex.encode (Sha256.finalize ctx))
+
+let test_sha256_block_boundaries () =
+  (* Exercise all padding paths: lengths around the 55/56/64 byte edges. *)
+  List.iter
+    (fun n ->
+      let s = String.make n 'x' in
+      let ctx = Sha256.init () in
+      String.iter (fun c -> Sha256.update ctx (String.make 1 c)) s;
+      Alcotest.(check string)
+        (Printf.sprintf "len %d" n)
+        (Hex.encode (Sha256.digest s))
+        (Hex.encode (Sha256.finalize ctx)))
+    [ 0; 1; 54; 55; 56; 57; 63; 64; 65; 119; 120; 128; 1000 ]
+
+let test_digest_list_unambiguous () =
+  let d1 = Sha256.digest_list [ "ab"; "c" ] in
+  let d2 = Sha256.digest_list [ "a"; "bc" ] in
+  Alcotest.(check bool) "different" false (String.equal d1 d2)
+
+(* RFC 4231 test case 2. *)
+let test_hmac_vector () =
+  Alcotest.(check string) "rfc4231 tc2"
+    "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+    (Hex.encode (Hmac.mac ~key:"Jefe" "what do ya want for nothing?"));
+  (* RFC 4231 test case 1. *)
+  Alcotest.(check string) "rfc4231 tc1"
+    "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+    (Hex.encode (Hmac.mac ~key:(String.make 20 '\x0b') "Hi There"))
+
+let test_drbg_deterministic () =
+  let d1 = Drbg.create ~seed:"seed" in
+  let d2 = Drbg.create ~seed:"seed" in
+  let d3 = Drbg.create ~seed:"other" in
+  let a = Drbg.generate d1 100 in
+  let b2 = Drbg.generate d2 100 in
+  let c = Drbg.generate d3 100 in
+  Alcotest.(check string) "same seed same stream" (Hex.encode a) (Hex.encode b2);
+  Alcotest.(check bool) "different seed" false (String.equal a c);
+  let next = Drbg.generate d1 100 in
+  Alcotest.(check bool) "stream advances" false (String.equal a next)
+
+let test_drbg_bigint_bounds () =
+  let d = Drbg.create ~seed:"bounds" in
+  let bound = B.of_string "1000003" in
+  for _ = 1 to 200 do
+    let v = Drbg.bigint d bound in
+    Alcotest.(check bool) "in range" true (B.sign v >= 0 && B.compare v bound < 0)
+  done;
+  for _ = 1 to 50 do
+    let v = Drbg.nonzero_bigint d (B.of_int 2) in
+    Alcotest.(check bool) "nonzero" true (B.is_one v)
+  done
+
+let test_hex_roundtrip () =
+  let s = "\x00\x01\xfe\xff random bytes" in
+  Alcotest.(check string) "roundtrip" s (Hex.decode (Hex.encode s));
+  Alcotest.check_raises "odd" (Invalid_argument "Hex.decode: odd length")
+    (fun () -> ignore (Hex.decode "abc"))
+
+let test_hash_to_field () =
+  let p = B.of_string "0xffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff13" in
+  let v1 = Htf.to_zp ~domain:"d1" ~p "hello" in
+  let v1' = Htf.to_zp ~domain:"d1" ~p "hello" in
+  let v2 = Htf.to_zp ~domain:"d2" ~p "hello" in
+  Alcotest.(check bool) "deterministic" true (B.equal v1 v1');
+  Alcotest.(check bool) "domain separated" false (B.equal v1 v2);
+  Alcotest.(check bool) "in field" true (B.compare v1 p < 0 && B.sign v1 >= 0);
+  let l1 = Htf.to_zp_list ~domain:"d" ~p [ "ab"; "c" ] in
+  let l2 = Htf.to_zp_list ~domain:"d" ~p [ "a"; "bc" ] in
+  Alcotest.(check bool) "list unambiguous" false (B.equal l1 l2)
+
+let suite =
+  [
+    ( "hashing",
+      [
+        Alcotest.test_case "sha256 NIST vectors" `Quick test_sha256_vectors;
+        Alcotest.test_case "sha256 incremental" `Quick test_sha256_incremental;
+        Alcotest.test_case "sha256 block boundaries" `Quick test_sha256_block_boundaries;
+        Alcotest.test_case "digest_list unambiguous" `Quick test_digest_list_unambiguous;
+        Alcotest.test_case "hmac RFC4231" `Quick test_hmac_vector;
+        Alcotest.test_case "drbg deterministic" `Quick test_drbg_deterministic;
+        Alcotest.test_case "drbg bigint bounds" `Quick test_drbg_bigint_bounds;
+        Alcotest.test_case "hex roundtrip" `Quick test_hex_roundtrip;
+        Alcotest.test_case "hash to field" `Quick test_hash_to_field;
+      ] );
+  ]
