@@ -14,6 +14,16 @@ module Keyspace = Zkqac_core.Keyspace
 module Record = Zkqac_core.Record
 module Workload = Zkqac_tpch.Workload
 module Pool = Zkqac_parallel.Pool
+module Telemetry = Zkqac_telemetry.Telemetry
+module Json = Zkqac_telemetry.Json
+
+(* Run [f], returning its result plus the telemetry cost (op counts) of the
+   region as a JSON object — the per-row "ops" field of BENCH.json. *)
+let with_ops f =
+  let before = Telemetry.snapshot () in
+  let v = f () in
+  let cost = Telemetry.diff ~earlier:before ~later:(Telemetry.snapshot ()) in
+  (v, Telemetry.ops_json cost)
 
 type scale_cfg = { full : bool }
 
@@ -140,11 +150,19 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
             Abs.sign drbg mvk sk ~msg:(Record.message_of record) ~policy
           in
           let user = Attr.set_of_list roles in
-          let _, verify_t =
-            Report.avg_time runs (fun () ->
-                assert (Abs.verify mvk ~msg:(Record.message_of record) ~policy sigma))
+          let (_, verify_t), ops =
+            with_ops (fun () ->
+                Report.avg_time runs (fun () ->
+                    assert (Abs.verify mvk ~msg:(Record.message_of record) ~policy sigma)))
           in
           ignore user;
+          Report.emit ~series:"equality_accessible"
+            (Json.Obj
+               [ ("policy_len", Json.Int len);
+                 ("user_verify_ms", Json.Float (verify_t *. 1000.));
+                 ("vo_bytes", Json.Int (Abs.size sigma));
+                 ("runs", Json.Int runs);
+                 ("ops", ops) ]);
           [ string_of_int len; Report.ms verify_t; Report.kb (Abs.size sigma) ])
         [ (3, 2); (6, 4); (12, 8); (24, 16) ]
     in
@@ -167,17 +185,29 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
           let sigma = Abs.sign drbg mvk sk ~msg:(Record.message_of record) ~policy in
           let keep = Universe.missing universe ~user in
           let relaxed = ref None in
-          let _, sp_t =
-            Report.avg_time runs (fun () ->
-                relaxed :=
-                  Abs.relax drbg mvk sigma ~msg:(Record.message_of record) ~policy ~keep)
+          let ((), sp_t), sp_ops =
+            with_ops (fun () ->
+                Report.avg_time runs (fun () ->
+                    relaxed :=
+                      Abs.relax drbg mvk sigma ~msg:(Record.message_of record) ~policy
+                        ~keep))
           in
           let aps = Option.get !relaxed in
           let super = Abs.relaxed_policy keep in
-          let _, user_t =
-            Report.avg_time runs (fun () ->
-                assert (Abs.verify mvk ~msg:(Record.message_of record) ~policy:super aps))
+          let (_, user_t), user_ops =
+            with_ops (fun () ->
+                Report.avg_time runs (fun () ->
+                    assert (Abs.verify mvk ~msg:(Record.message_of record) ~policy:super aps)))
           in
+          Report.emit ~series:"equality_inaccessible"
+            (Json.Obj
+               [ ("predicate_len", Json.Int (Attr.Set.cardinal keep));
+                 ("sp_relax_ms", Json.Float (sp_t *. 1000.));
+                 ("user_verify_ms", Json.Float (user_t *. 1000.));
+                 ("vo_bytes", Json.Int (Abs.size aps));
+                 ("runs", Json.Int runs);
+                 ("sp_ops", sp_ops);
+                 ("user_ops", user_ops) ]);
           [ string_of_int (Attr.Set.cardinal keep); Report.ms sp_t;
             Report.ms user_t; Report.kb (Abs.size aps) ])
         [ 10; 20; 40; 80 ]
@@ -198,9 +228,25 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
       List.map
         (fun frac ->
           let query = Workload.range_query rng ~space:inst.space ~frac in
-          let (g_sp, g_u, g_vo, g_rx), (b_sp, b_u, b_vo, b_rx) =
-            run_range inst flat ~user query
+          let ((g_sp, g_u, g_vo, g_rx), (b_sp, b_u, b_vo, b_rx)), ops =
+            with_ops (fun () -> run_range inst flat ~user query)
           in
+          Report.emit ~series:"range_query"
+            (Json.Obj
+               [ ("range_frac", Json.Float frac);
+                 ( "ap2g",
+                   Json.Obj
+                     [ ("sp_ms", Json.Float (g_sp *. 1000.));
+                       ("user_ms", Json.Float (g_u *. 1000.));
+                       ("vo_bytes", Json.Int g_vo);
+                       ("relax_calls", Json.Int g_rx) ] );
+                 ( "basic",
+                   Json.Obj
+                     [ ("sp_ms", Json.Float (b_sp *. 1000.));
+                       ("user_ms", Json.Float (b_u *. 1000.));
+                       ("vo_bytes", Json.Int b_vo);
+                       ("relax_calls", Json.Int b_rx) ] );
+                 ("ops", ops) ]);
           [ Printf.sprintf "%.2f%%" (frac *. 100.);
             Report.ms g_sp; Report.ms b_sp;
             Report.ms g_u; Report.ms b_u;

@@ -9,6 +9,8 @@
                                               -- real pairing backend *)
 
 module Backend = Zkqac_group.Backend
+module Telemetry = Zkqac_telemetry.Telemetry
+module Json = Zkqac_telemetry.Json
 
 let experiments =
   [ "table1"; "table2"; "fig7"; "fig8"; "fig9"; "fig10"; "fig11"; "fig12";
@@ -16,7 +18,7 @@ let experiments =
 
 let usage () =
   Printf.eprintf
-    "usage: main.exe [--full] [--backend %s] [all | %s]...\n"
+    "usage: main.exe [--full] [--backend %s] [--json PATH] [all | %s]...\n"
     (String.concat "|" (List.map Backend.to_string Backend.all))
     (String.concat " | " experiments);
   exit 2
@@ -25,6 +27,7 @@ let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let full = ref false in
   let backend = ref Backend.Mock in
+  let json_path = ref None in
   let selected = ref [] in
   let rec parse = function
     | [] -> ()
@@ -35,6 +38,9 @@ let () =
       (match Backend.of_string b with
        | Some k -> backend := k
        | None -> usage ());
+      parse rest
+    | "--json" :: path :: rest ->
+      json_path := Some path;
       parse rest
     | "all" :: rest ->
       selected := !selected @ experiments;
@@ -54,6 +60,17 @@ let () =
     "zkqac benchmark harness -- backend: %s, %s sizes\n"
     B.name
     (if !full then "full" else "smoke");
+  (match !json_path with
+   | None -> ()
+   | Some path ->
+     (* Fail fast on an unwritable path rather than after the experiments. *)
+     (try close_out (open_out path)
+      with Sys_error e ->
+        Printf.eprintf "cannot write %s: %s\n" path e;
+        exit 2);
+     Report.collecting := true;
+     Telemetry.enable ());
+  let records = ref [] in
   let t0 = Unix.gettimeofday () in
   List.iter
     (fun exp ->
@@ -79,7 +96,31 @@ let () =
                  else []))
         | _ -> assert false
       in
+      let before = Telemetry.snapshot () in
       let _, t = Report.time run in
+      if !json_path <> None then begin
+        let cost = Telemetry.diff ~earlier:before ~later:(Telemetry.snapshot ()) in
+        let series = Report.take_series () in
+        records :=
+          Json.Obj
+            ([ ("name", Json.Str exp);
+               ("wall_s", Json.Float t);
+               ("ops", Telemetry.ops_json cost);
+               ("spans", Telemetry.spans_json cost) ]
+             @ (if series = [] then [] else [ ("series", Json.Obj series) ]))
+          :: !records
+      end;
       Printf.printf "[%s done in %.1fs]\n%!" exp t)
     selected;
-  Printf.printf "\ntotal: %.1fs\n" (Unix.gettimeofday () -. t0)
+  Printf.printf "\ntotal: %.1fs\n" (Unix.gettimeofday () -. t0);
+  match !json_path with
+  | None -> ()
+  | Some path ->
+    Json.to_file path
+      (Json.Obj
+         [ ("schema", Json.Str "zkqac-bench/1");
+           ("backend", Json.Str (Backend.to_string !backend));
+           ("full", Json.Bool !full);
+           ("total_wall_s", Json.Float (Unix.gettimeofday () -. t0));
+           ("experiments", Json.Arr (List.rev !records)) ]);
+    Printf.printf "wrote %s\n" path

@@ -57,6 +57,65 @@ let run_tests tests =
         results [])
     tests
 
+(* Overhead of the telemetry wrapper when collection is disabled: the
+   instrumented backend adds one atomic load + branch per group op, which
+   must stay in the noise (target <= 2% on mock ABS.Verify). Raw and
+   wrapped variants run interleaved blocks and we keep the best of each,
+   so frequency drift hits both alike. *)
+let telemetry_overhead () =
+  let module Telemetry = Zkqac_telemetry.Telemetry in
+  let module Json = Zkqac_telemetry.Json in
+  let was_on = Telemetry.enabled () in
+  Telemetry.disable ();
+  Fun.protect ~finally:(fun () -> if was_on then Telemetry.enable ())
+  @@ fun () ->
+  let runner (module P : Zkqac_group.Pairing_intf.PAIRING) =
+    let module Abs = Zkqac_abs.Abs.Make (P) in
+    let drbg = Drbg.create ~seed:"micro:overhead" in
+    let msk, mvk = Abs.setup drbg in
+    let universe = Universe.create (Universe.roles ~prefix:"R" 10) in
+    let sk = Abs.keygen drbg msk (Universe.attrs universe) in
+    let policy = Expr.of_string "(R0 & R1) | (R2 & R3) | (R4 & R5)" in
+    let msg = "telemetry-overhead message" in
+    let sigma = Abs.sign drbg mvk sk ~msg ~policy in
+    fun iters ->
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to iters do
+        assert (Abs.verify mvk ~msg ~policy sigma)
+      done;
+      Unix.gettimeofday () -. t0
+  in
+  let module R = (val Zkqac_group.Backend.instantiate_raw Zkqac_group.Backend.Mock)
+  in
+  let module I = Zkqac_group.Instrumented.Make (R) in
+  let raw = runner (module R) and inst = runner (module I) in
+  let iters = 400 and blocks = 5 in
+  (* Warm-up. *)
+  ignore (raw 100);
+  ignore (inst 100);
+  let best_raw = ref infinity and best_inst = ref infinity in
+  for _ = 1 to blocks do
+    best_raw := Float.min !best_raw (raw iters);
+    best_inst := Float.min !best_inst (inst iters)
+  done;
+  let per v = v /. float_of_int iters *. 1e6 in
+  let overhead = (!best_inst -. !best_raw) /. !best_raw *. 100. in
+  Report.print_table
+    ~title:"Telemetry wrapper overhead (mock ABS.Verify, telemetry disabled)"
+    ~header:[ "variant"; "us/verify"; "overhead" ]
+    [
+      [ "raw backend"; Printf.sprintf "%.2f" (per !best_raw); "-" ];
+      [ "instrumented, disabled"; Printf.sprintf "%.2f" (per !best_inst);
+        Printf.sprintf "%+.2f%%" overhead ];
+    ];
+  Report.emit ~series:"telemetry_overhead"
+    (Json.Obj
+       [ ("iters_per_block", Json.Int iters);
+         ("blocks", Json.Int blocks);
+         ("raw_us_per_verify", Json.Float (per !best_raw));
+         ("instrumented_us_per_verify", Json.Float (per !best_inst));
+         ("overhead_percent", Json.Float overhead) ])
+
 let micro backends =
   let rows =
     List.concat_map
@@ -78,4 +137,5 @@ let micro backends =
            else Printf.sprintf "%.0f ns" ns
          in
          [ name; pretty ])
-       (List.sort compare rows))
+       (List.sort compare rows));
+  telemetry_overhead ()

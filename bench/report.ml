@@ -1,4 +1,25 @@
-(* Plain-text table rendering for the experiment harness. *)
+(* Plain-text table rendering for the experiment harness, plus the
+   structured-result sink behind `--json`. *)
+
+module Json = Zkqac_telemetry.Json
+
+(* Experiments push named series of JSON rows here; main drains them into
+   the per-experiment record of BENCH.json. Off (a no-op) unless --json. *)
+let collecting = ref false
+
+let series_acc : (string * Json.t list ref) list ref = ref []
+
+let emit ~series row =
+  if !collecting then begin
+    match List.assoc_opt series !series_acc with
+    | Some rows -> rows := row :: !rows
+    | None -> series_acc := !series_acc @ [ (series, ref [ row ]) ]
+  end
+
+let take_series () =
+  let out = List.map (fun (n, rows) -> (n, Json.Arr (List.rev !rows))) !series_acc in
+  series_acc := [];
+  out
 
 let hr width = String.make width '-'
 

@@ -26,6 +26,25 @@ module Ads_io = Zkqac_core.Ads_io.Make (Backend)
 
 let die fmt = Printf.ksprintf (fun s -> prerr_endline ("zkqac: " ^ s); exit 1) fmt
 
+(* --stats: every subcommand can print op counts + stage timings on exit. *)
+
+let stats_arg =
+  Arg.(value & flag
+       & info [ "stats" ]
+           ~doc:"Print telemetry (group-operation counts and stage timings) on exit.")
+
+let with_stats stats f =
+  if not stats then f ()
+  else begin
+    let module T = Zkqac_telemetry.Telemetry in
+    T.enable ();
+    let before = T.snapshot () in
+    Fun.protect
+      ~finally:(fun () ->
+        T.print stdout (T.diff ~earlier:before ~later:(T.snapshot ())))
+      f
+  end
+
 let parse_record line =
   (* Split on the first two '|' only: the policy itself may contain '|'. *)
   match String.index_opt line '|' with
@@ -120,7 +139,9 @@ let setup_cmd =
   let out = Arg.(value & opt string "ads.zkqac" & info [ "o"; "out" ] ~doc:"Output ADS file.") in
   Cmd.v
     (Cmd.info "setup" ~doc:"Data-owner setup: sign a database into an ADS file.")
-    Term.(const setup $ records $ roles $ dims $ depth $ seed $ out)
+    Term.(const (fun stats records roles dims depth seed out ->
+              with_stats stats (fun () -> setup records roles dims depth seed out))
+          $ stats_arg $ records $ roles $ dims $ depth $ seed $ out)
 
 (* --- inspect --- *)
 
@@ -141,7 +162,9 @@ let inspect path =
 
 let inspect_cmd =
   let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"ADS") in
-  Cmd.v (Cmd.info "inspect" ~doc:"Describe an ADS file.") Term.(const inspect $ path)
+  Cmd.v (Cmd.info "inspect" ~doc:"Describe an ADS file.")
+    Term.(const (fun stats path -> with_stats stats (fun () -> inspect path))
+          $ stats_arg $ path)
 
 (* --- query (SP side) --- *)
 
@@ -171,7 +194,9 @@ let query_cmd =
   let out = Arg.(value & opt string "vo.zkqac" & info [ "o"; "out" ] ~doc:"Output VO file.") in
   Cmd.v
     (Cmd.info "query" ~doc:"Service-provider side: answer a range query with a VO.")
-    Term.(const query $ path $ roles $ range $ out)
+    Term.(const (fun stats path roles range out ->
+              with_stats stats (fun () -> query path roles range out))
+          $ stats_arg $ path $ roles $ range $ out)
 
 (* --- verify (user side) --- *)
 
@@ -208,7 +233,9 @@ let verify_cmd =
   let range = Arg.(required & opt (some string) None & info [ "range" ] ~docv:"a1,a2:b1,b2") in
   Cmd.v
     (Cmd.info "verify" ~doc:"User side: check a VO for soundness and completeness.")
-    Term.(const verify $ path $ vo $ roles $ range)
+    Term.(const (fun stats path vo roles range ->
+              with_stats stats (fun () -> verify path vo roles range))
+          $ stats_arg $ path $ vo $ roles $ range)
 
 (* --- demo --- *)
 
@@ -229,7 +256,7 @@ let demo () =
 
 let demo_cmd =
   Cmd.v (Cmd.info "demo" ~doc:"Self-contained end-to-end demonstration.")
-    Term.(const demo $ const ())
+    Term.(const (fun stats -> with_stats stats demo) $ stats_arg)
 
 let () =
   let info =

@@ -4,6 +4,7 @@ module Expr = Zkqac_policy.Expr
 module Msp = Zkqac_policy.Msp
 module Drbg = Zkqac_hashing.Drbg
 module Htf = Zkqac_hashing.Hash_to_field
+module T = Zkqac_telemetry.Telemetry
 
 module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
   module G = P.G
@@ -97,6 +98,7 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
     | m -> G.pow base (B.erem (B.mul (B.of_int m) r) order)
 
   let sign drbg mvk sk ~msg ~policy =
+    T.bump T.Abs_sign;
     let msp = Msp.build policy in
     let v =
       match Msp.satisfying_rows msp policy sk.attrs with
@@ -137,6 +139,7 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
     { tau; y; w; s; p }
 
   let verify mvk ~msg ~policy sigma =
+    T.bump T.Abs_verify;
     let msp = Msp.build policy in
     if Array.length sigma.s <> msp.Msp.rows || Array.length sigma.p <> msp.Msp.cols
     then false
@@ -172,6 +175,7 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
           = e(prod_m Y_m^{d_m}, h)^{z_j} * prod_m e((Cg^{h_m})^{d_m}, P_{m,j})
      -- the left side needs only l pairings regardless of the batch size. *)
   let verify_batch drbg mvk ~policy sigs =
+    T.bump T.Abs_verify;
     match sigs with
     | [] -> true
     | [ (msg, sigma) ] -> verify mvk ~msg ~policy sigma
@@ -233,6 +237,7 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
   let relaxed_policy keep = Expr.of_attrs_or (Attr.Set.elements keep)
 
   let relax drbg mvk sigma ~msg ~policy ~keep =
+    T.bump T.Abs_relax;
     match Msp.purge policy ~keep with
     | None -> None
     | Some { Msp.kept_rows; kept_cols } ->

@@ -3,6 +3,8 @@ module Attr = Zkqac_policy.Attr
 module Universe = Zkqac_policy.Universe
 module Hierarchy = Zkqac_policy.Hierarchy
 
+module T = Zkqac_telemetry.Telemetry
+
 module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
   module Abs = Zkqac_abs.Abs.Make (P)
   module Vo = Vo.Make (P)
@@ -42,6 +44,7 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
   end)
 
   let build drbg ~mvk ~sk ~space ~universe ?hierarchy ~pseudo_seed records =
+    T.span "ads.build" @@ fun () ->
     let augment =
       match hierarchy with
       | None -> Fun.id
@@ -171,6 +174,7 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
         Vo.Inaccessible_node { region = node.box; aps }
 
   let range_vo ?(pmap = List.map (fun job -> job ())) drbg ~mvk t ~user query =
+    T.span "sp.query" @@ fun () ->
     let t0 = Unix.gettimeofday () in
     let user = effective_user t ~user in
     let keep = keep_set t ~user in
@@ -213,7 +217,7 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
       end
     done;
     let relax_jobs = List.rev !jobs in
-    let relaxed = pmap (List.map (fun j -> j) relax_jobs) in
+    let relaxed = T.span "sp.relax" (fun () -> pmap relax_jobs) in
     let vo = List.rev_append !direct relaxed in
     ( vo,
       {
@@ -328,7 +332,12 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
       let sig_bytes = ref 0 and struct_bytes = ref 0 in
       let leaf_sigs = ref 0 and node_sigs = ref 0 in
       let rec get_node box =
-        let policy = Expr.of_string (Wire.rbytes r) in
+        let policy =
+          let s = Wire.rbytes r in
+          match Expr.of_string s with
+          | p -> p
+          | exception (Invalid_argument _ | Failure _) -> raise Wire.Malformed
+        in
         let sig_data = Wire.rbytes r in
         let signature =
           match Abs.of_bytes sig_data with

@@ -3,6 +3,8 @@ module Attr = Zkqac_policy.Attr
 module Universe = Zkqac_policy.Universe
 module Kd_split = Zkqac_policy.Kd_split
 
+module T = Zkqac_telemetry.Telemetry
+
 module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
   module Abs = Zkqac_abs.Abs.Make (P)
   module Vo = Vo.Make (P)
@@ -76,6 +78,7 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
     first 0
 
   let build drbg ~mvk ~sk ~space ~universe ?(split = `Clause_objective) records =
+    T.span "ads.build" @@ fun () ->
     List.iter
       (fun (r : Record.t) ->
         if not (Keyspace.valid_key space r.Record.key) then
@@ -192,6 +195,7 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
         Vo.Inaccessible_node { region = node.box; aps }
 
   let range_vo ?(pmap = List.map (fun job -> job ())) drbg ~mvk t ~user query =
+    T.span "sp.query" @@ fun () ->
     let t0 = Unix.gettimeofday () in
     let keep = Expr.attrs (Universe.super_policy t.universe ~user) in
     let visited = ref 0 in
@@ -231,7 +235,7 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
       end
     done;
     let relax_jobs = List.rev !jobs in
-    let relaxed = pmap relax_jobs in
+    let relaxed = T.span "sp.relax" (fun () -> pmap relax_jobs) in
     ( List.rev_append !direct relaxed,
       {
         relax_calls = List.length relax_jobs;

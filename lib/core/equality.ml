@@ -2,6 +2,8 @@ module Expr = Zkqac_policy.Expr
 module Attr = Zkqac_policy.Attr
 module Universe = Zkqac_policy.Universe
 
+module T = Zkqac_telemetry.Telemetry
+
 module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
   module Abs = Zkqac_abs.Abs.Make (P)
   module Vo = Vo.Make (P)
@@ -20,6 +22,7 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
   }
 
   let build drbg ~mvk ~sk ~space ~universe ~pseudo_seed records =
+    T.span "ads.build" @@ fun () ->
     let by_key =
       List.fold_left
         (fun acc (r : Record.t) ->
@@ -118,6 +121,7 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
     | Ok _ -> Error Vo.Malformed_vo
 
   let range_vo ?(pmap = List.map (fun job -> job ())) drbg ~mvk t ~user query =
+    T.span "sp.query" @@ fun () ->
     let t0 = Unix.gettimeofday () in
     let keep = Expr.attrs (Universe.super_policy t.universe ~user) in
     let jobs = ref [] in
@@ -144,7 +148,7 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
                 if Box.contains_point query (Array.of_list k) then Some e else None)
               (Key_map.bindings t.entries)))
     in
-    let vo = pmap (List.rev !jobs) in
+    let vo = T.span "sp.relax" (fun () -> pmap (List.rev !jobs)) in
     ( vo,
       {
         Ap2g.relax_calls;

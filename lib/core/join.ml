@@ -35,6 +35,7 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
   let join_vo drbg ~mvk ~r ~s ~user query =
     if not (Keyspace.num_leaves (Ap2g.space r) = Keyspace.num_leaves (Ap2g.space s))
     then invalid_arg "Join.join_vo: trees over different keyspaces";
+    Zkqac_telemetry.Telemetry.span "sp.query" @@ fun () ->
     let t0 = Unix.gettimeofday () in
     let visited = ref 0 and relaxed = ref 0 in
     let out = ref [] in
@@ -80,6 +81,7 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
       } )
 
   let verify ~mvk ~t_universe ~user ~query vo =
+    Zkqac_telemetry.Telemetry.span "client.verify" @@ fun () ->
     let ( let* ) = Result.bind in
     let super_policy = Universe.super_policy t_universe ~user in
     (* Completeness: pair cells and APS regions together cover the range. *)

@@ -49,6 +49,7 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
   let node_aps_message ~region = Record.node_message region
 
   let verify ?(clip = false) ?batch ~mvk ~binding ~super_policy ~user ~query vo =
+    Zkqac_telemetry.Telemetry.span "client.verify" @@ fun () ->
     let ( let* ) = Result.bind in
     (* Completeness: the regions tile the query box exactly (clipped to the
        query first in kd-tree mode, where leaf regions are data-dependent and
@@ -138,6 +139,15 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
     let hi = Wire.rint_array r in
     Box.make ~lo ~hi
 
+  (* Untrusted input: any parse failure (including e.g. int_of_string
+     overflow inside the policy parser) is a malformed VO, never an
+     escaping exception. *)
+  let policy_of_wire r =
+    let s = Wire.rbytes r in
+    match Expr.of_string s with
+    | policy -> policy
+    | exception (Invalid_argument _ | Failure _) -> raise Wire.Malformed
+
   let put_entry w = function
     | Accessible { region; record; app } ->
       Wire.u8 w 0;
@@ -163,7 +173,7 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
       let region = get_box r in
       let key = Wire.rint_array r in
       let value = Wire.rbytes r in
-      let policy = Expr.of_string (Wire.rbytes r) in
+      let policy = policy_of_wire r in
       let app =
         match Abs.of_bytes (Wire.rbytes r) with
         | Some s -> s

@@ -3,6 +3,7 @@ module Attr = Zkqac_policy.Attr
 module Expr = Zkqac_policy.Expr
 module Drbg = Zkqac_hashing.Drbg
 module Wire = Zkqac_util.Wire
+module T = Zkqac_telemetry.Telemetry
 
 module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
   module G = P.G
@@ -95,6 +96,7 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
     Array.of_list (List.rev !leaves)
 
   let encrypt drbg pp m ~policy =
+    T.bump T.Cpabe_encrypt;
     let s = P.rand_scalar drbg in
     let shares = share drbg s policy in
     {
@@ -120,6 +122,7 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
       B.one s
 
   let decrypt _pp sk ct =
+    T.bump T.Cpabe_decrypt;
     if not (Expr.eval ct.policy sk.attrs) then None
     else begin
       (* Recursive DecryptNode; leaf_idx tracks DFS position to find the
@@ -186,7 +189,12 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
   let ciphertext_of_bytes data =
     match
       let r = Wire.reader data in
-      let policy = Expr.of_string (Wire.rbytes r) in
+      let policy =
+        let s = Wire.rbytes r in
+        match Expr.of_string s with
+        | p -> p
+        | exception (Invalid_argument _ | Failure _) -> raise Wire.Malformed
+      in
       let gt () = match Gt.of_bytes (Wire.rbytes r) with Some x -> x | None -> raise Wire.Malformed in
       let g () = match G.of_bytes (Wire.rbytes r) with Some x -> x | None -> raise Wire.Malformed in
       let c_tilde = gt () in

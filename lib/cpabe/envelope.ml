@@ -21,22 +21,24 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
     (enc, mac)
 
   let seal drbg pp ~policy payload =
-    let m = C.random_message drbg pp in
-    let kem = C.encrypt drbg pp m ~policy in
-    let enc_key, mac_key = keys_of_element m in
-    let nonce = Zkqac_hashing.Drbg.generate drbg 12 in
-    let body = Aes.ctr ~key:enc_key ~nonce payload in
-    let tag = Hmac.mac ~key:mac_key (nonce ^ body) in
-    { kem; nonce; body; tag }
+    Zkqac_telemetry.Telemetry.span "envelope.seal" (fun () ->
+        let m = C.random_message drbg pp in
+        let kem = C.encrypt drbg pp m ~policy in
+        let enc_key, mac_key = keys_of_element m in
+        let nonce = Zkqac_hashing.Drbg.generate drbg 12 in
+        let body = Aes.ctr ~key:enc_key ~nonce payload in
+        let tag = Hmac.mac ~key:mac_key (nonce ^ body) in
+        { kem; nonce; body; tag })
 
   let open_ pp sk sealed =
-    match C.decrypt pp sk sealed.kem with
-    | None -> None
-    | Some m ->
-      let enc_key, mac_key = keys_of_element m in
-      let expect = Hmac.mac ~key:mac_key (sealed.nonce ^ sealed.body) in
-      if not (String.equal expect sealed.tag) then None
-      else Some (Aes.ctr ~key:enc_key ~nonce:sealed.nonce sealed.body)
+    Zkqac_telemetry.Telemetry.span "envelope.open" (fun () ->
+        match C.decrypt pp sk sealed.kem with
+        | None -> None
+        | Some m ->
+          let enc_key, mac_key = keys_of_element m in
+          let expect = Hmac.mac ~key:mac_key (sealed.nonce ^ sealed.body) in
+          if not (String.equal expect sealed.tag) then None
+          else Some (Aes.ctr ~key:enc_key ~nonce:sealed.nonce sealed.body))
 
   let to_bytes sealed =
     let w = Wire.writer () in

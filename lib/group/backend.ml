@@ -17,8 +17,14 @@ let to_string = function
 
 let all = [ Mock; Typea_tiny; Typea_small; Typea_default ]
 
-let instantiate = function
+let instantiate_raw = function
   | Mock -> Mock.create ()
   | Typea_tiny -> Typea.create (Lazy.force Typea_params.tiny)
   | Typea_small -> Typea.create (Lazy.force Typea_params.small)
   | Typea_default -> Typea.create (Lazy.force Typea_params.default)
+
+(* All backends are handed out behind the telemetry-counting wrapper; the
+   raw module exists for overhead micro-benchmarks. *)
+let instantiate kind =
+  let module P = (val instantiate_raw kind) in
+  (module Instrumented.Make (P) : Pairing_intf.PAIRING)

@@ -1,0 +1,70 @@
+(* Telemetry-counting wrapper over a PAIRING backend.
+
+   Wraps every expensive operation crossing the PAIRING interface boundary
+   with a Zkqac_telemetry counter bump; cheap structural operations
+   (equality, encoding, constants) pass through untouched. Applied by
+   Backend.instantiate, so all protocol code is counted without the
+   backends themselves knowing about telemetry. When telemetry is disabled
+   (the default) each wrapped call costs one load-and-branch. *)
+
+module T = Zkqac_telemetry.Telemetry
+
+module Make (P : Pairing_intf.PAIRING) : Pairing_intf.PAIRING = struct
+  let name = P.name
+  let order = P.order
+
+  module G = struct
+    type t = P.G.t
+
+    let one = P.G.one
+    let g = P.G.g
+
+    let mul a b =
+      T.bump T.G_mul;
+      P.G.mul a b
+
+    let inv a =
+      T.bump T.G_mul;
+      P.G.inv a
+
+    let pow a k =
+      T.bump T.G_exp;
+      P.G.pow a k
+
+    let equal = P.G.equal
+    let is_one = P.G.is_one
+    let to_bytes = P.G.to_bytes
+    let of_bytes = P.G.of_bytes
+    let hash_to = P.G.hash_to
+  end
+
+  module Gt = struct
+    type t = P.Gt.t
+
+    let one = P.Gt.one
+
+    let mul a b =
+      T.bump T.Gt_mul;
+      P.Gt.mul a b
+
+    let inv a =
+      T.bump T.Gt_mul;
+      P.Gt.inv a
+
+    let pow a k =
+      T.bump T.Gt_exp;
+      P.Gt.pow a k
+
+    let equal = P.Gt.equal
+    let is_one = P.Gt.is_one
+    let to_bytes = P.Gt.to_bytes
+    let of_bytes = P.Gt.of_bytes
+  end
+
+  let e a b =
+    T.bump T.Pairing;
+    P.e a b
+
+  let rand_scalar = P.rand_scalar
+  let rand_g = P.rand_g
+end

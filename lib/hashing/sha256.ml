@@ -40,6 +40,7 @@ let init () =
 let rotr x n = ((x lsr n) lor (x lsl (32 - n))) land m32
 
 let compress ctx block off =
+  Zkqac_telemetry.Telemetry.(bump Sha256_compress);
   let w = ctx.w in
   for t = 0 to 15 do
     let i = off + (t * 4) in

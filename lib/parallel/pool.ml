@@ -5,29 +5,54 @@ exception Job_failed of exn
 let map ~threads jobs =
   let jobs = Array.of_list jobs in
   let n = Array.length jobs in
-  if threads <= 1 || n <= 1 then Array.to_list (Array.map (fun j -> j ()) jobs)
+  if threads <= 1 || n <= 1 then
+    Array.to_list
+      (Array.map
+         (fun j ->
+           try j ()
+           with e ->
+             let bt = Printexc.get_raw_backtrace () in
+             Printexc.raise_with_backtrace (Job_failed e) bt)
+         jobs)
   else begin
     let threads = min threads n in
     let results = Array.make n None in
+    (* First failure by job index, kept with its backtrace. Workers race to
+       publish via compare-and-set; lower indices win, so which failure is
+       reported does not depend on domain scheduling. *)
     let failure = Atomic.make None in
+    let record_failure i e bt =
+      let rec loop () =
+        let cur = Atomic.get failure in
+        match cur with
+        | Some (j, _, _) when j <= i -> ()
+        | _ -> if not (Atomic.compare_and_set failure cur (Some (i, e, bt))) then loop ()
+      in
+      loop ()
+    in
     (* Static block partition: domain k takes the contiguous slice
        [k*n/threads, (k+1)*n/threads). *)
     let worker k () =
       let lo = k * n / threads and hi = (k + 1) * n / threads in
+      let i = ref lo in
       try
-        for i = lo to hi - 1 do
-          results.(i) <- Some (jobs.(i) ())
+        while !i < hi do
+          results.(!i) <- Some (jobs.(!i) ());
+          incr i
         done
-      with e -> Atomic.set failure (Some e)
+      with e -> record_failure !i e (Printexc.get_raw_backtrace ())
     in
     let domains = List.init threads (fun k -> Domain.spawn (worker k)) in
     List.iter Domain.join domains;
     (match Atomic.get failure with
-     | Some e -> raise (Job_failed e)
+     | Some (_, e, bt) -> Printexc.raise_with_backtrace (Job_failed e) bt
      | None -> ());
     Array.to_list
       (Array.map
-         (function Some v -> v | None -> raise (Job_failed Not_found))
+         (function
+           | Some v -> v
+           (* No failure recorded means every slice ran to completion. *)
+           | None -> assert false)
          results)
   end
 

@@ -5,12 +5,17 @@
     are deterministic-output thunks; the result order matches the input
     order. *)
 
+exception Job_failed of exn
+(** Wraps the exception raised by a failed job. *)
+
 val available_cores : unit -> int
 
 val map : threads:int -> (unit -> 'a) list -> 'a list
 (** Run the thunks on [threads] domains (static block partitioning, like an
-    OpenMP static schedule). [threads <= 1] runs inline. Exceptions raised by
-    a job are re-raised in the caller. *)
+    OpenMP static schedule). [threads <= 1] runs inline. If any job raises,
+    the failure with the lowest job index is re-raised in the caller as
+    [Job_failed e] with the worker's backtrace — deterministic even when
+    several jobs fail on different domains. *)
 
 val time : (unit -> 'a) -> 'a * float
 (** Wall-clock timing helper for benches. *)

@@ -1,0 +1,22 @@
+(** A minimal JSON tree and printer.
+
+    Just enough to emit machine-readable benchmark results and telemetry
+    snapshots without an external dependency. Printing is deterministic
+    (object fields keep their construction order) and always produces valid
+    JSON: strings are escaped per RFC 8259 and non-finite floats are emitted
+    as [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_buffer : Buffer.t -> t -> unit
+val to_string : t -> string
+
+val to_file : string -> t -> unit
+(** Write the value to [path] with a trailing newline. *)

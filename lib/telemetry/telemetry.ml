@@ -1,0 +1,165 @@
+type counter =
+  | Pairing
+  | G_exp
+  | G_mul
+  | Gt_exp
+  | Gt_mul
+  | Sha256_compress
+  | Abs_sign
+  | Abs_verify
+  | Abs_relax
+  | Cpabe_encrypt
+  | Cpabe_decrypt
+
+let all_counters =
+  [ Pairing; G_exp; G_mul; Gt_exp; Gt_mul; Sha256_compress; Abs_sign;
+    Abs_verify; Abs_relax; Cpabe_encrypt; Cpabe_decrypt ]
+
+let counter_name = function
+  | Pairing -> "pairing"
+  | G_exp -> "g_exp"
+  | G_mul -> "g_mul"
+  | Gt_exp -> "gt_exp"
+  | Gt_mul -> "gt_mul"
+  | Sha256_compress -> "sha256_compress"
+  | Abs_sign -> "abs_sign"
+  | Abs_verify -> "abs_verify"
+  | Abs_relax -> "abs_relax"
+  | Cpabe_encrypt -> "cpabe_encrypt"
+  | Cpabe_decrypt -> "cpabe_decrypt"
+
+let index = function
+  | Pairing -> 0
+  | G_exp -> 1
+  | G_mul -> 2
+  | Gt_exp -> 3
+  | Gt_mul -> 4
+  | Sha256_compress -> 5
+  | Abs_sign -> 6
+  | Abs_verify -> 7
+  | Abs_relax -> 8
+  | Cpabe_encrypt -> 9
+  | Cpabe_decrypt -> 10
+
+let num_counters = List.length all_counters
+
+(* --- switching --- *)
+
+let on = Atomic.make false
+let enabled () = Atomic.get on
+let enable () = Atomic.set on true
+let disable () = Atomic.set on false
+
+let with_enabled f =
+  let prev = Atomic.get on in
+  Atomic.set on true;
+  Fun.protect ~finally:(fun () -> Atomic.set on prev) f
+
+(* --- counters --- *)
+
+let counters = Array.init num_counters (fun _ -> Atomic.make 0)
+
+let bump c = if Atomic.get on then Atomic.incr counters.(index c)
+
+let bump_n c n =
+  if Atomic.get on then ignore (Atomic.fetch_and_add counters.(index c) n)
+
+let get c = Atomic.get counters.(index c)
+
+(* --- spans --- *)
+
+type span_stat = { calls : int; seconds : float }
+
+let span_lock = Mutex.create ()
+let span_table : (string, span_stat) Hashtbl.t = Hashtbl.create 16
+
+let now_ns () = Monotonic_clock.now ()
+
+let record_span name dt_s =
+  Mutex.lock span_lock;
+  let cur =
+    match Hashtbl.find_opt span_table name with
+    | Some s -> s
+    | None -> { calls = 0; seconds = 0.0 }
+  in
+  Hashtbl.replace span_table name
+    { calls = cur.calls + 1; seconds = cur.seconds +. dt_s };
+  Mutex.unlock span_lock
+
+let span name f =
+  if not (Atomic.get on) then f ()
+  else begin
+    let t0 = now_ns () in
+    Fun.protect
+      ~finally:(fun () ->
+        let dt = Int64.sub (now_ns ()) t0 in
+        record_span name (Int64.to_float dt *. 1e-9))
+      f
+  end
+
+(* --- snapshots --- *)
+
+type snapshot = { ops : int array; span_stats : (string * span_stat) list }
+
+let snapshot () =
+  let ops = Array.map Atomic.get counters in
+  Mutex.lock span_lock;
+  let span_stats = Hashtbl.fold (fun k v acc -> (k, v) :: acc) span_table [] in
+  Mutex.unlock span_lock;
+  { ops; span_stats = List.sort compare span_stats }
+
+let diff ~earlier ~later =
+  let ops = Array.mapi (fun i v -> v - earlier.ops.(i)) later.ops in
+  let span_stats =
+    List.filter_map
+      (fun (name, (l : span_stat)) ->
+        let d =
+          match List.assoc_opt name earlier.span_stats with
+          | None -> l
+          | Some e -> { calls = l.calls - e.calls; seconds = l.seconds -. e.seconds }
+        in
+        if d.calls = 0 && Float.abs d.seconds < 1e-12 then None else Some (name, d))
+      later.span_stats
+  in
+  { ops; span_stats }
+
+let reset () =
+  Array.iter (fun c -> Atomic.set c 0) counters;
+  Mutex.lock span_lock;
+  Hashtbl.reset span_table;
+  Mutex.unlock span_lock
+
+let ops snap = List.map (fun c -> (c, snap.ops.(index c))) all_counters
+let spans snap = snap.span_stats
+
+(* --- reporting --- *)
+
+let ops_json snap =
+  Json.Obj (List.map (fun (c, n) -> (counter_name c, Json.Int n)) (ops snap))
+
+let spans_json snap =
+  Json.Obj
+    (List.map
+       (fun (name, { calls; seconds }) ->
+         (name, Json.Obj [ ("calls", Json.Int calls); ("seconds", Json.Float seconds) ]))
+       snap.span_stats)
+
+let to_json snap =
+  Json.Obj [ ("ops", ops_json snap); ("spans", spans_json snap) ]
+
+let print oc snap =
+  Printf.fprintf oc "telemetry: operation counts\n";
+  let nonzero = List.filter (fun (_, n) -> n <> 0) (ops snap) in
+  if nonzero = [] then Printf.fprintf oc "  (none recorded)\n"
+  else
+    List.iter
+      (fun (c, n) -> Printf.fprintf oc "  %-16s %12d\n" (counter_name c) n)
+      nonzero;
+  if snap.span_stats <> [] then begin
+    Printf.fprintf oc "telemetry: stage timings\n";
+    List.iter
+      (fun (name, { calls; seconds }) ->
+        Printf.fprintf oc "  %-16s %6d call(s) %10.1f ms\n" name calls
+          (seconds *. 1000.))
+      snap.span_stats
+  end

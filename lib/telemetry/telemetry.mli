@@ -1,0 +1,110 @@
+(** Op-level cost accounting and stage timing for the whole system.
+
+    The paper (Section 10) and related systems account query-authentication
+    costs in group/pairing operations; this module makes those counts — and
+    per-stage wall time — observable at runtime without changing any
+    protocol code path.
+
+    Design constraint: telemetry is compiled into the production code, so
+    the disabled path (the default) must cost a single load-and-branch per
+    operation. Counters are {!Atomic} and therefore domain-safe: relax jobs
+    fanned out by [Zkqac_parallel.Pool] count correctly. Named spans
+    accumulate under a mutex, but spans are only placed at coarse stage
+    boundaries (DO setup, ADS build, SP query, relax fan-out, envelope
+    seal/open, client verify), never per-op.
+
+    Typical profiling session:
+    {[
+      Telemetry.enable ();
+      let before = Telemetry.snapshot () in
+      ... run a query ...
+      let cost = Telemetry.diff ~earlier:before ~later:(Telemetry.snapshot ()) in
+      Telemetry.print stdout cost
+    ]} *)
+
+(** The expensive primitives we count. [G] is the (symmetric) source group,
+    [Gt] the target group of the pairing. *)
+type counter =
+  | Pairing  (** bilinear map evaluations e(·,·) *)
+  | G_exp  (** exponentiations in G *)
+  | G_mul  (** multiplications (and inversions) in G *)
+  | Gt_exp  (** exponentiations in Gt *)
+  | Gt_mul  (** multiplications (and inversions) in Gt *)
+  | Sha256_compress  (** SHA-256 compression-function invocations *)
+  | Abs_sign  (** ABS.Sign calls *)
+  | Abs_verify  (** ABS.Verify / ABS.VerifyBatch calls *)
+  | Abs_relax  (** ABS.Relax calls *)
+  | Cpabe_encrypt  (** CP-ABE encryptions *)
+  | Cpabe_decrypt  (** CP-ABE decryption attempts *)
+
+val all_counters : counter list
+
+val counter_name : counter -> string
+(** Stable snake_case name, used as the JSON key. *)
+
+(** {1 Switching} *)
+
+val enabled : unit -> bool
+val enable : unit -> unit
+val disable : unit -> unit
+
+val with_enabled : (unit -> 'a) -> 'a
+(** Run the thunk with telemetry on, restoring the previous state after
+    (also on exception). *)
+
+(** {1 Recording (called from instrumented code)} *)
+
+val bump : counter -> unit
+(** Increment a counter. When disabled this is one atomic load and branch. *)
+
+val bump_n : counter -> int -> unit
+
+val span : string -> (unit -> 'a) -> 'a
+(** [span name f] runs [f], attributing its wall time (monotonic clock) to
+    [name]. Time is recorded even if [f] raises. Spans with the same name
+    accumulate; nesting is allowed but not tracked hierarchically. When
+    disabled, [span] is a branch plus a tail call of [f]. *)
+
+val now_ns : unit -> int64
+(** The monotonic clock used by spans, in nanoseconds. *)
+
+(** {1 Snapshots} *)
+
+type span_stat = { calls : int; seconds : float }
+
+type snapshot
+
+val snapshot : unit -> snapshot
+(** Copy of all counters and spans at this instant. Cheap; safe to take
+    concurrently with recording. *)
+
+val diff : earlier:snapshot -> later:snapshot -> snapshot
+(** Pointwise subtraction: the cost of the region between two snapshots.
+    This is the reset-free way to profile a code region — nothing global is
+    cleared, so concurrent profiled regions do not interfere. *)
+
+val reset : unit -> unit
+(** Zero all counters and drop all spans. Prefer {!snapshot}/{!diff}. *)
+
+val get : counter -> int
+(** Current live value of one counter. *)
+
+val ops : snapshot -> (counter * int) list
+(** All counters in declaration order. *)
+
+val spans : snapshot -> (string * span_stat) list
+(** Spans sorted by name; zero entries (from {!diff}) are dropped. *)
+
+(** {1 Reporting} *)
+
+val ops_json : snapshot -> Json.t
+(** Object mapping counter names to counts. *)
+
+val spans_json : snapshot -> Json.t
+(** Object mapping span names to [{"calls": n, "seconds": s}]. *)
+
+val to_json : snapshot -> Json.t
+(** [{"ops": ..., "spans": ...}]. *)
+
+val print : out_channel -> snapshot -> unit
+(** Human-readable cost breakdown (nonzero counters and all spans). *)

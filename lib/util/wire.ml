@@ -8,8 +8,12 @@ let u8 buf v =
   if v < 0 || v > 0xff then invalid_arg "Wire.u8";
   Buffer.add_char buf (Char.chr v)
 
+let max_u32 = 0xffff_ffff
+
 let u32 buf v =
-  if v < 0 then invalid_arg "Wire.u32";
+  (* Out-of-range values must be rejected, not silently truncated: a 2^32
+     length would otherwise round-trip as 0 and corrupt every later field. *)
+  if v < 0 || v > max_u32 then invalid_arg "Wire.u32";
   for i = 3 downto 0 do
     Buffer.add_char buf (Char.chr ((v lsr (8 * i)) land 0xff))
   done

@@ -1,0 +1,64 @@
+(* Failure propagation in the domain pool: the first (lowest-index) job
+   failure must be reported deterministically, wrapped in Job_failed, even
+   when several jobs on different domains fail. *)
+
+module Pool = Zkqac_parallel.Pool
+
+let expect_failure name expected f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Job_failed" name
+  | exception Pool.Job_failed (Failure msg) ->
+    Alcotest.(check string) name expected msg
+  | exception e ->
+    Alcotest.failf "%s: expected Job_failed (Failure _), got %s" name
+      (Printexc.to_string e)
+
+let ok v () = v
+let fail msg () = failwith msg
+
+let test_single_failure () =
+  (* The original exception is preserved inside Job_failed. *)
+  expect_failure "inline single" "solo" (fun () ->
+      Pool.map ~threads:1 [ ok 1; fail "solo"; ok 3 ]);
+  expect_failure "parallel single" "solo" (fun () ->
+      Pool.map ~threads:2 [ ok 1; fail "solo"; ok 3; ok 4 ])
+
+let test_multi_failure_deterministic () =
+  (* Two failing jobs land on different domains (static block partition of
+     4 jobs over 2 domains puts job 1 on domain 0 and job 3 on domain 1).
+     The lowest job index must win every time, regardless of which domain
+     finishes first. *)
+  for _ = 1 to 50 do
+    expect_failure "two failures, two domains" "boom-1" (fun () ->
+        Pool.map ~threads:2 [ ok 0; fail "boom-1"; ok 2; fail "boom-3" ])
+  done;
+  (* Same with every job failing, across more domains. *)
+  for _ = 1 to 20 do
+    expect_failure "all failing" "boom-0" (fun () ->
+        Pool.map ~threads:4
+          (List.init 8 (fun i -> fail (Printf.sprintf "boom-%d" i))))
+  done
+
+let test_not_found_is_wrapped () =
+  (* A job raising Not_found must surface as Job_failed Not_found, not be
+     confused with any internal lookup. *)
+  match Pool.map ~threads:2 [ ok 1; (fun () -> raise Not_found); ok 3; ok 4 ] with
+  | _ -> Alcotest.fail "expected Job_failed Not_found"
+  | exception Pool.Job_failed Not_found -> ()
+  | exception e ->
+    Alcotest.failf "expected Job_failed Not_found, got %s" (Printexc.to_string e)
+
+let test_success_order () =
+  let jobs = List.init 17 (fun i () -> i * i) in
+  Alcotest.(check (list int))
+    "results in input order"
+    (List.init 17 (fun i -> i * i))
+    (Pool.map ~threads:4 jobs)
+
+let suite =
+  [ ( "pool",
+      [ Alcotest.test_case "single failure" `Quick test_single_failure;
+        Alcotest.test_case "multi failure deterministic" `Quick
+          test_multi_failure_deterministic;
+        Alcotest.test_case "Not_found wrapped" `Quick test_not_found_is_wrapped;
+        Alcotest.test_case "success order" `Quick test_success_order ] ) ]
