@@ -10,7 +10,10 @@
 
 module Backend = Zkqac_group.Backend
 module Telemetry = Zkqac_telemetry.Telemetry
+module Trace = Zkqac_telemetry.Trace
+module Histogram = Zkqac_telemetry.Histogram
 module Json = Zkqac_telemetry.Json
+module Pool = Zkqac_parallel.Pool
 
 let experiments =
   [ "table1"; "table2"; "fig7"; "fig8"; "fig9"; "fig10"; "fig11"; "fig12";
@@ -18,7 +21,7 @@ let experiments =
 
 let usage () =
   Printf.eprintf
-    "usage: main.exe [--full] [--backend %s] [--json PATH] [all | %s]...\n"
+    "usage: main.exe [--full] [--backend %s] [--json PATH] [--trace DIR] [all | %s]...\n"
     (String.concat "|" (List.map Backend.to_string Backend.all))
     (String.concat " | " experiments);
   exit 2
@@ -28,6 +31,7 @@ let () =
   let full = ref false in
   let backend = ref Backend.Mock in
   let json_path = ref None in
+  let trace_dir = ref None in
   let selected = ref [] in
   let rec parse = function
     | [] -> ()
@@ -41,6 +45,9 @@ let () =
       parse rest
     | "--json" :: path :: rest ->
       json_path := Some path;
+      parse rest
+    | "--trace" :: dir :: rest ->
+      trace_dir := Some dir;
       parse rest
     | "all" :: rest ->
       selected := !selected @ experiments;
@@ -70,6 +77,15 @@ let () =
         exit 2);
      Report.collecting := true;
      Telemetry.enable ());
+  (match !trace_dir with
+   | None -> ()
+   | Some dir ->
+     if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+     else if not (Sys.is_directory dir) then begin
+       Printf.eprintf "--trace %s: not a directory\n" dir;
+       exit 2
+     end;
+     Trace.enable ());
   let records = ref [] in
   let t0 = Unix.gettimeofday () in
   List.iter
@@ -97,9 +113,13 @@ let () =
         | _ -> assert false
       in
       let before = Telemetry.snapshot () in
+      let hist_before = Histogram.snapshot () in
       let _, t = Report.time run in
       if !json_path <> None then begin
         let cost = Telemetry.diff ~earlier:before ~later:(Telemetry.snapshot ()) in
+        let hists =
+          Histogram.diff ~earlier:hist_before ~later:(Histogram.snapshot ())
+        in
         let series = Report.take_series () in
         records :=
           Json.Obj
@@ -107,20 +127,38 @@ let () =
                ("wall_s", Json.Float t);
                ("ops", Telemetry.ops_json cost);
                ("spans", Telemetry.spans_json cost) ]
+             @ (if hists = [] then []
+                else [ ("histograms", Histogram.snapshot_json hists) ])
              @ (if series = [] then [] else [ ("series", Json.Obj series) ]))
           :: !records
       end;
+      (match !trace_dir with
+       | None -> ()
+       | Some dir ->
+         (* One Perfetto-loadable trace per experiment; reset so each file
+            holds only its own spans. *)
+         let path = Filename.concat dir (exp ^ ".trace.json") in
+         Trace.write_chrome path;
+         Printf.printf "[%s trace: %s, %d span(s)%s]\n%!" exp path
+           (Trace.span_count ())
+           (if Trace.dropped () > 0 then
+              Printf.sprintf ", %d dropped" (Trace.dropped ())
+            else "");
+         Trace.reset ());
       Printf.printf "[%s done in %.1fs]\n%!" exp t)
     selected;
+  if Telemetry.enabled () || !trace_dir <> None then Report.print_histograms ();
   Printf.printf "\ntotal: %.1fs\n" (Unix.gettimeofday () -. t0);
   match !json_path with
   | None -> ()
   | Some path ->
     Json.to_file path
       (Json.Obj
-         [ ("schema", Json.Str "zkqac-bench/1");
+         [ ("schema", Json.Str "zkqac-bench/2");
            ("backend", Json.Str (Backend.to_string !backend));
            ("full", Json.Bool !full);
+           ("domains", Json.Int (Pool.size ()));
            ("total_wall_s", Json.Float (Unix.gettimeofday () -. t0));
+           ("histograms", Histogram.snapshot_json (Histogram.snapshot ()));
            ("experiments", Json.Arr (List.rev !records)) ]);
     Printf.printf "wrote %s\n" path

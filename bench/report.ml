@@ -61,3 +61,21 @@ let avg_time n f =
     last := Some v
   done;
   (Option.get !last, !acc /. float_of_int n)
+
+(* Per-stage latency percentiles from the histogram registry, fed by every
+   span close since the last reset. *)
+let print_histograms () =
+  let module H = Zkqac_telemetry.Histogram in
+  let snap = H.snapshot () in
+  if snap <> [] then begin
+    let q h p = Printf.sprintf "%.3f" (H.quantile h p /. 1e6) in
+    print_table ~title:"per-stage latency percentiles (ms)"
+      ~header:[ "stage"; "count"; "mean"; "p50"; "p95"; "p99" ]
+      (List.map
+         (fun (name, h) ->
+           [ name;
+             string_of_int (H.count h);
+             Printf.sprintf "%.3f" (H.mean_ns h /. 1e6);
+             q h 0.50; q h 0.95; q h 0.99 ])
+         snap)
+  end

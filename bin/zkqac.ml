@@ -26,24 +26,55 @@ module Ads_io = Zkqac_core.Ads_io.Make (Backend)
 
 let die fmt = Printf.ksprintf (fun s -> prerr_endline ("zkqac: " ^ s); exit 1) fmt
 
-(* --stats: every subcommand can print op counts + stage timings on exit. *)
+(* Observability flags, shared by every subcommand:
+     --stats       print op counts + stage timings on exit
+     --trace FILE  record a hierarchical trace, write Chrome trace-event
+                   JSON (open in https://ui.perfetto.dev)
+     --trace-tree  print the span tree to stdout on exit *)
+
+module Trace = Zkqac_telemetry.Trace
+module Pool = Zkqac_parallel.Pool
 
 let stats_arg =
   Arg.(value & flag
        & info [ "stats" ]
            ~doc:"Print telemetry (group-operation counts and stage timings) on exit.")
 
-let with_stats stats f =
-  if not stats then f ()
-  else begin
-    let module T = Zkqac_telemetry.Telemetry in
-    T.enable ();
-    let before = T.snapshot () in
-    Fun.protect
-      ~finally:(fun () ->
-        T.print stdout (T.diff ~earlier:before ~later:(T.snapshot ())))
-      f
-  end
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Record a hierarchical trace and write it to $(docv) as Chrome \
+                 trace-event JSON, viewable in Perfetto (ui.perfetto.dev).")
+
+let trace_tree_arg =
+  Arg.(value & flag
+       & info [ "trace-tree" ]
+           ~doc:"Record a hierarchical trace and print the span tree on exit.")
+
+type obs = { stats : bool; trace : string option; trace_tree : bool }
+
+let with_obs { stats; trace; trace_tree } f =
+  let module T = Zkqac_telemetry.Telemetry in
+  if stats then T.enable ();
+  if trace <> None || trace_tree then Trace.enable ();
+  let before = if stats then Some (T.snapshot ()) else None in
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.disable ();
+      (match trace with
+       | Some path ->
+         Trace.write_chrome path;
+         Printf.printf "trace written to %s: %d span(s)%s\n" path
+           (Trace.span_count ())
+           (if Trace.dropped () > 0 then
+              Printf.sprintf " (%d dropped)" (Trace.dropped ())
+            else "")
+       | None -> ());
+      if trace_tree then Trace.print_tree stdout;
+      match before with
+      | Some before -> T.print stdout (T.diff ~earlier:before ~later:(T.snapshot ()))
+      | None -> ())
+    f
 
 let parse_record line =
   (* Split on the first two '|' only: the policy itself may contain '|'. *)
@@ -139,9 +170,11 @@ let setup_cmd =
   let out = Arg.(value & opt string "ads.zkqac" & info [ "o"; "out" ] ~doc:"Output ADS file.") in
   Cmd.v
     (Cmd.info "setup" ~doc:"Data-owner setup: sign a database into an ADS file.")
-    Term.(const (fun stats records roles dims depth seed out ->
-              with_stats stats (fun () -> setup records roles dims depth seed out))
-          $ stats_arg $ records $ roles $ dims $ depth $ seed $ out)
+    Term.(const (fun stats trace trace_tree records roles dims depth seed out ->
+              with_obs { stats; trace; trace_tree } (fun () ->
+                  setup records roles dims depth seed out))
+          $ stats_arg $ trace_arg $ trace_tree_arg
+          $ records $ roles $ dims $ depth $ seed $ out)
 
 (* --- inspect --- *)
 
@@ -163,8 +196,9 @@ let inspect path =
 let inspect_cmd =
   let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"ADS") in
   Cmd.v (Cmd.info "inspect" ~doc:"Describe an ADS file.")
-    Term.(const (fun stats path -> with_stats stats (fun () -> inspect path))
-          $ stats_arg $ path)
+    Term.(const (fun stats trace trace_tree path ->
+              with_obs { stats; trace; trace_tree } (fun () -> inspect path))
+          $ stats_arg $ trace_arg $ trace_tree_arg $ path)
 
 (* --- query (SP side) --- *)
 
@@ -176,7 +210,10 @@ let query path roles range out =
     let space = Ap2g.space tree in
     let box = parse_range ~dims:(Keyspace.dims space) range in
     let drbg = Drbg.create ~seed:"zkqac-sp" in
-    let vo, st = Ap2g.range_vo drbg ~mvk tree ~user box in
+    (* Fan the relax jobs out over worker domains, like a real SP would
+       (domain count from ZKQAC_DOMAINS, default the machine's cores). *)
+    let pmap = Pool.map ~threads:(Pool.size ()) in
+    let vo, st = Ap2g.range_vo ~pmap drbg ~mvk tree ~user box in
     write_file out (Vo.to_bytes vo);
     Printf.printf "VO written to %s: %d entries, %d bytes, %d relaxations, %.1f ms\n"
       out (List.length vo) (Vo.size vo) st.Ap2g.relax_calls (st.Ap2g.sp_time *. 1000.)
@@ -194,9 +231,10 @@ let query_cmd =
   let out = Arg.(value & opt string "vo.zkqac" & info [ "o"; "out" ] ~doc:"Output VO file.") in
   Cmd.v
     (Cmd.info "query" ~doc:"Service-provider side: answer a range query with a VO.")
-    Term.(const (fun stats path roles range out ->
-              with_stats stats (fun () -> query path roles range out))
-          $ stats_arg $ path $ roles $ range $ out)
+    Term.(const (fun stats trace trace_tree path roles range out ->
+              with_obs { stats; trace; trace_tree } (fun () ->
+                  query path roles range out))
+          $ stats_arg $ trace_arg $ trace_tree_arg $ path $ roles $ range $ out)
 
 (* --- verify (user side) --- *)
 
@@ -233,9 +271,10 @@ let verify_cmd =
   let range = Arg.(required & opt (some string) None & info [ "range" ] ~docv:"a1,a2:b1,b2") in
   Cmd.v
     (Cmd.info "verify" ~doc:"User side: check a VO for soundness and completeness.")
-    Term.(const (fun stats path vo roles range ->
-              with_stats stats (fun () -> verify path vo roles range))
-          $ stats_arg $ path $ vo $ roles $ range)
+    Term.(const (fun stats trace trace_tree path vo roles range ->
+              with_obs { stats; trace; trace_tree } (fun () ->
+                  verify path vo roles range))
+          $ stats_arg $ trace_arg $ trace_tree_arg $ path $ vo $ roles $ range)
 
 (* --- demo --- *)
 
@@ -256,7 +295,9 @@ let demo () =
 
 let demo_cmd =
   Cmd.v (Cmd.info "demo" ~doc:"Self-contained end-to-end demonstration.")
-    Term.(const (fun stats -> with_stats stats demo) $ stats_arg)
+    Term.(const (fun stats trace trace_tree ->
+              with_obs { stats; trace; trace_tree } demo)
+          $ stats_arg $ trace_arg $ trace_tree_arg)
 
 let () =
   let info =

@@ -5,6 +5,7 @@ module Msp = Zkqac_policy.Msp
 module Drbg = Zkqac_hashing.Drbg
 module Htf = Zkqac_hashing.Hash_to_field
 module T = Zkqac_telemetry.Telemetry
+module Trace = Zkqac_telemetry.Trace
 
 module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
   module G = P.G
@@ -139,6 +140,7 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
     { tau; y; w; s; p }
 
   let verify mvk ~msg ~policy sigma =
+    Trace.with_span "abs.verify" @@ fun _ ->
     T.bump T.Abs_verify;
     let msp = Msp.build policy in
     if Array.length sigma.s <> msp.Msp.rows || Array.length sigma.p <> msp.Msp.cols
@@ -175,6 +177,9 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
           = e(prod_m Y_m^{d_m}, h)^{z_j} * prod_m e((Cg^{h_m})^{d_m}, P_{m,j})
      -- the left side needs only l pairings regardless of the batch size. *)
   let verify_batch drbg mvk ~policy sigs =
+    Trace.with_span "abs.verify_batch"
+      ~attrs:[ ("batch", Trace.Int (List.length sigs)) ]
+    @@ fun _ ->
     T.bump T.Abs_verify;
     match sigs with
     | [] -> true
@@ -237,6 +242,7 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
   let relaxed_policy keep = Expr.of_attrs_or (Attr.Set.elements keep)
 
   let relax drbg mvk sigma ~msg ~policy ~keep =
+    Trace.with_span "abs.relax" @@ fun _ ->
     T.bump T.Abs_relax;
     match Msp.purge policy ~keep with
     | None -> None

@@ -4,6 +4,7 @@ module Universe = Zkqac_policy.Universe
 module Hierarchy = Zkqac_policy.Hierarchy
 
 module T = Zkqac_telemetry.Telemetry
+module Trace = Zkqac_telemetry.Trace
 
 module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
   module Abs = Zkqac_abs.Abs.Make (P)
@@ -174,7 +175,11 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
         Vo.Inaccessible_node { region = node.box; aps }
 
   let range_vo ?(pmap = List.map (fun job -> job ())) drbg ~mvk t ~user query =
-    T.span "sp.query" @@ fun () ->
+    Trace.with_span "sp.query"
+      ~attrs:
+        [ ("op", Trace.Str "ap2g.range");
+          ("tree_depth", Trace.Int (Keyspace.depth t.space)) ]
+    @@ fun ctx ->
     let t0 = Unix.gettimeofday () in
     let user = effective_user t ~user in
     let keep = keep_set t ~user in
@@ -217,8 +222,14 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
       end
     done;
     let relax_jobs = List.rev !jobs in
-    let relaxed = T.span "sp.relax" (fun () -> pmap relax_jobs) in
+    let relaxed =
+      Trace.with_span "sp.relax" ~parent:ctx (fun _ -> pmap relax_jobs)
+    in
     let vo = List.rev_append !direct relaxed in
+    Trace.set_attrs ctx
+      [ ("nodes_visited", Trace.Int !visited);
+        ("relax_calls", Trace.Int (List.length relax_jobs));
+        ("vo_entries", Trace.Int (List.length vo)) ];
     ( vo,
       {
         relax_calls = List.length relax_jobs;

@@ -4,6 +4,7 @@ module Universe = Zkqac_policy.Universe
 module Kd_split = Zkqac_policy.Kd_split
 
 module T = Zkqac_telemetry.Telemetry
+module Trace = Zkqac_telemetry.Trace
 
 module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
   module Abs = Zkqac_abs.Abs.Make (P)
@@ -195,7 +196,8 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
         Vo.Inaccessible_node { region = node.box; aps }
 
   let range_vo ?(pmap = List.map (fun job -> job ())) drbg ~mvk t ~user query =
-    T.span "sp.query" @@ fun () ->
+    Trace.with_span "sp.query" ~attrs:[ ("op", Trace.Str "ap2kd.range") ]
+    @@ fun ctx ->
     let t0 = Unix.gettimeofday () in
     let keep = Expr.attrs (Universe.super_policy t.universe ~user) in
     let visited = ref 0 in
@@ -235,8 +237,15 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
       end
     done;
     let relax_jobs = List.rev !jobs in
-    let relaxed = T.span "sp.relax" (fun () -> pmap relax_jobs) in
-    ( List.rev_append !direct relaxed,
+    let relaxed =
+      Trace.with_span "sp.relax" ~parent:ctx (fun _ -> pmap relax_jobs)
+    in
+    let vo = List.rev_append !direct relaxed in
+    Trace.set_attrs ctx
+      [ ("nodes_visited", Trace.Int !visited);
+        ("relax_calls", Trace.Int (List.length relax_jobs));
+        ("vo_entries", Trace.Int (List.length vo)) ];
+    ( vo,
       {
         relax_calls = List.length relax_jobs;
         nodes_visited = !visited;

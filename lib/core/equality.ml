@@ -3,6 +3,7 @@ module Attr = Zkqac_policy.Attr
 module Universe = Zkqac_policy.Universe
 
 module T = Zkqac_telemetry.Telemetry
+module Trace = Zkqac_telemetry.Trace
 
 module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
   module Abs = Zkqac_abs.Abs.Make (P)
@@ -107,6 +108,8 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
   let query_vo drbg ~mvk t ~user key =
     if not (Keyspace.valid_key t.space key) then
       invalid_arg "Equality.query_vo: key outside space";
+    Trace.with_span "sp.query" ~attrs:[ ("op", Trace.Str "equality.point") ]
+    @@ fun _ ->
     let keep = Expr.attrs (Universe.super_policy t.universe ~user) in
     let record, signature = Key_map.find (Array.to_list key) t.entries in
     entry_for drbg ~mvk t ~keep ~user (record, signature)
@@ -121,7 +124,8 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
     | Ok _ -> Error Vo.Malformed_vo
 
   let range_vo ?(pmap = List.map (fun job -> job ())) drbg ~mvk t ~user query =
-    T.span "sp.query" @@ fun () ->
+    Trace.with_span "sp.query" ~attrs:[ ("op", Trace.Str "equality.range") ]
+    @@ fun ctx ->
     let t0 = Unix.gettimeofday () in
     let keep = Expr.attrs (Universe.super_policy t.universe ~user) in
     let jobs = ref [] in
@@ -148,7 +152,13 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
                 if Box.contains_point query (Array.of_list k) then Some e else None)
               (Key_map.bindings t.entries)))
     in
-    let vo = T.span "sp.relax" (fun () -> pmap (List.rev !jobs)) in
+    let vo =
+      Trace.with_span "sp.relax" ~parent:ctx (fun _ -> pmap (List.rev !jobs))
+    in
+    Trace.set_attrs ctx
+      [ ("nodes_visited", Trace.Int !count);
+        ("relax_calls", Trace.Int relax_calls);
+        ("vo_entries", Trace.Int (List.length vo)) ];
     ( vo,
       {
         Ap2g.relax_calls;

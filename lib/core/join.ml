@@ -1,6 +1,7 @@
 module Expr = Zkqac_policy.Expr
 module Wire = Zkqac_util.Wire
 module Universe = Zkqac_policy.Universe
+module Trace = Zkqac_telemetry.Trace
 
 module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
   module Abs = Zkqac_abs.Abs.Make (P)
@@ -35,7 +36,7 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
   let join_vo drbg ~mvk ~r ~s ~user query =
     if not (Keyspace.num_leaves (Ap2g.space r) = Keyspace.num_leaves (Ap2g.space s))
     then invalid_arg "Join.join_vo: trees over different keyspaces";
-    Zkqac_telemetry.Telemetry.span "sp.query" @@ fun () ->
+    Trace.with_span "sp.query" ~attrs:[ ("op", Trace.Str "join") ] @@ fun ctx ->
     let t0 = Unix.gettimeofday () in
     let visited = ref 0 and relaxed = ref 0 in
     let out = ref [] in
@@ -73,6 +74,10 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
       else if Box.intersects query rbox then
         List.iter (fun c -> Queue.add (c, ns) queue) (Ap2g.node_children nr)
     done;
+    Trace.set_attrs ctx
+      [ ("nodes_visited", Trace.Int !visited);
+        ("relax_calls", Trace.Int !relaxed);
+        ("vo_entries", Trace.Int (List.length !out)) ];
     ( List.rev !out,
       {
         relax_calls = !relaxed;
@@ -81,7 +86,10 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
       } )
 
   let verify ~mvk ~t_universe ~user ~query vo =
-    Zkqac_telemetry.Telemetry.span "client.verify" @@ fun () ->
+    Trace.with_span "client.verify"
+      ~attrs:
+        [ ("op", Trace.Str "join"); ("vo_entries", Trace.Int (List.length vo)) ]
+    @@ fun vctx ->
     let ( let* ) = Result.bind in
     let super_policy = Universe.super_policy t_universe ~user in
     (* Completeness: pair cells and APS regions together cover the range. *)
@@ -137,12 +145,15 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
         (fun acc e -> Result.bind acc (fun () -> check_entry e))
         (Ok ()) vo
     in
-    Ok
-      (List.filter_map
-         (function
-           | Pair { r_record; s_record; _ } -> Some (r_record, s_record)
-           | R_side _ | S_side _ -> None)
-         vo)
+    let pairs =
+      List.filter_map
+        (function
+          | Pair { r_record; s_record; _ } -> Some (r_record, s_record)
+          | R_side _ | S_side _ -> None)
+        vo
+    in
+    Trace.set_attr vctx "result_rows" (Trace.Int (List.length pairs));
+    Ok pairs
 
   let size vo =
     let w = Wire.writer () in

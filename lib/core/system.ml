@@ -3,6 +3,7 @@ module Attr = Zkqac_policy.Attr
 module Universe = Zkqac_policy.Universe
 module Hierarchy = Zkqac_policy.Hierarchy
 module Drbg = Zkqac_hashing.Drbg
+module Trace = Zkqac_telemetry.Trace
 
 module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
   module Abs = Zkqac_abs.Abs.Make (P)
@@ -88,16 +89,20 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
 
   type response = { sealed : Envelope.sealed; query : Box.t }
 
-  let range_query server ~claimed_roles query =
+  let range_query ?pmap server ~claimed_roles query =
+    Trace.with_span "system.range_query" ~parent:Trace.none @@ fun ctx ->
     let vo, _stats =
-      Ap2g.range_vo server.sp_drbg ~mvk:server.mvk server.tree ~user:claimed_roles
-        query
+      Ap2g.range_vo ?pmap server.sp_drbg ~mvk:server.mvk server.tree
+        ~user:claimed_roles query
     in
     let payload = Vo.to_bytes vo in
     (* Seal under the AND of the claimed roles: only a user actually holding
        them can open the response. *)
     let policy = Expr.of_attrs_and (Attr.Set.elements claimed_roles) in
     let sealed = Envelope.seal server.sp_drbg server.pp ~policy payload in
+    Trace.set_attrs ctx
+      [ ("vo_entries", Trace.Int (List.length vo));
+        ("vo_bytes", Trace.Int (String.length payload)) ];
     { sealed; query }
 
   let response_size r = Envelope.size r.sealed
@@ -111,6 +116,7 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
   let open_and_verify user ~query response =
     if not (Box.equal query response.query) then Error "response for a different query"
     else begin
+      Trace.with_span "system.open_and_verify" ~parent:Trace.none @@ fun ctx ->
       match Envelope.open_ user.user_pp user.cpabe_sk response.sealed with
       | None -> Error "cannot open response envelope (roles do not match)"
       | Some payload ->
@@ -134,6 +140,7 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
                        | None -> (r.Record.key, "<undecryptable content>")))
                   records
               in
+              Trace.set_attr ctx "result_rows" (Trace.Int (List.length results));
               Ok { results; vo_entries = List.length vo; vo_size = String.length payload }))
     end
 

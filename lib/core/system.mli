@@ -45,9 +45,16 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) : sig
   (** The sealed payload the SP sends back. *)
 
   val range_query :
-    server -> claimed_roles:Zkqac_policy.Attr.Set.t -> Box.t -> response
+    ?pmap:((unit -> Vo.entry) list -> Vo.entry list) ->
+    server ->
+    claimed_roles:Zkqac_policy.Attr.Set.t ->
+    Box.t ->
+    response
   (** SP-side query processing: constructs the VO and seals it under the
-      claimed roles. *)
+      claimed roles. [pmap] runs the independent relax jobs (default:
+      sequential; pass [Zkqac_parallel.Pool.map ~threads] to fan out).
+      When tracing is enabled the whole call records one
+      [system.range_query] root span. *)
 
   val response_size : response -> int
 

@@ -1,6 +1,7 @@
 module Expr = Zkqac_policy.Expr
 module Wire = Zkqac_util.Wire
 module Attr = Zkqac_policy.Attr
+module Trace = Zkqac_telemetry.Trace
 
 module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
   module Abs = Zkqac_abs.Abs.Make (P)
@@ -49,7 +50,9 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
   let node_aps_message ~region = Record.node_message region
 
   let verify ?(clip = false) ?batch ~mvk ~binding ~super_policy ~user ~query vo =
-    Zkqac_telemetry.Telemetry.span "client.verify" @@ fun () ->
+    Trace.with_span "client.verify"
+      ~attrs:[ ("vo_entries", Trace.Int (List.length vo)) ]
+    @@ fun vctx ->
     let ( let* ) = Result.bind in
     (* Completeness: the regions tile the query box exactly (clipped to the
        query first in kd-tree mode, where leaf regions are data-dependent and
@@ -119,14 +122,17 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
         if Abs.verify_batch drbg mvk ~policy:super_policy aps_entries then Ok ()
         else Error (Bad_signature "batched APS verification")
     in
-    Ok
-      (List.filter_map
-         (function
-           | Accessible { record; _ }
-             when Box.contains_point query record.Record.key ->
-             Some record
-           | Accessible _ | Inaccessible_leaf _ | Inaccessible_node _ -> None)
-         vo)
+    let records =
+      List.filter_map
+        (function
+          | Accessible { record; _ }
+            when Box.contains_point query record.Record.key ->
+            Some record
+          | Accessible _ | Inaccessible_leaf _ | Inaccessible_node _ -> None)
+        vo
+    in
+    Trace.set_attr vctx "result_rows" (Trace.Int (List.length records));
+    Ok records
 
   (* --- codec --- *)
 
@@ -201,12 +207,18 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
     | _ -> raise Wire.Malformed
 
   let to_bytes vo =
+    Trace.with_span "vo.encode" @@ fun ctx ->
     let w = Wire.writer () in
     Wire.u32 w (List.length vo);
     List.iter (put_entry w) vo;
-    Wire.contents w
+    let bytes = Wire.contents w in
+    Trace.set_attr ctx "vo_bytes" (Trace.Int (String.length bytes));
+    bytes
 
   let of_bytes data =
+    Trace.with_span "vo.decode"
+      ~attrs:[ ("vo_bytes", Trace.Int (String.length data)) ]
+    @@ fun _ ->
     match
       let r = Wire.reader data in
       let n = Wire.ru32 r in

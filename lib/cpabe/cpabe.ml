@@ -4,6 +4,7 @@ module Expr = Zkqac_policy.Expr
 module Drbg = Zkqac_hashing.Drbg
 module Wire = Zkqac_util.Wire
 module T = Zkqac_telemetry.Telemetry
+module Trace = Zkqac_telemetry.Trace
 
 module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
   module G = P.G
@@ -96,6 +97,7 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
     Array.of_list (List.rev !leaves)
 
   let encrypt drbg pp m ~policy =
+    Trace.with_span "cpabe.encrypt" @@ fun _ ->
     T.bump T.Cpabe_encrypt;
     let s = P.rand_scalar drbg in
     let shares = share drbg s policy in
@@ -122,6 +124,7 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
       B.one s
 
   let decrypt _pp sk ct =
+    Trace.with_span "cpabe.open" @@ fun _ ->
     T.bump T.Cpabe_decrypt;
     if not (Expr.eval ct.policy sk.attrs) then None
     else begin

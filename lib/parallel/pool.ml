@@ -1,4 +1,25 @@
+module Trace = Zkqac_telemetry.Trace
+
 let available_cores () = Domain.recommended_domain_count ()
+
+(* ZKQAC_DOMAINS overrides the worker-domain count machine-wide; an unset or
+   blank variable falls through to the scheduler's recommendation. Nonsense
+   values fail loudly rather than silently serializing a benchmark. *)
+let size () =
+  match Sys.getenv_opt "ZKQAC_DOMAINS" with
+  | None -> available_cores ()
+  | Some raw ->
+    let s = String.trim raw in
+    if s = "" then available_cores ()
+    else begin
+      match int_of_string_opt s with
+      | Some n when n >= 1 && n <= 1024 -> n
+      | Some n ->
+        invalid_arg
+          (Printf.sprintf "ZKQAC_DOMAINS=%d out of range (want 1..1024)" n)
+      | None ->
+        invalid_arg (Printf.sprintf "ZKQAC_DOMAINS=%S is not an integer" raw)
+    end
 
 exception Job_failed of exn
 
@@ -16,6 +37,9 @@ let map ~threads jobs =
          jobs)
   else begin
     let threads = min threads n in
+    Trace.with_span "pool.map"
+      ~attrs:[ ("threads", Trace.Int threads); ("jobs", Trace.Int n) ]
+    @@ fun ctx ->
     let results = Array.make n None in
     (* First failure by job index, kept with its backtrace. Workers race to
        publish via compare-and-set; lower indices win, so which failure is
@@ -33,6 +57,11 @@ let map ~threads jobs =
     (* Static block partition: domain k takes the contiguous slice
        [k*n/threads, (k+1)*n/threads). *)
     let worker k () =
+      (* Parent the worker's span on the caller's [pool.map] span so jobs
+         running on this domain show up under the query that spawned them. *)
+      Trace.with_span "pool.worker" ~parent:ctx
+        ~attrs:[ ("worker", Trace.Int k) ]
+      @@ fun _ ->
       let lo = k * n / threads and hi = (k + 1) * n / threads in
       let i = ref lo in
       try

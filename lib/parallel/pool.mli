@@ -10,12 +10,25 @@ exception Job_failed of exn
 
 val available_cores : unit -> int
 
+val size : unit -> int
+(** The worker-domain count to use by default: the value of the
+    [ZKQAC_DOMAINS] environment variable if set and non-blank, else
+    {!available_cores}.
+    @raise Invalid_argument
+      if [ZKQAC_DOMAINS] is set to something that is not an integer in
+      [1..1024]. *)
+
 val map : threads:int -> (unit -> 'a) list -> 'a list
 (** Run the thunks on [threads] domains (static block partitioning, like an
     OpenMP static schedule). [threads <= 1] runs inline. If any job raises,
     the failure with the lowest job index is re-raised in the caller as
     [Job_failed e] with the worker's backtrace — deterministic even when
-    several jobs fail on different domains. *)
+    several jobs fail on different domains.
+
+    When tracing is enabled ([Zkqac_telemetry.Trace]), the parallel branch
+    records a [pool.map] span and each worker domain a [pool.worker] span
+    parented on it, so spans recorded inside jobs attach to the calling
+    query's trace even though they run on other domains. *)
 
 val time : (unit -> 'a) -> 'a * float
 (** Wall-clock timing helper for benches. *)

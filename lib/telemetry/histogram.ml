@@ -1,0 +1,156 @@
+(* Log-bucketed latency histograms, HDR-style: 16 linear sub-buckets per
+   power-of-two octave, so any recorded value lands in a bucket whose width
+   is at most 1/16 of its magnitude (quantile error <= ~6%). Buckets are
+   plain int counts, which makes histograms mergeable (and diffable) by
+   pointwise addition (subtraction).
+
+   A global registry maps stage names to histograms. Recording goes through
+   a per-domain table (domain-local storage), so the hot path takes no lock;
+   [snapshot] merges all per-domain tables under a mutex. *)
+
+let sub_bits = 4 (* 16 sub-buckets per octave *)
+let sub = 1 lsl sub_bits
+let num_buckets = 16 * 60 (* covers durations up to ~2^63 ns *)
+
+type t = {
+  counts : int array;
+  mutable total : int;
+  mutable sum_ns : float;
+}
+
+let create () = { counts = Array.make num_buckets 0; total = 0; sum_ns = 0.0 }
+
+let bucket_of_ns ns =
+  if ns < sub then max 0 ns
+  else begin
+    (* e = floor(log2 ns) >= sub_bits *)
+    let e = ref sub_bits in
+    while ns lsr (!e + 1) > 0 do
+      incr e
+    done;
+    let offset = (ns - (1 lsl !e)) lsr (!e - sub_bits) in
+    min (num_buckets - 1) ((sub * (!e - sub_bits + 1)) + offset)
+  end
+
+(* Inclusive-lo / exclusive-hi bounds of bucket [b], in ns. *)
+let bucket_bounds b =
+  if b < sub then (float_of_int b, float_of_int (b + 1))
+  else begin
+    let g = b / sub and offset = b mod sub in
+    let e = g + sub_bits - 1 in
+    let step = float_of_int (1 lsl (e - sub_bits)) in
+    let lo = float_of_int (1 lsl e) +. (float_of_int offset *. step) in
+    (lo, lo +. step)
+  end
+
+let record t ns =
+  let b = bucket_of_ns ns in
+  t.counts.(b) <- t.counts.(b) + 1;
+  t.total <- t.total + 1;
+  t.sum_ns <- t.sum_ns +. float_of_int ns
+
+let count t = t.total
+let mean_ns t = if t.total = 0 then 0.0 else t.sum_ns /. float_of_int t.total
+
+let merge a b =
+  {
+    counts = Array.mapi (fun i c -> c + b.counts.(i)) a.counts;
+    total = a.total + b.total;
+    sum_ns = a.sum_ns +. b.sum_ns;
+  }
+
+(* [quantile t q] interpolates the q-quantile (q in [0,1]) from the bucket
+   counts: the fractional rank q*(n-1) is located in its bucket and mapped
+   linearly across the bucket's bounds. *)
+let quantile t q =
+  if t.total = 0 then 0.0
+  else begin
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let rank = q *. float_of_int (t.total - 1) in
+    let rec find b cum_before =
+      if b >= num_buckets then fst (bucket_bounds (num_buckets - 1))
+      else begin
+        let c = t.counts.(b) in
+        if c > 0 && rank < float_of_int (cum_before + c) then begin
+          let lo, hi = bucket_bounds b in
+          let pos = (rank -. float_of_int cum_before +. 0.5) /. float_of_int c in
+          lo +. (Float.min 1.0 pos *. (hi -. lo))
+        end
+        else find (b + 1) (cum_before + c)
+      end
+    in
+    find 0 0
+  end
+
+let to_json t =
+  let ms ns = ns /. 1e6 in
+  Json.Obj
+    [ ("count", Json.Int t.total);
+      ("mean_ms", Json.Float (ms (mean_ns t)));
+      ("p50_ms", Json.Float (ms (quantile t 0.5)));
+      ("p95_ms", Json.Float (ms (quantile t 0.95)));
+      ("p99_ms", Json.Float (ms (quantile t 0.99))) ]
+
+(* --- the per-stage registry --- *)
+
+let registry_lock = Mutex.create ()
+let tables : (string, t) Hashtbl.t list ref = ref []
+
+let dls =
+  Domain.DLS.new_key (fun () ->
+      let tbl : (string, t) Hashtbl.t = Hashtbl.create 16 in
+      Mutex.lock registry_lock;
+      tables := tbl :: !tables;
+      Mutex.unlock registry_lock;
+      tbl)
+
+let note name ns =
+  let tbl = Domain.DLS.get dls in
+  let h =
+    match Hashtbl.find_opt tbl name with
+    | Some h -> h
+    | None ->
+      let h = create () in
+      Hashtbl.add tbl name h;
+      h
+  in
+  record h ns
+
+let snapshot () =
+  Mutex.lock registry_lock;
+  let merged : (string, t) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun tbl ->
+      Hashtbl.iter
+        (fun name h ->
+          match Hashtbl.find_opt merged name with
+          | Some acc -> Hashtbl.replace merged name (merge acc h)
+          | None -> Hashtbl.replace merged name (merge (create ()) h))
+        tbl)
+    !tables;
+  Mutex.unlock registry_lock;
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) merged [])
+
+let diff ~earlier ~later =
+  List.filter_map
+    (fun (name, (l : t)) ->
+      let d =
+        match List.assoc_opt name earlier with
+        | None -> l
+        | Some e ->
+          {
+            counts = Array.mapi (fun i c -> max 0 (c - e.counts.(i))) l.counts;
+            total = max 0 (l.total - e.total);
+            sum_ns = Float.max 0.0 (l.sum_ns -. e.sum_ns);
+          }
+      in
+      if d.total = 0 then None else Some (name, d))
+    later
+
+let reset () =
+  Mutex.lock registry_lock;
+  List.iter Hashtbl.reset !tables;
+  Mutex.unlock registry_lock
+
+let snapshot_json snap =
+  Json.Obj (List.map (fun (name, h) -> (name, to_json h)) snap)

@@ -1,0 +1,59 @@
+(** Log-bucketed, mergeable latency histograms.
+
+    Buckets are HDR-style: 16 linear sub-buckets per power-of-two octave of
+    nanoseconds, so quantile extraction is accurate to ~6% of the value.
+    Counts are plain ints, so histograms merge (and diff) pointwise — in
+    particular histograms recorded on different worker domains combine
+    exactly.
+
+    A process-wide registry maps stage names (span names) to histograms.
+    {!note} writes through a domain-local table so the recording path takes
+    no lock; {!snapshot} merges every domain's table. [Trace.with_span]
+    feeds the registry automatically when a span closes. *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> int -> unit
+(** [record t ns] adds one observation of [ns] nanoseconds ([ns < 0] is
+    clamped to 0). *)
+
+val count : t -> int
+val mean_ns : t -> float
+
+val quantile : t -> float -> float
+(** [quantile t q] for [q] in [[0,1]], in nanoseconds, by linear
+    interpolation inside the target bucket. 0 on an empty histogram. *)
+
+val merge : t -> t -> t
+
+val bucket_of_ns : int -> int
+(** The bucket index an observation falls into (exposed for tests). *)
+
+val bucket_bounds : int -> float * float
+(** [(lo, hi)] bounds of a bucket in ns: values [v] with
+    [lo <= v < hi] land in it (exposed for tests). *)
+
+val to_json : t -> Json.t
+(** [{"count": n, "mean_ms": ..., "p50_ms": ..., "p95_ms": ..., "p99_ms": ...}] *)
+
+(** {1 The per-stage registry} *)
+
+val note : string -> int -> unit
+(** [note stage ns] records an observation for [stage] in this domain's
+    table. Lock-free with respect to other domains. *)
+
+val snapshot : unit -> (string * t) list
+(** Merge all domains' tables: every stage observed so far, sorted by name.
+    Taking a snapshot while worker domains are actively recording may miss
+    in-flight observations; take it at a quiet point. *)
+
+val diff : earlier:(string * t) list -> later:(string * t) list -> (string * t) list
+(** Pointwise subtraction of two snapshots; empty stages are dropped. *)
+
+val reset : unit -> unit
+(** Clear every stage in every domain's table. *)
+
+val snapshot_json : (string * t) list -> Json.t
+(** Object mapping stage names to {!to_json} summaries. *)

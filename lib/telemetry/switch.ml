@@ -1,0 +1,10 @@
+(* The global collection switches, in a leaf module so that both the
+   aggregate-counter layer (Telemetry) and the tracing layer (Trace) can
+   consult them without depending on each other.
+
+   [telemetry_on] gates op counters, aggregate stage stats and histograms;
+   [tracing_on] additionally gates the per-domain span ring buffers. Both
+   default to off: the production hot path pays one atomic load + branch. *)
+
+let telemetry_on = Atomic.make false
+let tracing_on = Atomic.make false

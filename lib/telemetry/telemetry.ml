@@ -45,7 +45,7 @@ let num_counters = List.length all_counters
 
 (* --- switching --- *)
 
-let on = Atomic.make false
+let on = Switch.telemetry_on
 let enabled () = Atomic.get on
 let enable () = Atomic.set on true
 let disable () = Atomic.set on false
@@ -68,34 +68,14 @@ let get c = Atomic.get counters.(index c)
 
 (* --- spans --- *)
 
-type span_stat = { calls : int; seconds : float }
+(* The timing primitive now lives in Trace: one [with_span] feeds the
+   aggregate stage table here, the per-stage histograms, and (when tracing
+   is enabled) the hierarchical span buffers. *)
 
-let span_lock = Mutex.create ()
-let span_table : (string, span_stat) Hashtbl.t = Hashtbl.create 16
+type span_stat = Trace.stage_stat = { calls : int; seconds : float }
 
 let now_ns () = Monotonic_clock.now ()
-
-let record_span name dt_s =
-  Mutex.lock span_lock;
-  let cur =
-    match Hashtbl.find_opt span_table name with
-    | Some s -> s
-    | None -> { calls = 0; seconds = 0.0 }
-  in
-  Hashtbl.replace span_table name
-    { calls = cur.calls + 1; seconds = cur.seconds +. dt_s };
-  Mutex.unlock span_lock
-
-let span name f =
-  if not (Atomic.get on) then f ()
-  else begin
-    let t0 = now_ns () in
-    Fun.protect
-      ~finally:(fun () ->
-        let dt = Int64.sub (now_ns ()) t0 in
-        record_span name (Int64.to_float dt *. 1e-9))
-      f
-  end
+let span name f = Trace.with_span name (fun _ -> f ())
 
 (* --- snapshots --- *)
 
@@ -103,10 +83,7 @@ type snapshot = { ops : int array; span_stats : (string * span_stat) list }
 
 let snapshot () =
   let ops = Array.map Atomic.get counters in
-  Mutex.lock span_lock;
-  let span_stats = Hashtbl.fold (fun k v acc -> (k, v) :: acc) span_table [] in
-  Mutex.unlock span_lock;
-  { ops; span_stats = List.sort compare span_stats }
+  { ops; span_stats = List.sort compare (Trace.stage_snapshot ()) }
 
 let diff ~earlier ~later =
   let ops = Array.mapi (fun i v -> v - earlier.ops.(i)) later.ops in
@@ -125,9 +102,8 @@ let diff ~earlier ~later =
 
 let reset () =
   Array.iter (fun c -> Atomic.set c 0) counters;
-  Mutex.lock span_lock;
-  Hashtbl.reset span_table;
-  Mutex.unlock span_lock
+  Trace.stage_reset ();
+  Histogram.reset ()
 
 let ops snap = List.map (fun c -> (c, snap.ops.(index c))) all_counters
 let spans snap = snap.span_stats

@@ -62,8 +62,12 @@ val bump_n : counter -> int -> unit
 val span : string -> (unit -> 'a) -> 'a
 (** [span name f] runs [f], attributing its wall time (monotonic clock) to
     [name]. Time is recorded even if [f] raises. Spans with the same name
-    accumulate; nesting is allowed but not tracked hierarchically. When
-    disabled, [span] is a branch plus a tail call of [f]. *)
+    accumulate in the aggregate table reported by {!snapshot}, and every
+    close also feeds the per-stage {!Histogram} registry. [span] is
+    implemented on {!Trace.with_span}, so when tracing is enabled the same
+    call additionally records a hierarchical span (parented to the innermost
+    open span of this domain). When both telemetry and tracing are disabled,
+    [span] is two atomic loads and a branch. *)
 
 val now_ns : unit -> int64
 (** The monotonic clock used by spans, in nanoseconds. *)
@@ -84,7 +88,8 @@ val diff : earlier:snapshot -> later:snapshot -> snapshot
     cleared, so concurrent profiled regions do not interfere. *)
 
 val reset : unit -> unit
-(** Zero all counters and drop all spans. Prefer {!snapshot}/{!diff}. *)
+(** Zero all counters, drop all aggregate spans and clear the per-stage
+    histograms. Prefer {!snapshot}/{!diff}. *)
 
 val get : counter -> int
 (** Current live value of one counter. *)

@@ -1,0 +1,308 @@
+(* Hierarchical query tracing.
+
+   A span is one timed region of one domain, with an explicit parent link —
+   either inherited from the innermost open span of the calling domain, or
+   passed explicitly (how Pool hands the caller's context to its worker
+   domains). Closed spans go into a per-domain buffer; nothing is shared on
+   the recording path except one atomic decrement of the global span budget,
+   so relax jobs fanned out across domains record without contention.
+
+   The budget bounds retained memory: once [capacity] spans are stored, new
+   spans are counted in [dropped] and discarded. Span closes also feed
+   {!Histogram} (always, when measuring) and the aggregate per-stage table
+   that [Telemetry.snapshot] reports (when telemetry is enabled). *)
+
+type value = Int of int | Float of float | Str of string | Bool of bool
+
+type span = {
+  id : int;
+  parent : int; (* 0 = no parent *)
+  name : string;
+  tid : int;
+  t0 : int64;
+  mutable t1 : int64;
+  mutable attrs : (string * value) list;
+}
+
+type ctx = span option
+
+let none : ctx = None
+let on = Switch.tracing_on
+let enabled () = Atomic.get on
+
+let default_capacity = 1 lsl 16
+let capacity = Atomic.make default_capacity
+let remaining = Atomic.make 0
+let dropped_ctr = Atomic.make 0
+let next_id = Atomic.make 1
+let now_ns () = Monotonic_clock.now ()
+let t_zero = Atomic.make 0L
+
+(* --- per-domain buffers --- *)
+
+type dstate = {
+  tid : int;
+  mutable buf : span array;
+  mutable len : int;
+  mutable stack : span list; (* open spans, innermost first *)
+}
+
+let reg_lock = Mutex.create ()
+let states : dstate list ref = ref []
+
+let dls =
+  Domain.DLS.new_key (fun () ->
+      let d = { tid = (Domain.self () :> int); buf = [||]; len = 0; stack = [] } in
+      Mutex.lock reg_lock;
+      states := d :: !states;
+      Mutex.unlock reg_lock;
+      d)
+
+let push d sp =
+  if Atomic.fetch_and_add remaining (-1) > 0 then begin
+    if d.len = Array.length d.buf then begin
+      let grown = Array.make (max 64 (2 * Array.length d.buf)) sp in
+      Array.blit d.buf 0 grown 0 d.len;
+      d.buf <- grown
+    end;
+    d.buf.(d.len) <- sp;
+    d.len <- d.len + 1
+  end
+  else Atomic.incr dropped_ctr
+
+(* --- aggregate per-stage stats (what Telemetry.snapshot reports) --- *)
+
+type stage_stat = { calls : int; seconds : float }
+
+let stage_lock = Mutex.create ()
+let stage_table : (string, stage_stat) Hashtbl.t = Hashtbl.create 16
+
+let stage_record name dt_s =
+  Mutex.lock stage_lock;
+  let cur =
+    match Hashtbl.find_opt stage_table name with
+    | Some s -> s
+    | None -> { calls = 0; seconds = 0.0 }
+  in
+  Hashtbl.replace stage_table name
+    { calls = cur.calls + 1; seconds = cur.seconds +. dt_s };
+  Mutex.unlock stage_lock
+
+let stage_snapshot () =
+  Mutex.lock stage_lock;
+  let out = Hashtbl.fold (fun k v acc -> (k, v) :: acc) stage_table [] in
+  Mutex.unlock stage_lock;
+  out
+
+let stage_reset () =
+  Mutex.lock stage_lock;
+  Hashtbl.reset stage_table;
+  Mutex.unlock stage_lock
+
+(* --- recording --- *)
+
+let current () : ctx =
+  match (Domain.DLS.get dls).stack with s :: _ -> Some s | [] -> None
+
+let set_attrs (ctx : ctx) kvs =
+  match ctx with None -> () | Some sp -> sp.attrs <- sp.attrs @ kvs
+
+let set_attr ctx k v = set_attrs ctx [ (k, v) ]
+
+let with_span ?parent ?(attrs = []) name f =
+  let tracing = Atomic.get on in
+  if not (tracing || Atomic.get Switch.telemetry_on) then f none
+  else begin
+    let d = Domain.DLS.get dls in
+    let parent_id =
+      match parent with
+      | Some (Some p : ctx) -> p.id
+      | Some None -> 0
+      | None -> (match d.stack with s :: _ -> s.id | [] -> 0)
+    in
+    let sp =
+      {
+        id = Atomic.fetch_and_add next_id 1;
+        parent = parent_id;
+        name;
+        tid = d.tid;
+        t0 = now_ns ();
+        t1 = 0L;
+        attrs;
+      }
+    in
+    if tracing then d.stack <- sp :: d.stack;
+    Fun.protect
+      ~finally:(fun () ->
+        sp.t1 <- now_ns ();
+        (match d.stack with s :: rest when s == sp -> d.stack <- rest | _ -> ());
+        if tracing then push d sp;
+        let ns = Int64.to_int (Int64.sub sp.t1 sp.t0) in
+        Histogram.note name ns;
+        if Atomic.get Switch.telemetry_on then
+          stage_record name (float_of_int ns *. 1e-9))
+      (fun () -> f (Some sp))
+  end
+
+(* --- switching --- *)
+
+let reset () =
+  Mutex.lock reg_lock;
+  List.iter
+    (fun d ->
+      d.len <- 0;
+      d.buf <- [||])
+    !states;
+  Mutex.unlock reg_lock;
+  Atomic.set remaining (Atomic.get capacity);
+  Atomic.set dropped_ctr 0;
+  Atomic.set t_zero (now_ns ())
+
+let enable ?capacity:(cap = default_capacity) () =
+  if cap < 1 then invalid_arg "Trace.enable: capacity must be positive";
+  Atomic.set capacity cap;
+  reset ();
+  Atomic.set on true
+
+let disable () = Atomic.set on false
+let dropped () = Atomic.get dropped_ctr
+
+(* --- export --- *)
+
+type info = {
+  span_id : int;
+  span_parent : int;
+  span_name : string;
+  span_tid : int;
+  start_ns : int64;
+  dur_ns : int64;
+  span_attrs : (string * value) list;
+}
+
+let spans () =
+  Mutex.lock reg_lock;
+  let collected =
+    List.concat_map
+      (fun d ->
+        let buf = d.buf in
+        let len = min d.len (Array.length buf) in
+        List.init len (fun i -> buf.(i)))
+      !states
+  in
+  Mutex.unlock reg_lock;
+  let zero = Atomic.get t_zero in
+  collected
+  |> List.map (fun sp ->
+         {
+           span_id = sp.id;
+           span_parent = sp.parent;
+           span_name = sp.name;
+           span_tid = sp.tid;
+           start_ns = Int64.sub sp.t0 zero;
+           dur_ns = Int64.sub sp.t1 sp.t0;
+           span_attrs = sp.attrs;
+         })
+  |> List.sort (fun a b ->
+         match Int64.compare a.start_ns b.start_ns with
+         | 0 -> compare a.span_id b.span_id
+         | c -> c)
+
+let span_count () =
+  Mutex.lock reg_lock;
+  let n = List.fold_left (fun acc d -> acc + d.len) 0 !states in
+  Mutex.unlock reg_lock;
+  n
+
+let value_json = function
+  | Int i -> Json.Int i
+  | Float f -> Json.Float f
+  | Str s -> Json.Str s
+  | Bool b -> Json.Bool b
+
+(* Chrome trace-event JSON (the Perfetto / chrome://tracing format): one
+   complete ("X") event per span, ts/dur in microseconds, tid = domain id.
+   Span ids and parent links ride along in "args". *)
+let chrome_json () =
+  let sps = spans () in
+  let tids = List.sort_uniq compare (List.map (fun s -> s.span_tid) sps) in
+  let meta =
+    Json.Obj
+      [ ("name", Json.Str "process_name");
+        ("ph", Json.Str "M");
+        ("pid", Json.Int 1);
+        ("args", Json.Obj [ ("name", Json.Str "zkqac") ]) ]
+    :: List.map
+         (fun tid ->
+           Json.Obj
+             [ ("name", Json.Str "thread_name");
+               ("ph", Json.Str "M");
+               ("pid", Json.Int 1);
+               ("tid", Json.Int tid);
+               ("args", Json.Obj [ ("name", Json.Str (Printf.sprintf "domain %d" tid)) ]) ])
+         tids
+  in
+  let event s =
+    Json.Obj
+      [ ("name", Json.Str s.span_name);
+        ("cat", Json.Str "zkqac");
+        ("ph", Json.Str "X");
+        ("ts", Json.Float (Int64.to_float s.start_ns /. 1e3));
+        ("dur", Json.Float (Int64.to_float s.dur_ns /. 1e3));
+        ("pid", Json.Int 1);
+        ("tid", Json.Int s.span_tid);
+        ( "args",
+          Json.Obj
+            (("id", Json.Int s.span_id)
+             :: (if s.span_parent = 0 then []
+                 else [ ("parent", Json.Int s.span_parent) ])
+            @ List.map (fun (k, v) -> (k, value_json v)) s.span_attrs) ) ]
+  in
+  Json.Obj
+    [ ("traceEvents", Json.Arr (meta @ List.map event sps));
+      ("displayTimeUnit", Json.Str "ms");
+      ( "otherData",
+        Json.Obj
+          [ ("tool", Json.Str "zkqac");
+            ("dropped_spans", Json.Int (dropped ())) ] ) ]
+
+let write_chrome path = Json.to_file path (chrome_json ())
+
+let value_to_string = function
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%g" f
+  | Str s -> s
+  | Bool b -> string_of_bool b
+
+let print_tree oc =
+  let sps = spans () in
+  let ids = Hashtbl.create 256 in
+  List.iter (fun s -> Hashtbl.replace ids s.span_id ()) sps;
+  let children = Hashtbl.create 256 in
+  List.iter
+    (fun s ->
+      if s.span_parent <> 0 && Hashtbl.mem ids s.span_parent then
+        Hashtbl.replace children s.span_parent
+          (s :: (try Hashtbl.find children s.span_parent with Not_found -> [])))
+    sps;
+  let attrs_str s =
+    if s.span_attrs = [] then ""
+    else
+      Printf.sprintf " {%s}"
+        (String.concat ", "
+           (List.map (fun (k, v) -> k ^ "=" ^ value_to_string v) s.span_attrs))
+  in
+  let rec print indent s =
+    Printf.fprintf oc "%s%-24s %10.3f ms  [tid %d]%s\n" indent s.span_name
+      (Int64.to_float s.dur_ns /. 1e6)
+      s.span_tid (attrs_str s);
+    List.iter (print (indent ^ "  "))
+      (List.rev (try Hashtbl.find children s.span_id with Not_found -> []))
+  in
+  let roots =
+    List.filter
+      (fun s -> s.span_parent = 0 || not (Hashtbl.mem ids s.span_parent))
+      sps
+  in
+  List.iter (print "") roots;
+  let d = dropped () in
+  if d > 0 then Printf.fprintf oc "(%d span(s) dropped: ring capacity reached)\n" d

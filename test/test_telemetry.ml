@@ -93,6 +93,20 @@ let test_json_encoding () =
     "{\"s\":\"a\\\"b\\\\c\\n\\t\\u0001\",\"i\":-3,\"f\":1.5,\"nan\":null,\"arr\":[true,null]}"
     (Json.to_string j)
 
+let test_float_roundtrip () =
+  (* Floats print in shortest exact form: parsing the text recovers the
+     identical bits, and simple decimals stay human-readable. *)
+  Alcotest.(check string) "0.1 stays short" "0.1" (Json.to_string (Json.Float 0.1));
+  Alcotest.(check string) "integral float" "2" (Json.to_string (Json.Float 2.0));
+  List.iter
+    (fun f ->
+      let printed = Json.to_string (Json.Float f) in
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "%s parses back exactly" printed)
+        f (float_of_string printed))
+    [ 0.1; 1. /. 3.; 1e-300; 1.7976931348623157e308; 4.9e-324;
+      3.141592653589793; -0.0; 6.02214076e23 ]
+
 let suite =
   [ ( "telemetry",
       [ Alcotest.test_case "disabled is no-op" `Quick test_disabled_noop;
@@ -101,4 +115,5 @@ let suite =
         Alcotest.test_case "span survives exception" `Quick test_span_on_exception;
         Alcotest.test_case "instrumented backend" `Quick test_instrumented_backend;
         Alcotest.test_case "to_json shape" `Quick test_json_shape;
-        Alcotest.test_case "json encoding" `Quick test_json_encoding ] ) ]
+        Alcotest.test_case "json encoding" `Quick test_json_encoding;
+        Alcotest.test_case "float round-trip" `Quick test_float_roundtrip ] ) ]
