@@ -4,6 +4,7 @@
      zkqac inspect -- show what an ADS file contains
      zkqac query   -- service-provider side: answer a range query with a VO
      zkqac verify  -- user side: check soundness + completeness of a VO
+     zkqac attack  -- fault-injection harness: tamper VOs, assert rejection
      zkqac demo    -- self-contained end-to-end run
 
    Records are read from a simple line format:  k1,k2,...|value|policy
@@ -25,6 +26,16 @@ module Vo = Zkqac_core.Vo.Make (Backend)
 module Ads_io = Zkqac_core.Ads_io.Make (Backend)
 
 let die fmt = Printf.ksprintf (fun s -> prerr_endline ("zkqac: " ^ s); exit 1) fmt
+
+(* Verification failures exit with the error's own code (10..21, one per
+   Verify_error constructor) so scripts can tell a completeness gap from a
+   bad signature without parsing stderr. *)
+let die_verify (e : Zkqac_util.Verify_error.t) =
+  prerr_endline
+    (Printf.sprintf "zkqac: verification FAILED [%s]: %s"
+       (Zkqac_util.Verify_error.code e)
+       (Zkqac_util.Verify_error.to_string e));
+  exit (Zkqac_util.Verify_error.exit_code e)
 
 (* Observability flags, shared by every subcommand:
      --stats       print op counts + stage timings on exit
@@ -245,14 +256,14 @@ let verify path vo_path roles range =
     let user = Attr.set_of_list (parse_roles roles) in
     let space = Ap2g.space tree in
     let box = parse_range ~dims:(Keyspace.dims space) range in
-    (match Vo.of_bytes (read_file vo_path) with
-     | None -> die "malformed VO file"
-     | Some vo ->
+    (match Vo.decode (read_file vo_path) with
+     | Error e -> die_verify e
+     | Ok vo ->
        (match
           Ap2g.verify ~mvk ~t_universe:(Ap2g.universe tree)
             ?hierarchy:(Ap2g.hierarchy tree) ~user ~query:box vo
         with
-        | Error e -> die "verification FAILED: %s" (Vo.error_to_string e)
+        | Error e -> die_verify e
         | Ok results ->
           Printf.printf "verification OK: %d accessible record(s)\n" (List.length results);
           List.iter
@@ -275,6 +286,50 @@ let verify_cmd =
               with_obs { stats; trace; trace_tree } (fun () ->
                   verify path vo roles range))
           $ stats_arg $ trace_arg $ trace_tree_arg $ path $ vo $ roles $ range)
+
+(* --- attack (fault-injection harness) --- *)
+
+module Harness = Zkqac_adversary.Harness.Make (Backend)
+
+let attack seed scenario out =
+  let report =
+    try Harness.run ?scenario ~seed ()
+    with Invalid_argument msg -> die "%s" msg
+  in
+  let matrix = Harness.render report in
+  print_string matrix;
+  (match out with
+   | Some path ->
+     write_file path matrix;
+     Printf.printf "matrix written to %s\n" path
+   | None -> ());
+  if not report.Harness.ok then exit 1
+
+let attack_cmd =
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N"
+           ~doc:"PRNG seed; the same seed reproduces the same tampers.")
+  in
+  let scenario =
+    Arg.(value & opt (some string) None & info [ "scenario" ] ~docv:"NAME"
+           ~doc:"Run a single scenario instead of the full registry. Known \
+                 scenarios: $(b,zkqac attack --scenario help) lists them on \
+                 error.")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE"
+           ~doc:"Also write the rejection matrix to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "attack"
+       ~doc:"Simulate a malicious service provider: apply every registered \
+             tamper scenario to equality, range, kd and join query responses \
+             and assert the client rejects each with the expected typed \
+             error. Exits non-zero if any attack survives.")
+    Term.(const (fun stats trace trace_tree seed scenario out ->
+              with_obs { stats; trace; trace_tree } (fun () ->
+                  attack seed scenario out))
+          $ stats_arg $ trace_arg $ trace_tree_arg $ seed $ scenario $ out)
 
 (* --- demo --- *)
 
@@ -304,4 +359,7 @@ let () =
     Cmd.info "zkqac" ~version:"1.0"
       ~doc:"Zero-knowledge query authentication with fine-grained access control"
   in
-  exit (Cmd.eval (Cmd.group info [ setup_cmd; inspect_cmd; query_cmd; verify_cmd; demo_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ setup_cmd; inspect_cmd; query_cmd; verify_cmd; attack_cmd; demo_cmd ]))

@@ -139,21 +139,25 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
     in
     { tau; y; w; s; p }
 
-  let verify mvk ~msg ~policy sigma =
+  (* Typed verification: each way ABS.Verify can fail is a distinct
+     [Bad_abs_signature] payload, so a client rejection is attributable. *)
+  let verify_result mvk ~msg ~policy sigma =
     Trace.with_span "abs.verify" @@ fun _ ->
     T.bump T.Abs_verify;
+    let fail what = Error (Zkqac_util.Verify_error.Bad_abs_signature what) in
     let msp = Msp.build policy in
     if Array.length sigma.s <> msp.Msp.rows || Array.length sigma.p <> msp.Msp.cols
-    then false
-    else if G.is_one sigma.y then false
-    else if not (P.Gt.equal (P.e sigma.w mvk.cap_a0) (P.e sigma.y mvk.h0)) then false
+    then fail "component count does not match the policy's span program"
+    else if G.is_one sigma.y then fail "degenerate Y component"
+    else if not (P.Gt.equal (P.e sigma.w mvk.cap_a0) (P.e sigma.y mvk.h0)) then
+      fail "key-binding pairing equation"
     else begin
       let hash = msg_scalar sigma.tau msg in
       let base_c = msg_base mvk hash in
       let bases = Array.map (fun u -> attr_base mvk u) msp.Msp.labels in
-      let ok = ref true in
+      let bad = ref (-1) in
       for j = 0 to msp.Msp.cols - 1 do
-        if !ok then begin
+        if !bad < 0 then begin
           let lhs = ref P.Gt.one in
           for i = 0 to msp.Msp.rows - 1 do
             let mij = msp.Msp.matrix.(i).(j) in
@@ -162,11 +166,15 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
           done;
           let rhs = P.e base_c sigma.p.(j) in
           let rhs = if j = 0 then P.Gt.mul (P.e sigma.y mvk.h) rhs else rhs in
-          if not (P.Gt.equal !lhs rhs) then ok := false
+          if not (P.Gt.equal !lhs rhs) then bad := j
         end
       done;
-      !ok
+      if !bad < 0 then Ok ()
+      else fail (Printf.sprintf "span-program equation (column %d)" !bad)
     end
+
+  let verify mvk ~msg ~policy sigma =
+    Result.is_ok (verify_result mvk ~msg ~policy sigma)
 
   (* Batch verification with small random exponents. All signatures share
      one policy (hence one span program), so for each column j the
@@ -306,7 +314,7 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
 
   let g_size = String.length (G.to_bytes G.g)
 
-  let of_bytes data =
+  let decode data =
     let pos = ref 0 in
     let len = String.length data in
     let u16 () =
@@ -337,8 +345,10 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
       if !pos <> len then raise Exit;
       { tau; y; w; s; p }
     with
-    | sigma -> Some sigma
-    | exception Exit -> None
+    | sigma -> Ok sigma
+    | exception Exit -> Error (Zkqac_util.Verify_error.Malformed { offset = !pos })
+
+  let of_bytes data = Result.to_option (decode data)
 
   let size sigma = String.length (to_bytes sigma)
 

@@ -44,7 +44,18 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) : sig
 
   val verify : mvk -> msg:string -> policy:Zkqac_policy.Expr.t -> signature -> bool
   (** ABS.Verify: checks Y ≠ 1, the key-binding pairing equation, and the
-      span-program equations for every column. *)
+      span-program equations for every column. Thin wrapper over
+      {!verify_result}. *)
+
+  val verify_result :
+    mvk ->
+    msg:string ->
+    policy:Zkqac_policy.Expr.t ->
+    signature ->
+    (unit, Zkqac_util.Verify_error.t) result
+  (** As {!verify}, but a failure names the check that rejected the
+      signature (shape mismatch, degenerate Y, key binding, or the first
+      failing span-program column) as [Bad_abs_signature]. *)
 
   val relax :
     Zkqac_hashing.Drbg.t ->
@@ -82,6 +93,11 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) : sig
 
   val to_bytes : signature -> string
   val of_bytes : string -> signature option
+
+  val decode : string -> (signature, Zkqac_util.Verify_error.t) result
+  (** As {!of_bytes}, but a failure carries the byte offset where decoding
+      stopped. Trailing bytes are rejected. *)
+
   val size : signature -> int
   (** Serialized size in bytes (the VO-size unit of the paper's
       experiments). *)

@@ -1,0 +1,85 @@
+type category = Soundness | Completeness | Format
+
+let category_name = function
+  | Soundness -> "soundness"
+  | Completeness -> "completeness"
+  | Format -> "format"
+
+type t = { name : string; category : category; description : string }
+
+let all =
+  [
+    (* Soundness game (Theorem 7.1): forge a result or an inaccessibility
+       proof the DO never authorized. *)
+    { name = "flip-value";
+      category = Soundness;
+      description = "flip a byte of an accessible record's value" };
+    { name = "swap-app";
+      category = Soundness;
+      description = "swap the APP signatures of two accessible records" };
+    { name = "forge-pseudo";
+      category = Soundness;
+      description =
+        "present an accessible record as inaccessible, replaying its APP as \
+         the APS" };
+    { name = "replay-aps";
+      category = Soundness;
+      description = "swap the APS signatures of two inaccessible entries" };
+    { name = "value-hash-lie";
+      category = Soundness;
+      description = "flip a byte of an inaccessible leaf's value hash" };
+    { name = "tamper-policy";
+      category = Soundness;
+      description =
+        "rewrite an accessible record's policy to one the user still \
+         satisfies" };
+    (* Completeness game (Theorem 7.2): omit results the user is entitled
+       to. *)
+    { name = "drop-entry";
+      category = Completeness;
+      description = "silently drop one VO entry" };
+    { name = "prune-subtree";
+      category = Completeness;
+      description = "drop every VO entry in the upper half of the range" };
+    { name = "shrink-boundary";
+      category = Completeness;
+      description = "shrink the region box of a pruned-subtree APS entry" };
+    { name = "duplicate-entry";
+      category = Completeness;
+      description = "present the same VO entry twice" };
+    (* Wire-format attacks against the decoder itself. *)
+    { name = "bit-flip";
+      category = Format;
+      description = "flip one random bit of the encoded VO" };
+    { name = "truncate";
+      category = Format;
+      description = "cut trailing bytes off the encoded VO" };
+    { name = "length-inflate";
+      category = Format;
+      description = "increment the top-level entry count field" };
+    { name = "huge-count";
+      category = Format;
+      description = "set the top-level entry count to 2^32 - 1" };
+    { name = "trailing-garbage";
+      category = Format;
+      description = "append random bytes after a valid encoding" };
+  ]
+
+let find name = List.find_opt (fun s -> String.equal s.name name) all
+let names = List.map (fun s -> s.name) all
+
+(* Which error classes count as the *right* rejection: a tamper that is
+   refused for an unrelated reason (a "generic catch-all") would not witness
+   the security property the scenario encodes. *)
+let expected name (e : Zkqac_util.Verify_error.t) =
+  match (name, e) with
+  | ("flip-value" | "swap-app" | "tamper-policy"), Bad_abs_signature _ -> true
+  | ("forge-pseudo" | "replay-aps" | "value-hash-lie"), Bad_aps_signature _ ->
+    true
+  | ("drop-entry" | "prune-subtree" | "shrink-boundary"), Completeness_gap ->
+    true
+  | "duplicate-entry", (Completeness_gap | Invalid_shape _) -> true
+  | "bit-flip", _ -> true (* any typed rejection: the flip lands anywhere *)
+  | ("truncate" | "length-inflate" | "trailing-garbage"), Malformed _ -> true
+  | "huge-count", (Limit_exceeded _ | Malformed _) -> true
+  | _ -> false

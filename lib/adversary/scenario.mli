@@ -1,0 +1,22 @@
+(** The tamper-scenario registry of the fault-injection harness.
+
+    Each scenario is one move a malicious SP could make in the paper's
+    security games: soundness tampers forge results or inaccessibility
+    proofs (Theorem 7.1), completeness tampers omit or double-count entitled
+    results (Theorem 7.2), and format tampers attack the wire decoder
+    directly. *)
+
+type category = Soundness | Completeness | Format
+
+val category_name : category -> string
+
+type t = { name : string; category : category; description : string }
+
+val all : t list
+val names : string list
+val find : string -> t option
+
+val expected : string -> Zkqac_util.Verify_error.t -> bool
+(** [expected name e] is whether rejecting scenario [name] with error [e]
+    witnesses the property the scenario attacks (rather than tripping an
+    unrelated check). *)

@@ -38,16 +38,21 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
         | Some mvk ->
           let checksum = Wire.rbytes r in
           let body = Wire.rbytes r in
-          if not (String.equal checksum (Sha256.digest body)) then
+          if not (Wire.at_end r) then Error "trailing bytes in ADS file"
+          else if not (String.equal checksum (Sha256.digest body)) then
             Error "checksum mismatch"
           else begin
-            match Ap2g.of_bytes body with
-            | None -> Error "corrupt ADS body"
-            | Some tree -> Ok (mvk, tree)
+            match Ap2g.decode body with
+            | Error e ->
+              Error
+                ("corrupt ADS body: " ^ Zkqac_util.Verify_error.to_string e)
+            | Ok tree -> Ok (mvk, tree)
           end
       end
     with
     | result -> result
     | exception Sys_error e -> Error e
     | exception (Wire.Malformed | End_of_file) -> Error "truncated ADS file"
+    | exception Wire.Limit { what; limit } ->
+      Error (Printf.sprintf "ADS file exceeds reader limit (%s > %d)" what limit)
 end

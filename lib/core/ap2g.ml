@@ -314,82 +314,80 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
     put_node t.root;
     Wire.contents w
 
-  let of_bytes data =
-    match
-      let r = Wire.reader data in
-      if not (String.equal (Wire.rbytes r) magic) then raise Wire.Malformed;
-      let dims = Wire.ru8 r in
-      let depth = Wire.ru8 r in
-      let space = Keyspace.create ~dims ~depth in
-      let n_roles = Wire.ru32 r in
-      let rec take k acc =
-        if k = 0 then List.rev acc else take (k - 1) (Wire.rbytes r :: acc)
+  let decode ?limits data =
+    Wire.decode ?limits data @@ fun r ->
+    if not (String.equal (Wire.rbytes r) magic) then raise Wire.Malformed;
+    let dims = Wire.ru8 r in
+    let depth = Wire.ru8 r in
+    let space = Keyspace.create ~dims ~depth in
+    let n_roles = Wire.rcount r in
+    let rec take k acc =
+      if k = 0 then List.rev acc else take (k - 1) (Wire.rbytes r :: acc)
+    in
+    let roles = take n_roles [] in
+    let universe = Universe.create roles in
+    let n_edges = Wire.rcount r in
+    let rec take_edges k acc =
+      if k = 0 then List.rev acc
+      else begin
+        let c = Wire.rbytes r in
+        let p = Wire.rbytes r in
+        take_edges (k - 1) ((c, p) :: acc)
+      end
+    in
+    let hierarchy =
+      if n_edges = 0 then None else Some (Hierarchy.create (take_edges n_edges []))
+    in
+    let num_records = Wire.ru32 r in
+    let sig_bytes = ref 0 and struct_bytes = ref 0 in
+    let leaf_sigs = ref 0 and node_sigs = ref 0 in
+    let rec get_node box =
+      Wire.nested r @@ fun () ->
+      let policy =
+        let s = Wire.rbytes r in
+        match Expr.of_string s with
+        | p -> p
+        | exception (Invalid_argument _ | Failure _) -> raise Wire.Malformed
       in
-      let roles = take n_roles [] in
-      let universe = Universe.create roles in
-      let n_edges = Wire.ru32 r in
-      let rec take_edges k acc =
-        if k = 0 then List.rev acc
-        else begin
-          let c = Wire.rbytes r in
-          let p = Wire.rbytes r in
-          take_edges (k - 1) ((c, p) :: acc)
-        end
+      let sig_data = Wire.rbytes r in
+      let signature =
+        match Abs.of_bytes sig_data with
+        | Some s -> s
+        | None -> raise Wire.Malformed
       in
-      let hierarchy =
-        if n_edges = 0 then None else Some (Hierarchy.create (take_edges n_edges []))
-      in
-      let num_records = Wire.ru32 r in
-      let sig_bytes = ref 0 and struct_bytes = ref 0 in
-      let leaf_sigs = ref 0 and node_sigs = ref 0 in
-      let rec get_node box =
-        let policy =
-          let s = Wire.rbytes r in
-          match Expr.of_string s with
-          | p -> p
-          | exception (Invalid_argument _ | Failure _) -> raise Wire.Malformed
-        in
-        let sig_data = Wire.rbytes r in
-        let signature =
-          match Abs.of_bytes sig_data with
-          | Some s -> s
-          | None -> raise Wire.Malformed
-        in
-        sig_bytes := !sig_bytes + String.length sig_data;
-        struct_bytes :=
-          !struct_bytes + String.length (Box.encode box)
-          + String.length (Expr.to_string policy);
-        match Wire.ru8 r with
-        | 0 ->
-          let value = Wire.rbytes r in
-          if not (Keyspace.is_unit box) then raise Wire.Malformed;
-          incr leaf_sigs;
-          let record = Record.make ~key:(Keyspace.key_of_unit box) ~value ~policy in
-          { box; policy; signature; content = Leaf record }
-        | 1 ->
-          incr node_sigs;
-          let children = List.map get_node (Keyspace.children_boxes space box) in
-          { box; policy; signature; content = Children children }
-        | _ -> raise Wire.Malformed
-      in
-      let root = get_node (Keyspace.whole space) in
-      if not (Wire.at_end r) then raise Wire.Malformed;
-      {
-        space;
-        universe;
-        hierarchy;
-        root;
-        num_records;
-        stats =
-          {
-            leaf_signatures = !leaf_sigs;
-            node_signatures = !node_sigs;
-            sign_time = 0.0;
-            structure_bytes = !struct_bytes;
-            signature_bytes = !sig_bytes;
-          };
-      }
-    with
-    | t -> Some t
-    | exception (Wire.Malformed | Invalid_argument _) -> None
-  end
+      sig_bytes := !sig_bytes + String.length sig_data;
+      struct_bytes :=
+        !struct_bytes + String.length (Box.encode box)
+        + String.length (Expr.to_string policy);
+      match Wire.ru8 r with
+      | 0 ->
+        let value = Wire.rbytes r in
+        if not (Keyspace.is_unit box) then raise Wire.Malformed;
+        incr leaf_sigs;
+        let record = Record.make ~key:(Keyspace.key_of_unit box) ~value ~policy in
+        { box; policy; signature; content = Leaf record }
+      | 1 ->
+        incr node_sigs;
+        let children = List.map get_node (Keyspace.children_boxes space box) in
+        { box; policy; signature; content = Children children }
+      | _ -> raise Wire.Malformed
+    in
+    let root = get_node (Keyspace.whole space) in
+    {
+      space;
+      universe;
+      hierarchy;
+      root;
+      num_records;
+      stats =
+        {
+          leaf_signatures = !leaf_sigs;
+          node_signatures = !node_sigs;
+          sign_time = 0.0;
+          structure_bytes = !struct_bytes;
+          signature_bytes = !sig_bytes;
+        };
+    }
+
+  let of_bytes data = Result.to_option (decode data)
+end

@@ -83,6 +83,13 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) : sig
 
   val of_bytes : string -> t option
 
+  val decode :
+    ?limits:Zkqac_util.Wire.limits ->
+    string ->
+    (t, Zkqac_util.Verify_error.t) result
+  (** As {!of_bytes}, with typed failures and reader resource limits (the
+      recursive tree structure is depth-guarded). Rejects trailing bytes. *)
+
   (** Internal access for the join algorithm. *)
   type node
   val root : t -> node

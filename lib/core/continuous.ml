@@ -153,18 +153,18 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
           Abs.verify mvk ~msg:(Record.message_of record) ~policy:record.Record.policy
             app
         then Ok ()
-        else Error (Vo.Bad_signature "continuous record APP")
+        else Error (Vo.Bad_abs_signature "continuous record APP")
       | Rec_inaccessible { key; value_hash; aps } ->
         if
           Abs.verify mvk
             ~msg:(Record.message ~key:[| key |] ~value_hash)
             ~policy:super_policy aps
         then Ok ()
-        else Error (Vo.Bad_signature "continuous record APS")
+        else Error (Vo.Bad_aps_signature "continuous record APS")
       | Gap { lo = glo; hi = ghi; aps } ->
         if Abs.verify mvk ~msg:(gap_message ~lo:glo ~hi:ghi) ~policy:super_policy aps
         then Ok ()
-        else Error (Vo.Bad_signature "continuous gap APS")
+        else Error (Vo.Bad_aps_signature "continuous gap APS")
     in
     let* () =
       List.fold_left (fun acc e -> Result.bind acc (fun () -> check e)) (Ok ()) vo
@@ -191,7 +191,7 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
         if a > pos then false
         else sweep (max pos (if b = max_int then b else b + 1)) rest
     in
-    let* () = if sweep lo intervals then Ok () else Error Vo.Bad_coverage in
+    let* () = if sweep lo intervals then Ok () else Error Vo.Completeness_gap in
     Ok
       (List.filter_map
          (function Rec_accessible { record; _ } -> Some record | _ -> None)

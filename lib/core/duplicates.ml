@@ -242,7 +242,7 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
     in
     let* () =
       if Box.covers_exactly query (group_regions @ List.map fst !cells) then Ok ()
-      else Error Vo.Bad_coverage
+      else Error Vo.Completeness_gap
     in
     (* Inaccessible regions. *)
     let* () =
@@ -253,7 +253,7 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
                 Abs.verify mvk ~msg:(Record.node_message region) ~policy:super_policy
                   aps
               then Ok ()
-              else Error (Vo.Bad_signature "duplicate cell APS")))
+              else Error (Vo.Bad_aps_signature "duplicate cell APS")))
         (Ok ()) !cells
     in
     (* Per-key duplicate groups: consistent counts, complete ids, valid
@@ -281,7 +281,7 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
                    entries)
             in
             if ids <> List.init n Fun.id then
-              Error (Vo.Bad_signature "duplicate ids incomplete")
+              Error (Vo.Invalid_shape "duplicate ids incomplete")
             else begin
               List.fold_left
                 (fun acc e ->
@@ -299,16 +299,16 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
                           in
                           if Abs.verify mvk ~msg ~policy app then
                             Ok (Record.make ~key ~value ~policy :: results)
-                          else Error (Vo.Bad_signature "duplicate APP")
+                          else Error (Vo.Bad_abs_signature "duplicate APP")
                         end
                       | Dup_inaccessible { key; dup_num; dup_id; value_hash; aps } ->
                         let msg = dup_message ~key ~value_hash ~dup_num ~dup_id in
                         if Abs.verify mvk ~msg ~policy:super_policy aps then Ok results
-                        else Error (Vo.Bad_signature "duplicate APS")
+                        else Error (Vo.Bad_aps_signature "duplicate APS")
                       | Cell_inaccessible _ -> assert false))
                 (Ok results) entries
             end
-          | _ -> Error (Vo.Bad_signature "inconsistent duplicate counts"))
+          | _ -> Error (Vo.Invalid_shape "inconsistent duplicate counts"))
     in
     let* results = Hashtbl.fold check_group by_key (Ok []) in
     Ok results

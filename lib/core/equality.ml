@@ -121,7 +121,7 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
     | Error e -> Error e
     | Ok [] -> Ok Denied
     | Ok [ r ] -> Ok (Result r)
-    | Ok _ -> Error Vo.Malformed_vo
+    | Ok _ -> Error (Vo.Invalid_shape "equality VO returned more than one record")
 
   let range_vo ?(pmap = List.map (fun job -> job ())) drbg ~mvk t ~user query =
     Trace.with_span "sp.query" ~attrs:[ ("op", Trace.Str "equality.range") ]

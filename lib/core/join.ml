@@ -91,6 +91,11 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
         [ ("op", Trace.Str "join"); ("vo_entries", Trace.Int (List.length vo)) ]
     @@ fun vctx ->
     let ( let* ) = Result.bind in
+    let fail e =
+      Trace.set_attr vctx "verify_error"
+        (Trace.Str (Zkqac_util.Verify_error.code e));
+      Error e
+    in
     let super_policy = Universe.super_policy t_universe ~user in
     (* Completeness: pair cells and APS regions together cover the range. *)
     let regions =
@@ -101,44 +106,71 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
         vo
     in
     let* () =
-      if Box.covers_union query regions then Ok () else Error Vo.Bad_coverage
+      if Box.covers_union query regions then Ok () else fail Vo.Completeness_gap
+    in
+    (* A duplicated pair would smuggle the same result row in twice (the
+       coverage union above is insensitive to repetition). *)
+    let* () =
+      let keys =
+        List.filter_map
+          (function
+            | Pair { r_record; _ } -> Some (Array.to_list r_record.Record.key)
+            | R_side _ | S_side _ -> None)
+          vo
+      in
+      if List.length (List.sort_uniq Stdlib.compare keys) = List.length keys
+      then Ok ()
+      else fail (Vo.Invalid_shape "duplicate join pair key")
     in
     let check_entry entry =
       match entry with
       | Pair { r_record; r_app; s_record; s_app } ->
         if r_record.Record.key <> s_record.Record.key then
-          Error (Vo.Bad_signature "join pair keys differ")
+          fail (Vo.Invalid_shape "join pair keys differ")
         else if not (Box.contains_point query r_record.Record.key) then
-          Error (Vo.Record_outside_query r_record.Record.key)
+          fail (Vo.Record_outside_query r_record.Record.key)
         else if
           not
             (Expr.eval r_record.Record.policy user
              && Expr.eval s_record.Record.policy user)
-        then Error (Vo.Policy_not_satisfied r_record.Record.key)
-        else if
-          not
-            (Abs.verify mvk ~msg:(Record.message_of r_record)
-               ~policy:r_record.Record.policy r_app)
-        then Error (Vo.Bad_signature "join pair R APP")
-        else if
-          not
-            (Abs.verify mvk ~msg:(Record.message_of s_record)
-               ~policy:s_record.Record.policy s_app)
-        then Error (Vo.Bad_signature "join pair S APP")
-        else Ok ()
+        then fail (Vo.Policy_not_satisfied r_record.Record.key)
+        else begin
+          let check record app =
+            Abs.verify_result mvk ~msg:(Record.message_of record)
+              ~policy:record.Record.policy app
+          in
+          match check r_record r_app with
+          | Error e -> fail e
+          | Ok () ->
+            (match check s_record s_app with
+             | Error e -> fail e
+             | Ok () -> Ok ())
+        end
       | R_side e | S_side e ->
         (match e with
-         | Vo.Accessible _ -> Error (Vo.Bad_signature "accessible entry in join APS slot")
+         | Vo.Accessible _ ->
+           fail (Vo.Invalid_shape "accessible entry in join APS slot")
          | Vo.Inaccessible_leaf { region; key; value_hash; aps } ->
-           let msg = Vo.leaf_message `Plain ~region ~key ~value_hash in
-           if Abs.verify mvk ~msg ~policy:super_policy aps then Ok ()
-           else Error (Vo.Bad_signature "join APS leaf")
+           (* In [`Plain] binding the APS message does not include the
+              region, so the claimed region must be pinned structurally —
+              otherwise a widened region could mask dropped rows in the
+              coverage union above. *)
+           if not (Box.equal region (Box.of_point key)) then
+             fail
+               (Vo.Bad_aps_policy
+                  "inaccessible leaf region is not the key's unit cell")
+           else
+             let msg = Vo.leaf_message `Plain ~region ~key ~value_hash in
+             (match Abs.verify_result mvk ~msg ~policy:super_policy aps with
+              | Ok () -> Ok ()
+              | Error e -> fail (Zkqac_util.Verify_error.as_aps e))
          | Vo.Inaccessible_node { region; aps } ->
-           if
-             Abs.verify mvk ~msg:(Vo.node_aps_message ~region) ~policy:super_policy
-               aps
-           then Ok ()
-           else Error (Vo.Bad_signature "join APS node"))
+           (match
+              Abs.verify_result mvk ~msg:(Vo.node_aps_message ~region)
+                ~policy:super_policy aps
+            with
+            | Ok () -> Ok ()
+            | Error e -> fail (Zkqac_util.Verify_error.as_aps e)))
     in
     let* () =
       List.fold_left
@@ -155,23 +187,78 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
     Trace.set_attr vctx "result_rows" (Trace.Int (List.length pairs));
     Ok pairs
 
-  let size vo =
+  (* --- codec --- *)
+
+  let put_record w (r : Record.t) =
+    Wire.int_array w r.Record.key;
+    Wire.bytes w r.Record.value;
+    Wire.bytes w (Expr.to_string r.Record.policy)
+
+  let get_record r =
+    let key = Wire.rint_array r in
+    let value = Wire.rbytes r in
+    let policy =
+      let s = Wire.rbytes r in
+      match Expr.of_string s with
+      | p -> p
+      | exception (Invalid_argument _ | Failure _) -> raise Wire.Malformed
+    in
+    Record.make ~key ~value ~policy
+
+  let to_bytes vo =
     let w = Wire.writer () in
+    Wire.u32 w (List.length vo);
     List.iter
       (fun entry ->
         match entry with
         | Pair { r_record; r_app; s_record; s_app } ->
           Wire.u8 w 0;
-          Wire.int_array w r_record.Record.key;
-          Wire.bytes w r_record.Record.value;
-          Wire.bytes w (Expr.to_string r_record.Record.policy);
+          put_record w r_record;
           Wire.bytes w (Abs.to_bytes r_app);
-          Wire.bytes w s_record.Record.value;
-          Wire.bytes w (Expr.to_string s_record.Record.policy);
+          put_record w s_record;
           Wire.bytes w (Abs.to_bytes s_app)
-        | R_side e | S_side e ->
+        | R_side e ->
           Wire.u8 w 1;
+          Wire.bytes w (Vo.to_bytes [ e ])
+        | S_side e ->
+          Wire.u8 w 2;
           Wire.bytes w (Vo.to_bytes [ e ]))
       vo;
-    String.length (Wire.contents w)
+    Wire.contents w
+
+  let decode ?limits data =
+    Wire.decode ?limits data @@ fun r ->
+    let get_sig () =
+      match Abs.of_bytes (Wire.rbytes r) with
+      | Some s -> s
+      | None -> raise Wire.Malformed
+    in
+    let get_side () =
+      match Vo.of_bytes (Wire.rbytes r) with
+      | Some [ e ] -> e
+      | Some _ | None -> raise Wire.Malformed
+    in
+    let n = Wire.rcount r in
+    let rec go k acc =
+      if k = 0 then List.rev acc
+      else begin
+        let entry =
+          match Wire.ru8 r with
+          | 0 ->
+            let r_record = get_record r in
+            let r_app = get_sig () in
+            let s_record = get_record r in
+            let s_app = get_sig () in
+            Pair { r_record; r_app; s_record; s_app }
+          | 1 -> R_side (get_side ())
+          | 2 -> S_side (get_side ())
+          | _ -> raise Wire.Malformed
+        in
+        go (k - 1) (entry :: acc)
+      end
+    in
+    go n []
+
+  let of_bytes data = Result.to_option (decode data)
+  let size vo = String.length (to_bytes vo)
 end

@@ -45,9 +45,20 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) : sig
     query:Box.t ->
     t ->
     ((Record.t * Record.t) list, Vo.error) result
-  (** User-side soundness (signatures; matching keys; accessibility) and
-      completeness (union coverage) checks; returns the verified join
-      pairs. *)
+  (** User-side soundness (signatures; matching keys; accessibility; no
+      duplicated pair) and completeness (union coverage) checks; returns the
+      verified join pairs. *)
 
   val size : t -> int
+  (** Serialized size in bytes, i.e. [String.length (to_bytes vo)]. *)
+
+  val to_bytes : t -> string
+  val of_bytes : string -> t option
+
+  val decode :
+    ?limits:Zkqac_util.Wire.limits ->
+    string ->
+    (t, Zkqac_util.Verify_error.t) result
+  (** As {!of_bytes}, with typed failures and reader resource limits.
+      Rejects trailing bytes. *)
 end

@@ -113,21 +113,27 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
     vo_size : int;
   }
 
-  let open_and_verify user ~query response =
-    if not (Box.equal query response.query) then Error "response for a different query"
+  let open_and_verify_v user ~query response =
+    Trace.with_span "system.open_and_verify" ~parent:Trace.none @@ fun ctx ->
+    let fail e =
+      Trace.set_attr ctx "verify_error"
+        (Trace.Str (Zkqac_util.Verify_error.code e));
+      Error e
+    in
+    if not (Box.equal query response.query) then
+      fail Zkqac_util.Verify_error.Query_mismatch
     else begin
-      Trace.with_span "system.open_and_verify" ~parent:Trace.none @@ fun ctx ->
-      match Envelope.open_ user.user_pp user.cpabe_sk response.sealed with
-      | None -> Error "cannot open response envelope (roles do not match)"
-      | Some payload ->
-        (match Vo.of_bytes payload with
-         | None -> Error "malformed VO payload"
-         | Some vo ->
+      match Envelope.open_result user.user_pp user.cpabe_sk response.sealed with
+      | Error e -> fail e
+      | Ok payload ->
+        (match Vo.decode payload with
+         | Error e -> fail e
+         | Ok vo ->
            (match
               Ap2g.verify ~mvk:user.user_mvk ~t_universe:user.user_universe
                 ?hierarchy:user.user_hierarchy ~user:user.roles ~query vo
             with
-            | Error e -> Error (Vo.error_to_string e)
+            | Error e -> fail e
             | Ok records ->
               let results =
                 List.map
@@ -143,6 +149,10 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
               Trace.set_attr ctx "result_rows" (Trace.Int (List.length results));
               Ok { results; vo_entries = List.length vo; vo_size = String.length payload }))
     end
+
+  let open_and_verify user ~query response =
+    Result.map_error Zkqac_util.Verify_error.to_string
+      (open_and_verify_v user ~query response)
 
   let user_roles u = u.roles
   let universe o = o.universe

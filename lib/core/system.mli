@@ -64,10 +64,19 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) : sig
     vo_size : int;
   }
 
+  val open_and_verify_v :
+    user ->
+    query:Box.t ->
+    response ->
+    (verified, Zkqac_util.Verify_error.t) result
+  (** User side: open the envelope (fails for impostors), verify the VO
+      (fails on any tampering or omission), decrypt accessible contents.
+      Failures carry the typed {!Zkqac_util.Verify_error.t} taxonomy; the
+      error code is also recorded as a [verify_error] span attribute. *)
+
   val open_and_verify :
     user -> query:Box.t -> response -> (verified, string) result
-  (** User side: open the envelope (fails for impostors), verify the VO
-      (fails on any tampering or omission), decrypt accessible contents. *)
+  (** {!open_and_verify_v} with errors rendered to strings. *)
 
   val user_roles : user -> Zkqac_policy.Attr.Set.t
   val universe : owner -> Zkqac_policy.Universe.t

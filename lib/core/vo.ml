@@ -25,21 +25,23 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
 
   type binding = [ `Plain | `Boxed ]
 
-  type error =
-    | Bad_coverage
-    | Bad_signature of string
+  (* Re-exported so [Vo.Completeness_gap] etc. pattern-match and unify with
+     the shared taxonomy used across every verifier and the CLI. *)
+  type error = Zkqac_util.Verify_error.t =
+    | Completeness_gap
+    | Bad_abs_signature of string
+    | Bad_aps_signature of string
+    | Bad_aps_policy of string
     | Record_outside_query of int array
     | Policy_not_satisfied of int array
-    | Malformed_vo
+    | Malformed of { offset : int }
+    | Limit_exceeded of { what : string; limit : int }
+    | Digest_mismatch of string
+    | Envelope_open_failed of string
+    | Query_mismatch
+    | Invalid_shape of string
 
-  let error_to_string = function
-    | Bad_coverage -> "VO regions do not tile the query range"
-    | Bad_signature what -> "invalid signature: " ^ what
-    | Record_outside_query key ->
-      Printf.sprintf "record %s outside the query range" (Box.to_string (Box.of_point key))
-    | Policy_not_satisfied key ->
-      Printf.sprintf "record %s returned but not accessible" (Box.to_string (Box.of_point key))
-    | Malformed_vo -> "malformed VO"
+  let error_to_string = Zkqac_util.Verify_error.to_string
 
   let leaf_message binding ~region ~key ~value_hash =
     let base = Record.message ~key ~value_hash in
@@ -61,44 +63,55 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
     let regions =
       if clip then List.filter_map (Box.intersect query) regions else regions
     in
+    let fail e =
+      Trace.set_attr vctx "verify_error"
+        (Trace.Str (Zkqac_util.Verify_error.code e));
+      Error e
+    in
     let* () =
-      if Box.covers_exactly query regions then Ok () else Error Bad_coverage
+      if Box.covers_exactly query regions then Ok () else fail Completeness_gap
     in
     (* Soundness: each entry's signature. *)
     let check_entry entry =
       match entry with
       | Accessible { region; record; app } ->
         if binding = `Plain && not (Box.equal region (Box.of_point record.Record.key))
-        then Error (Bad_signature "accessible region mismatch")
+        then fail (Bad_abs_signature "accessible region is not the record's unit cell")
         else if not (Box.contains_point region record.Record.key) then
-          Error (Bad_signature "accessible key outside its region")
+          fail (Bad_abs_signature "accessible key outside its region")
         else if (not clip) && not (Box.contains_point query record.Record.key) then
-          Error (Record_outside_query record.Record.key)
+          fail (Record_outside_query record.Record.key)
         else if not (Expr.eval record.Record.policy user) then
-          Error (Policy_not_satisfied record.Record.key)
+          fail (Policy_not_satisfied record.Record.key)
         else begin
           let msg =
             leaf_message binding ~region ~key:record.Record.key
               ~value_hash:(Record.value_hash record.Record.value)
           in
-          if Abs.verify mvk ~msg ~policy:record.Record.policy app then Ok ()
-          else Error (Bad_signature "accessible record APP")
+          match Abs.verify_result mvk ~msg ~policy:record.Record.policy app with
+          | Ok () -> Ok ()
+          | Error e -> fail e
         end
       | Inaccessible_leaf { region; key; value_hash; aps } ->
         if binding = `Plain && not (Box.equal region (Box.of_point key)) then
-          Error (Bad_signature "inaccessible leaf region mismatch")
+          fail (Bad_aps_policy "inaccessible leaf region is not the key's unit cell")
         else if batch <> None then Ok () (* checked below in one batch *)
         else begin
           let msg = leaf_message binding ~region ~key ~value_hash in
-          if Abs.verify mvk ~msg ~policy:super_policy aps then Ok ()
-          else Error (Bad_signature "inaccessible leaf APS")
+          match Abs.verify_result mvk ~msg ~policy:super_policy aps with
+          | Ok () -> Ok ()
+          | Error e -> fail (Zkqac_util.Verify_error.as_aps e)
         end
       | Inaccessible_node { region; aps } ->
         if batch <> None then Ok ()
-        else if
-          Abs.verify mvk ~msg:(node_aps_message ~region) ~policy:super_policy aps
-        then Ok ()
-        else Error (Bad_signature "inaccessible node APS")
+        else begin
+          match
+            Abs.verify_result mvk ~msg:(node_aps_message ~region)
+              ~policy:super_policy aps
+          with
+          | Ok () -> Ok ()
+          | Error e -> fail (Zkqac_util.Verify_error.as_aps e)
+        end
     in
     let* () =
       List.fold_left
@@ -120,7 +133,7 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
             vo
         in
         if Abs.verify_batch drbg mvk ~policy:super_policy aps_entries then Ok ()
-        else Error (Bad_signature "batched APS verification")
+        else fail (Bad_aps_signature "batched APS verification")
     in
     let records =
       List.filter_map
@@ -215,19 +228,18 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
     Trace.set_attr ctx "vo_bytes" (Trace.Int (String.length bytes));
     bytes
 
-  let of_bytes data =
+  let decode ?limits data =
     Trace.with_span "vo.decode"
       ~attrs:[ ("vo_bytes", Trace.Int (String.length data)) ]
     @@ fun _ ->
-    match
-      let r = Wire.reader data in
-      let n = Wire.ru32 r in
-      let rec go k acc = if k = 0 then List.rev acc else go (k - 1) (get_entry r :: acc) in
-      let vo = go n [] in
-      if Wire.at_end r then vo else raise Wire.Malformed
-    with
-    | vo -> Some vo
-    | exception (Wire.Malformed | Invalid_argument _) -> None
+    Wire.decode ?limits data @@ fun r ->
+    let n = Wire.rcount r in
+    let rec go k acc =
+      if k = 0 then List.rev acc else go (k - 1) (get_entry r :: acc)
+    in
+    go n []
+
+  let of_bytes data = Result.to_option (decode data)
 
   let size vo = String.length (to_bytes vo)
 end

@@ -38,12 +38,23 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) : sig
       would otherwise be forgeable. *)
   type binding = [ `Plain | `Boxed ]
 
-  type error =
-    | Bad_coverage
-    | Bad_signature of string
+  (** Verification failures. This is {!Zkqac_util.Verify_error.t} re-exported
+      with its constructors, so [Vo.Completeness_gap] and friends pattern-match
+      directly and errors flow unchanged into telemetry attributes and CLI
+      exit codes. *)
+  type error = Zkqac_util.Verify_error.t =
+    | Completeness_gap
+    | Bad_abs_signature of string
+    | Bad_aps_signature of string
+    | Bad_aps_policy of string
     | Record_outside_query of int array
     | Policy_not_satisfied of int array
-    | Malformed_vo
+    | Malformed of { offset : int }
+    | Limit_exceeded of { what : string; limit : int }
+    | Digest_mismatch of string
+    | Envelope_open_failed of string
+    | Query_mismatch
+    | Invalid_shape of string
 
   val error_to_string : error -> string
 
@@ -70,4 +81,12 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) : sig
 
   val to_bytes : t -> string
   val of_bytes : string -> t option
+
+  val decode :
+    ?limits:Zkqac_util.Wire.limits ->
+    string ->
+    (t, Zkqac_util.Verify_error.t) result
+  (** As {!of_bytes}, with typed failures ([Malformed] carrying the reader
+      offset, [Limit_exceeded] when a resource bound trips) and reader
+      resource limits. Rejects trailing bytes. *)
 end

@@ -202,7 +202,7 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
       let g () = match G.of_bytes (Wire.rbytes r) with Some x -> x | None -> raise Wire.Malformed in
       let c_tilde = gt () in
       let c = g () in
-      let n = Wire.ru32 r in
+      let n = Wire.rcount r in
       let rec go k acc =
         if k = 0 then List.rev acc
         else begin
@@ -217,7 +217,7 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
       { policy; c_tilde; c; leaves }
     with
     | ct -> Some ct
-    | exception (Wire.Malformed | Invalid_argument _) -> None
+    | exception (Wire.Malformed | Wire.Limit _ | Invalid_argument _) -> None
 
   let ciphertext_size ct =
     let gsz = String.length (G.to_bytes ct.c) in

@@ -30,15 +30,21 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
         let tag = Hmac.mac ~key:mac_key (nonce ^ body) in
         { kem; nonce; body; tag })
 
-  let open_ pp sk sealed =
+  let open_result pp sk sealed =
     Zkqac_telemetry.Telemetry.span "envelope.open" (fun () ->
         match C.decrypt pp sk sealed.kem with
-        | None -> None
+        | None ->
+          Error
+            (Zkqac_util.Verify_error.Envelope_open_failed
+               "roles do not satisfy the sealing policy")
         | Some m ->
           let enc_key, mac_key = keys_of_element m in
           let expect = Hmac.mac ~key:mac_key (sealed.nonce ^ sealed.body) in
-          if not (String.equal expect sealed.tag) then None
-          else Some (Aes.ctr ~key:enc_key ~nonce:sealed.nonce sealed.body))
+          if not (String.equal expect sealed.tag) then
+            Error (Zkqac_util.Verify_error.Digest_mismatch "envelope HMAC tag")
+          else Ok (Aes.ctr ~key:enc_key ~nonce:sealed.nonce sealed.body))
+
+  let open_ pp sk sealed = Result.to_option (open_result pp sk sealed)
 
   let to_bytes sealed =
     let w = Wire.writer () in
@@ -48,22 +54,19 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
     Wire.bytes w sealed.tag;
     Wire.contents w
 
-  let of_bytes data =
-    match
-      let r = Wire.reader data in
-      let kem =
-        match C.ciphertext_of_bytes (Wire.rbytes r) with
-        | Some k -> k
-        | None -> raise Wire.Malformed
-      in
-      let nonce = Wire.rbytes r in
-      let body = Wire.rbytes r in
-      let tag = Wire.rbytes r in
-      if not (Wire.at_end r) then raise Wire.Malformed;
-      { kem; nonce; body; tag }
-    with
-    | s -> Some s
-    | exception Wire.Malformed -> None
+  let decode ?limits data =
+    Wire.decode ?limits data @@ fun r ->
+    let kem =
+      match C.ciphertext_of_bytes (Wire.rbytes r) with
+      | Some k -> k
+      | None -> raise Wire.Malformed
+    in
+    let nonce = Wire.rbytes r in
+    let body = Wire.rbytes r in
+    let tag = Wire.rbytes r in
+    { kem; nonce; body; tag }
+
+  let of_bytes data = Result.to_option (decode data)
 
   let size sealed =
     C.ciphertext_size sealed.kem + String.length sealed.nonce

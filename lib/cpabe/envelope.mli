@@ -22,9 +22,24 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) : sig
 
   val open_ : C.pp -> C.secret_key -> sealed -> string option
   (** [None] if the key does not satisfy the policy or the payload fails
-      authentication. *)
+      authentication. Thin wrapper over {!open_result}. *)
+
+  val open_result :
+    C.pp ->
+    C.secret_key ->
+    sealed ->
+    (string, Zkqac_util.Verify_error.t) result
+  (** As {!open_}, but distinguishes [Envelope_open_failed] (the key does
+      not satisfy the sealing policy) from [Digest_mismatch] (the HMAC tag
+      over the payload is wrong). *)
 
   val size : sealed -> int
   val to_bytes : sealed -> string
   val of_bytes : string -> sealed option
+
+  val decode :
+    ?limits:Zkqac_util.Wire.limits ->
+    string ->
+    (sealed, Zkqac_util.Verify_error.t) result
+  (** As {!of_bytes}, with typed failures and reader resource limits. *)
 end

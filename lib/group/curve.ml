@@ -119,7 +119,10 @@ let of_bytes c s =
   if String.length s <> w + 1 then None
   else begin
     match s.[0] with
-    | '\000' -> Some Infinity
+    | '\000' ->
+      (* Canonical encodings only: infinity is the all-zero string, not any
+         string with a zero tag. *)
+      if String.for_all (Char.equal '\000') s then Some Infinity else None
     | ('\002' | '\003') as tag ->
       let x = B.of_bytes_be (String.sub s 1 w) in
       if B.compare x (Fp.modulus c) >= 0 then None

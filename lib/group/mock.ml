@@ -41,8 +41,14 @@ let create ?(order = default_order) () : (module Pairing_intf.PAIRING) =
       let to_bytes a =
         B.to_bytes_be_pad 32 a ^ String.make (g_encoded_size - 32) '\000'
 
+      (* Encodings must be canonical: the padding bytes are part of the
+         encoding, so a non-zero byte there is a distinct bit string that
+         must not decode to the same element (signatures would otherwise be
+         malleable at the wire level). *)
       let of_bytes s =
         if String.length s <> g_encoded_size then None
+        else if not (String.for_all (Char.equal '\000') (String.sub s 32 (g_encoded_size - 32)))
+        then None
         else begin
           let v = B.of_bytes_be (String.sub s 0 32) in
           if B.compare v order < 0 then Some v else None
@@ -66,8 +72,11 @@ let create ?(order = default_order) () : (module Pairing_intf.PAIRING) =
       let to_bytes a =
         B.to_bytes_be_pad 32 a ^ String.make (gt_encoded_size - 32) '\000'
 
+      (* Canonical encodings only, as in {!G.of_bytes}. *)
       let of_bytes s =
         if String.length s <> gt_encoded_size then None
+        else if not (String.for_all (Char.equal '\000') (String.sub s 32 (gt_encoded_size - 32)))
+        then None
         else begin
           let v = B.of_bytes_be (String.sub s 0 32) in
           if B.compare v order < 0 then Some v else None

@@ -1,0 +1,15 @@
+(** Monotonic time for measuring durations.
+
+    [Unix.gettimeofday] follows the wall clock, which NTP may step backwards
+    mid-measurement; benchmark and SP-time figures must come from a clock
+    that only moves forward. This is a thin binding to
+    [clock_gettime(CLOCK_MONOTONIC)]. *)
+
+external now_ns : unit -> (int64[@unboxed])
+  = "zkqac_monotonic_now_ns_bytecode" "zkqac_monotonic_now_ns_native"
+[@@noalloc]
+(** Nanoseconds from an arbitrary fixed origin; comparable only against
+    other [now_ns] readings in the same process. *)
+
+val elapsed_since : int64 -> float
+(** Seconds elapsed since a previous [now_ns] reading. *)

@@ -1,0 +1,21 @@
+/* Monotonic clock binding: CLOCK_MONOTONIC is immune to NTP steps and
+   wall-clock adjustments, unlike gettimeofday. The native variant returns an
+   unboxed int64 and must not allocate. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <stdint.h>
+#include <time.h>
+
+int64_t zkqac_monotonic_now_ns_native(value unit)
+{
+  (void)unit;
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return (int64_t)ts.tv_sec * (int64_t)1000000000 + (int64_t)ts.tv_nsec;
+}
+
+value zkqac_monotonic_now_ns_bytecode(value unit)
+{
+  return caml_copy_int64(zkqac_monotonic_now_ns_native(unit));
+}

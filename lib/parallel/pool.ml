@@ -23,39 +23,24 @@ let size () =
 
 exception Job_failed of exn
 
-let map ~threads jobs =
+let map_results ~threads jobs =
   let jobs = Array.of_list jobs in
   let n = Array.length jobs in
-  if threads <= 1 || n <= 1 then
-    Array.to_list
-      (Array.map
-         (fun j ->
-           try j ()
-           with e ->
-             let bt = Printexc.get_raw_backtrace () in
-             Printexc.raise_with_backtrace (Job_failed e) bt)
-         jobs)
+  let run j =
+    match j () with
+    | v -> Ok v
+    | exception e -> Error (e, Printexc.get_raw_backtrace ())
+  in
+  if threads <= 1 || n <= 1 then Array.to_list (Array.map run jobs)
   else begin
     let threads = min threads n in
     Trace.with_span "pool.map"
       ~attrs:[ ("threads", Trace.Int threads); ("jobs", Trace.Int n) ]
     @@ fun ctx ->
     let results = Array.make n None in
-    (* First failure by job index, kept with its backtrace. Workers race to
-       publish via compare-and-set; lower indices win, so which failure is
-       reported does not depend on domain scheduling. *)
-    let failure = Atomic.make None in
-    let record_failure i e bt =
-      let rec loop () =
-        let cur = Atomic.get failure in
-        match cur with
-        | Some (j, _, _) when j <= i -> ()
-        | _ -> if not (Atomic.compare_and_set failure cur (Some (i, e, bt))) then loop ()
-      in
-      loop ()
-    in
     (* Static block partition: domain k takes the contiguous slice
-       [k*n/threads, (k+1)*n/threads). *)
+       [k*n/threads, (k+1)*n/threads). A failing job is recorded in place and
+       the slice keeps going: callers get every job's outcome. *)
     let worker k () =
       (* Parent the worker's span on the caller's [pool.map] span so jobs
          running on this domain show up under the query that spawned them. *)
@@ -63,29 +48,33 @@ let map ~threads jobs =
         ~attrs:[ ("worker", Trace.Int k) ]
       @@ fun _ ->
       let lo = k * n / threads and hi = (k + 1) * n / threads in
-      let i = ref lo in
-      try
-        while !i < hi do
-          results.(!i) <- Some (jobs.(!i) ());
-          incr i
-        done
-      with e -> record_failure !i e (Printexc.get_raw_backtrace ())
+      for i = lo to hi - 1 do
+        results.(i) <- Some (run jobs.(i))
+      done
     in
     let domains = List.init threads (fun k -> Domain.spawn (worker k)) in
     List.iter Domain.join domains;
-    (match Atomic.get failure with
-     | Some (_, e, bt) -> Printexc.raise_with_backtrace (Job_failed e) bt
-     | None -> ());
     Array.to_list
       (Array.map
          (function
-           | Some v -> v
-           (* No failure recorded means every slice ran to completion. *)
+           | Some r -> r
+           (* The slices tile [0, n), so every cell was written. *)
            | None -> assert false)
          results)
   end
 
+let map ~threads jobs =
+  let results = map_results ~threads jobs in
+  (* Re-raise the lowest-index failure: deterministic regardless of how the
+     domains were scheduled. *)
+  let rec extract acc = function
+    | [] -> List.rev acc
+    | Ok v :: rest -> extract (v :: acc) rest
+    | Error (e, bt) :: _ -> Printexc.raise_with_backtrace (Job_failed e) bt
+  in
+  extract [] results
+
 let time f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Monotonic_clock.now_ns () in
   let v = f () in
-  (v, Unix.gettimeofday () -. t0)
+  (v, Monotonic_clock.elapsed_since t0)

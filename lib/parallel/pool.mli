@@ -18,17 +18,27 @@ val size : unit -> int
       if [ZKQAC_DOMAINS] is set to something that is not an integer in
       [1..1024]. *)
 
-val map : threads:int -> (unit -> 'a) list -> 'a list
+val map_results :
+  threads:int ->
+  (unit -> 'a) list ->
+  ('a, exn * Printexc.raw_backtrace) result list
 (** Run the thunks on [threads] domains (static block partitioning, like an
-    OpenMP static schedule). [threads <= 1] runs inline. If any job raises,
-    the failure with the lowest job index is re-raised in the caller as
-    [Job_failed e] with the worker's backtrace — deterministic even when
-    several jobs fail on different domains.
+    OpenMP static schedule) and collect every job's outcome in input order.
+    [threads <= 1] runs inline. A raising job becomes [Error (e, bt)] in its
+    slot and does not stop the other jobs — callers that need partial
+    results (or a full failure report) get all of them.
 
     When tracing is enabled ([Zkqac_telemetry.Trace]), the parallel branch
     records a [pool.map] span and each worker domain a [pool.worker] span
     parented on it, so spans recorded inside jobs attach to the calling
     query's trace even though they run on other domains. *)
 
+val map : threads:int -> (unit -> 'a) list -> 'a list
+(** {!map_results} with failures re-raised: if any job raised, the failure
+    with the lowest job index is re-raised in the caller as [Job_failed e]
+    with the worker's backtrace — deterministic even when several jobs fail
+    on different domains. *)
+
 val time : (unit -> 'a) -> 'a * float
-(** Wall-clock timing helper for benches. *)
+(** Timing helper for benches. Durations come from {!Monotonic_clock}, so
+    they are immune to wall-clock adjustments. *)

@@ -107,10 +107,15 @@ let rec to_string = function
 
 let pp fmt t = Format.pp_print_string fmt (to_string t)
 
-(* Recursive-descent parser for the same syntax. *)
+(* Recursive-descent parser for the same syntax. Nesting is capped so a
+   hostile policy string of a million open parens fails with
+   Invalid_argument instead of exhausting the stack mid-decode. *)
+let max_parse_depth = 64
+
 let of_string s =
   let n = String.length s in
   let pos = ref 0 in
+  let depth = ref 0 in
   let peek () =
     while !pos < n && (s.[!pos] = ' ' || s.[!pos] = '\t' || s.[!pos] = '\n') do
       incr pos
@@ -153,10 +158,13 @@ let of_string s =
     match peek () with
     | Some '(' ->
       incr pos;
+      incr depth;
+      if !depth > max_parse_depth then fail "nesting too deep";
       let e = parse_or () in
       (match peek () with
        | Some ')' -> incr pos
        | _ -> fail "expected ')'");
+      decr depth;
       e
     | Some (')' | '&' | '|' | ',') -> fail "unexpected operator"
     | Some _ ->
@@ -172,6 +180,8 @@ let of_string s =
       if is_threshold then begin
         let k = int_of_string (String.sub name 0 (String.length name - 2)) in
         incr pos;
+        incr depth;
+        if !depth > max_parse_depth then fail "nesting too deep";
         let rec children acc =
           let e = parse_or () in
           match peek () with
@@ -184,6 +194,7 @@ let of_string s =
           | _ -> fail "expected ',' or ')'"
         in
         let xs = children [] in
+        decr depth;
         (try threshold k xs with Invalid_argument m -> fail m)
       end
       else leaf name

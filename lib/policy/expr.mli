@@ -54,7 +54,9 @@ val to_string : t -> string
 
 val of_string : string -> t
 (** Parses the syntax of {!to_string}: identifiers, [&], [|], parentheses;
-    [&] binds tighter than [|]. @raise Invalid_argument on syntax errors. *)
+    [&] binds tighter than [|]. @raise Invalid_argument on syntax errors or
+    on nesting deeper than 64 levels, so a hostile policy string cannot
+    exhaust the parser stack. *)
 
 val pp : Format.formatter -> t -> unit
 

@@ -1,4 +1,11 @@
-(* Minimal length-prefixed binary writer/reader used by the VO codecs. *)
+(* Minimal length-prefixed binary writer/reader used by the VO codecs.
+
+   The reader side treats its input as hostile: besides the usual bounds
+   checks (raising [Malformed]), every reader carries resource [limits] —
+   maximum input size, maximum collection count, maximum nesting depth — so
+   that a VO with an inflated length field, a huge element count, or a
+   deeply nested structure is rejected up front ([Limit]) instead of driving
+   the decoder into pathological allocation or recursion. *)
 
 type writer = Buffer.t
 
@@ -28,11 +35,33 @@ let int_array buf a =
 
 let contents = Buffer.contents
 
-type reader = { data : string; mutable pos : int }
+(* --- reader --- *)
+
+type limits = { max_bytes : int; max_collection : int; max_depth : int }
+
+(* Generous production defaults: a multi-GB VO, a million-entry collection
+   or a 96-deep recursion is outside anything the system produces; anything
+   beyond is an attack or a bug, and either way must fail cleanly. *)
+let default_limits =
+  { max_bytes = 1 lsl 30; max_collection = 1 lsl 20; max_depth = 96 }
+
+type reader = {
+  data : string;
+  mutable pos : int;
+  limits : limits;
+  mutable depth : int;
+}
 
 exception Malformed
+exception Limit of { what : string; limit : int }
 
-let reader data = { data; pos = 0 }
+let reader ?(limits = default_limits) data =
+  if String.length data > limits.max_bytes then
+    raise (Limit { what = "input bytes"; limit = limits.max_bytes });
+  { data; pos = 0; limits; depth = 0 }
+
+let pos r = r.pos
+let remaining r = String.length r.data - r.pos
 
 let ru8 r =
   if r.pos + 1 > String.length r.data then raise Malformed;
@@ -61,4 +90,42 @@ let rint_array r =
   let rec go k acc = if k = 0 then List.rev acc else go (k - 1) (ru32 r :: acc) in
   Array.of_list (go n [])
 
+(* A u32 collection count, bounded twice over: by the configured maximum,
+   and by the bytes actually remaining (every element costs at least one
+   byte), so an inflated count fails before its first iteration. *)
+let rcount r =
+  let n = ru32 r in
+  if n > r.limits.max_collection then
+    raise (Limit { what = "collection count"; limit = r.limits.max_collection });
+  if n > remaining r then raise Malformed;
+  n
+
+(* Depth-guarded recursion for decoders of tree-shaped structures. *)
+let nested r f =
+  r.depth <- r.depth + 1;
+  if r.depth > r.limits.max_depth then
+    raise (Limit { what = "nesting depth"; limit = r.limits.max_depth });
+  let v = f () in
+  r.depth <- r.depth - 1;
+  v
+
 let at_end r = r.pos = String.length r.data
+
+(* Run a decoding function over hostile bytes, translating every failure
+   mode into a typed {!Verify_error.t}: resource bounds to [Limit_exceeded],
+   anything else (including exceptions escaping embedded parsers) to
+   [Malformed] at the current read position. Trailing bytes are rejected —
+   every top-level decoder built on [decode] gets that check for free. *)
+let decode ?limits data f =
+  match reader ?limits data with
+  | exception Limit { what; limit } ->
+    Error (Verify_error.Limit_exceeded { what; limit })
+  | r -> (
+    match f r with
+    | v ->
+      if at_end r then Ok v
+      else Error (Verify_error.Malformed { offset = r.pos })
+    | exception Limit { what; limit } ->
+      Error (Verify_error.Limit_exceeded { what; limit })
+    | exception (Malformed | Invalid_argument _ | Failure _) ->
+      Error (Verify_error.Malformed { offset = r.pos }))

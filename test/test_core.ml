@@ -159,7 +159,7 @@ module Make_core_tests (P : Zkqac_group.Pairing_intf.PAIRING) = struct
       List.filter (function Vo.Accessible _ -> false | _ -> true) vo
     in
     (match Ap2g.verify ~mvk ~t_universe:universe ~user ~query dropped with
-     | Error Vo.Bad_coverage -> ()
+     | Error Vo.Completeness_gap -> ()
      | Error e -> Alcotest.failf "unexpected error: %s" (Vo.error_to_string e)
      | Ok _ -> Alcotest.fail "omission must be detected")
 
@@ -179,7 +179,7 @@ module Make_core_tests (P : Zkqac_group.Pairing_intf.PAIRING) = struct
         vo
     in
     (match Ap2g.verify ~mvk ~t_universe:universe ~user ~query tampered with
-     | Error (Vo.Bad_signature _) -> ()
+     | Error (Vo.(Bad_abs_signature _ | Bad_aps_signature _)) -> ()
      | Error e -> Alcotest.failf "unexpected error: %s" (Vo.error_to_string e)
      | Ok _ -> Alcotest.fail "tampering must be detected")
 
@@ -192,7 +192,7 @@ module Make_core_tests (P : Zkqac_group.Pairing_intf.PAIRING) = struct
     let vo_honest, _ = Ap2g.range_vo drbg ~mvk tree ~user:(attrs [ "RoleC" ]) query in
     (match Ap2g.verify ~mvk ~t_universe:universe ~user ~query vo_honest with
      | Error (Vo.Policy_not_satisfied _) -> ()
-     | Error (Vo.Bad_signature _) -> ()
+     | Error (Vo.(Bad_abs_signature _ | Bad_aps_signature _)) -> ()
      | Error e -> Alcotest.failf "unexpected error: %s" (Vo.error_to_string e)
      | Ok results ->
        Alcotest.(check bool) "no result leaks" true (results = []))
@@ -366,7 +366,7 @@ module Make_core_tests (P : Zkqac_group.Pairing_intf.PAIRING) = struct
     let vo, _ = Join.join_vo drbg ~mvk ~r:r_tree ~s:s_tree ~user query in
     let dropped = List.filter (function Join.Pair _ -> false | _ -> true) vo in
     (match Join.verify ~mvk ~t_universe:universe ~user ~query dropped with
-     | Error Vo.Bad_coverage -> ()
+     | Error Vo.Completeness_gap -> ()
      | Error e -> Alcotest.failf "unexpected: %s" (Vo.error_to_string e)
      | Ok _ -> Alcotest.fail "join omission must be detected")
 

@@ -153,7 +153,7 @@ let test_continuous_omission () =
   let vo = Cont.range_vo drbg ~mvk cont ~user ~lo:0 ~hi:200 in
   let dropped = List.filter (function Cont.Rec_accessible _ -> false | _ -> true) vo in
   (match Cont.verify_range ~mvk ~t_universe:universe ~user ~lo:0 ~hi:200 dropped with
-   | Error Vo.Bad_coverage -> ()
+   | Error Vo.Completeness_gap -> ()
    | Error e -> Alcotest.failf "unexpected: %s" (Vo.error_to_string e)
    | Ok _ -> Alcotest.fail "continuous omission must be detected")
 
