@@ -1,0 +1,389 @@
+(* Statistical comparison of two BENCH.json files.
+
+   Deterministic cost metrics (op counts at the PAIRING boundary, VO bytes,
+   allocation words) move only when the code's behaviour moves, so they are
+   compared directly against a percentage threshold. Latency is noisy, so
+   per-stage distributions (the sparse histogram buckets BENCH.json carries)
+   are compared with a bootstrap: resample both distributions, take the 95%
+   confidence interval of the relative mean delta, and only call a
+   regression when the whole interval clears the threshold. A rerun on the
+   same code should diff within noise; a synthetic slowdown should not. *)
+
+module Json = Zkqac_telemetry.Json
+module Histogram = Zkqac_telemetry.Histogram
+
+type verdict = Regression | Improvement | Within_noise
+
+type finding = {
+  experiment : string;
+  metric : string;
+  older : string; (* rendered baseline value *)
+  newer : string; (* rendered current value *)
+  delta_pct : float option; (* None when the baseline value was zero *)
+  ci : (float * float) option; (* bootstrap 95% CI of the relative delta *)
+  verdict : verdict;
+}
+
+type result = {
+  findings : finding list;
+  regressions : int;
+  improvements : int;
+  missing : string list; (* experiments in the baseline but not the new run *)
+  added : string list; (* experiments in the new run but not the baseline *)
+}
+
+(* --- JSON accessors --- *)
+
+let mem name = Report.obj_mem name
+
+let to_num = function
+  | Json.Int i -> Some (float_of_int i)
+  | Json.Float f -> Some f
+  | _ -> None
+
+let num_field name j = Option.bind (mem name j) to_num
+
+let str_field name j =
+  match mem name j with Some (Json.Str s) -> Some s | _ -> None
+
+(* Recursive sum of every field called [name] — how VO bytes are pulled out
+   of the per-experiment series rows regardless of series shape. *)
+let rec sum_field name j =
+  match j with
+  | Json.Obj kvs ->
+    List.fold_left
+      (fun acc (k, v) ->
+        acc
+        +.
+        if k = name then match to_num v with Some f -> f | None -> 0.0
+        else sum_field name v)
+      0.0 kvs
+  | Json.Arr items -> List.fold_left (fun acc v -> acc +. sum_field name v) 0.0 items
+  | _ -> 0.0
+
+let histogram_of_json j =
+  match mem "buckets" j with
+  | Some (Json.Arr pairs) -> (
+    try
+      Some
+        (Histogram.of_buckets
+           (List.map
+              (function
+                | Json.Arr [ Json.Int b; Json.Int c ] -> (b, c)
+                | _ -> raise Exit)
+              pairs))
+    with Exit | Invalid_argument _ -> None)
+  | _ -> None
+
+(* --- deterministic bootstrap --- *)
+
+(* splitmix64, fixed seed: the diff of the same two files is the same
+   every run. *)
+let rng_state = ref 0x9e3779b97f4a7c15L
+
+let rng_seed () = rng_state := 0x9e3779b97f4a7c15L
+
+let rng_next () =
+  let open Int64 in
+  rng_state := add !rng_state 0x9e3779b97f4a7c15L;
+  let z = !rng_state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
+  logxor z (shift_right_logical z 31)
+
+let rng_int bound =
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (rng_next ()) 1)
+                  (Int64.of_int bound))
+
+(* A histogram as a weighted sample of bucket midpoints. *)
+type dist = { mids : float array; cums : int array; total : int }
+
+let dist_of_histogram h =
+  let sparse = Histogram.buckets h in
+  let n = List.length sparse in
+  let mids = Array.make n 0.0 and cums = Array.make n 0 in
+  let acc = ref 0 in
+  List.iteri
+    (fun i (b, c) ->
+      let lo, hi = Histogram.bucket_bounds b in
+      mids.(i) <- (lo +. hi) /. 2.0;
+      acc := !acc + c;
+      cums.(i) <- !acc)
+    sparse;
+  { mids; cums; total = !acc }
+
+let draw d =
+  let u = rng_int d.total in
+  (* first bucket with cumulative count > u *)
+  let lo = ref 0 and hi = ref (Array.length d.cums - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if d.cums.(mid) > u then hi := mid else lo := mid + 1
+  done;
+  d.mids.(!lo)
+
+let resample_mean d n =
+  let acc = ref 0.0 in
+  for _ = 1 to n do
+    acc := !acc +. draw d
+  done;
+  !acc /. float_of_int n
+
+let bootstrap_rounds = 300
+let resample_cap = 10_000
+let min_bootstrap_count = 5
+
+(* 95% CI of the relative (%) delta of means between two histograms, or
+   None when either side has too few observations to resample honestly. *)
+let bootstrap_ci ~baseline ~current =
+  let nb = Histogram.count baseline and nc = Histogram.count current in
+  if nb < min_bootstrap_count || nc < min_bootstrap_count then None
+  else begin
+    rng_seed ();
+    let db = dist_of_histogram baseline and dc = dist_of_histogram current in
+    let nb = min nb resample_cap and nc = min nc resample_cap in
+    let deltas =
+      Array.init bootstrap_rounds (fun _ ->
+          let mb = resample_mean db nb and mc = resample_mean dc nc in
+          if mb <= 0.0 then 0.0 else (mc -. mb) /. mb *. 100.0)
+    in
+    Array.sort compare deltas;
+    let pick q =
+      deltas.(int_of_float (Float.round (q *. float_of_int (bootstrap_rounds - 1))))
+    in
+    Some (pick 0.025, pick 0.975)
+  end
+
+(* --- comparisons --- *)
+
+let pct ~older ~newer =
+  if older = 0.0 then None else Some ((newer -. older) /. older *. 100.0)
+
+(* Deterministic metric: the sign of the delta decides which way, the
+   threshold decides whether it matters. A metric appearing out of nowhere
+   (baseline 0) is always a regression-grade event. *)
+let direct_verdict ~threshold ~older ~newer =
+  match pct ~older ~newer with
+  | Some d when d > threshold -> Regression
+  | Some d when d < -.threshold -> Improvement
+  | Some _ -> Within_noise
+  | None -> if newer > 0.0 then Regression else Within_noise
+
+let fmt_count v =
+  if Float.is_integer v then Printf.sprintf "%.0f" v else Printf.sprintf "%.1f" v
+
+let direct_finding ~experiment ~metric ~threshold ?(fmt = fmt_count) ~older ~newer () =
+  if older = 0.0 && newer = 0.0 then None
+  else
+    Some
+      {
+        experiment;
+        metric;
+        older = fmt older;
+        newer = fmt newer;
+        delta_pct = pct ~older ~newer;
+        ci = None;
+        verdict = direct_verdict ~threshold ~older ~newer;
+      }
+
+let ops_findings ~threshold ~experiment bj nj =
+  let ops j = match mem "ops" j with Some (Json.Obj kvs) -> kvs | _ -> [] in
+  let older = ops bj and newer = ops nj in
+  let keys =
+    List.sort_uniq compare (List.map fst older @ List.map fst newer)
+  in
+  List.filter_map
+    (fun op ->
+      let v kvs = match List.assoc_opt op kvs with
+        | Some j -> Option.value (to_num j) ~default:0.0
+        | None -> 0.0
+      in
+      direct_finding ~experiment ~metric:("ops." ^ op) ~threshold
+        ~older:(v older) ~newer:(v newer) ())
+    keys
+
+let vo_finding ~threshold ~experiment bj nj =
+  let vo j =
+    match mem "series" j with Some s -> sum_field "vo_bytes" s | None -> 0.0
+  in
+  direct_finding ~experiment ~metric:"vo_bytes" ~threshold ~older:(vo bj)
+    ~newer:(vo nj) ()
+
+let wall_finding ~latency_threshold ~experiment bj nj =
+  let w j = Option.value (num_field "wall_s" j) ~default:0.0 in
+  direct_finding ~experiment ~metric:"wall_s" ~threshold:latency_threshold
+    ~fmt:(Printf.sprintf "%.2fs") ~older:(w bj) ~newer:(w nj) ()
+
+(* Per-stage latency: render with the histogram accessors (count, mean,
+   min, max) and judge with the bootstrap CI when both sides carry enough
+   observations. *)
+let latency_findings ~latency_threshold ~experiment bj nj =
+  let hists j =
+    match mem "histograms" j with Some (Json.Obj kvs) -> kvs | _ -> []
+  in
+  let older = hists bj and newer = hists nj in
+  List.filter_map
+    (fun (stage, nh_json) ->
+      match (List.assoc_opt stage older, histogram_of_json nh_json) with
+      | Some oh_json, Some nh -> (
+        match histogram_of_json oh_json with
+        | None -> None
+        | Some oh ->
+          let render h =
+            Printf.sprintf "%.2fms n=%d [%.2f..%.2f]"
+              (Histogram.mean_ns h /. 1e6)
+              (Histogram.count h)
+              (Histogram.min_ns h /. 1e6)
+              (Histogram.max_ns h /. 1e6)
+          in
+          let older_mean = Histogram.mean_ns oh
+          and newer_mean = Histogram.mean_ns nh in
+          let ci = bootstrap_ci ~baseline:oh ~current:nh in
+          let verdict =
+            match ci with
+            | Some (lo, _) when lo > latency_threshold -> Regression
+            | Some (_, hi) when hi < -.latency_threshold -> Improvement
+            | Some _ -> Within_noise
+            | None ->
+              (* Too few observations to resample: direct mean comparison. *)
+              direct_verdict ~threshold:latency_threshold ~older:older_mean
+                ~newer:newer_mean
+          in
+          Some
+            {
+              experiment;
+              metric = "latency." ^ stage;
+              older = render oh;
+              newer = render nh;
+              delta_pct = pct ~older:older_mean ~newer:newer_mean;
+              ci;
+              verdict;
+            })
+      | _ -> None)
+    newer
+
+(* Allocation attribution (schema 3): minor words per stage. Absent on
+   schema-2 files, in which case there is nothing to compare. *)
+let alloc_findings ~alloc_threshold ~experiment bj nj =
+  let stages j = match mem "alloc" j with Some (Json.Obj kvs) -> kvs | _ -> [] in
+  let older = stages bj and newer = stages nj in
+  if older = [] || newer = [] then []
+  else
+    List.filter_map
+      (fun (stage, cell) ->
+        match List.assoc_opt stage older with
+        | None -> None
+        | Some ocell ->
+          let minor c = Option.value (num_field "minor_words" c) ~default:0.0 in
+          direct_finding ~experiment ~metric:("alloc." ^ stage)
+            ~threshold:alloc_threshold
+            ~fmt:(fun w -> Printf.sprintf "%.0fw" w)
+            ~older:(minor ocell) ~newer:(minor cell) ())
+      newer
+
+(* --- driving --- *)
+
+let experiments j =
+  match mem "experiments" j with
+  | Some (Json.Arr items) ->
+    List.filter_map
+      (fun e -> Option.map (fun n -> (n, e)) (str_field "name" e))
+      items
+  | _ -> []
+
+let run ?(threshold = 10.0) ?(latency_threshold = 25.0) ?(alloc_threshold = 50.0)
+    ~baseline ~current () =
+  let older = experiments baseline and newer = experiments current in
+  let missing =
+    List.filter_map
+      (fun (n, _) -> if List.mem_assoc n newer then None else Some n)
+      older
+  in
+  let added =
+    List.filter_map
+      (fun (n, _) -> if List.mem_assoc n older then None else Some n)
+      newer
+  in
+  let findings =
+    List.concat_map
+      (fun (name, nj) ->
+        match List.assoc_opt name older with
+        | None -> []
+        | Some bj ->
+          List.filter_map Fun.id
+            [ wall_finding ~latency_threshold ~experiment:name bj nj;
+              vo_finding ~threshold ~experiment:name bj nj ]
+          @ ops_findings ~threshold ~experiment:name bj nj
+          @ latency_findings ~latency_threshold ~experiment:name bj nj
+          @ alloc_findings ~alloc_threshold ~experiment:name bj nj)
+      newer
+  in
+  let count v = List.length (List.filter (fun f -> f.verdict = v) findings) in
+  {
+    findings;
+    regressions = count Regression;
+    improvements = count Improvement;
+    missing;
+    added;
+  }
+
+(* --- rendering --- *)
+
+let verdict_text = function
+  | Regression -> "REGRESSION"
+  | Improvement -> "improvement"
+  | Within_noise -> "ok"
+
+let delta_text f =
+  match f.delta_pct with
+  | None -> if f.verdict = Regression then "new" else "-"
+  | Some d -> Printf.sprintf "%+.1f%%" d
+
+let ci_text f =
+  match f.ci with
+  | None -> "-"
+  | Some (lo, hi) -> Printf.sprintf "[%+.1f%%, %+.1f%%]" lo hi
+
+let print ?(all = false) r =
+  let shown =
+    if all then r.findings
+    else List.filter (fun f -> f.verdict <> Within_noise) r.findings
+  in
+  if shown = [] then print_endline "\nbench diff: no significant changes"
+  else
+    Report.print_table
+      ~title:(if all then "bench diff (all comparisons)" else "bench diff (significant changes)")
+      ~header:[ "experiment"; "metric"; "baseline"; "new"; "delta"; "ci95"; "verdict" ]
+      (List.map
+         (fun f ->
+           [ f.experiment; f.metric; f.older; f.newer; delta_text f;
+             ci_text f; verdict_text f.verdict ])
+         shown);
+  List.iter
+    (fun n -> Printf.printf "note: experiment %s is new (no baseline)\n" n)
+    r.added;
+  List.iter
+    (fun n -> Printf.printf "WARNING: experiment %s disappeared from the new run\n" n)
+    r.missing;
+  Printf.printf "\n%d comparison(s): %d regression(s), %d improvement(s), %d within noise\n"
+    (List.length r.findings) r.regressions r.improvements
+    (List.length r.findings - r.regressions - r.improvements)
+
+(* Markdown flavour of the same table, for CI job summaries. *)
+let print_markdown r =
+  print_endline "### Benchmark diff";
+  print_endline "";
+  if r.findings = [] then print_endline "_no comparable experiments_"
+  else begin
+    print_endline "| experiment | metric | baseline | new | delta | ci95 | verdict |";
+    print_endline "|---|---|---|---|---|---|---|";
+    List.iter
+      (fun f ->
+        if f.verdict <> Within_noise then
+          Printf.printf "| %s | %s | %s | %s | %s | %s | **%s** |\n" f.experiment
+            f.metric f.older f.newer (delta_text f) (ci_text f)
+            (verdict_text f.verdict))
+      r.findings;
+    Printf.printf "\n%d comparison(s): %d regression(s), %d improvement(s).\n"
+      (List.length r.findings) r.regressions r.improvements
+  end

@@ -3,6 +3,7 @@
    laptop-scale runs; EXPERIMENTS.md records the mapping and the expected
    shapes. Every experiment prints the same rows/series the paper reports. *)
 
+module Report = Zkqac_bench.Report
 module Expr = Zkqac_policy.Expr
 module Attr = Zkqac_policy.Attr
 module Universe = Zkqac_policy.Universe

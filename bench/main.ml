@@ -12,8 +12,11 @@ module Backend = Zkqac_group.Backend
 module Telemetry = Zkqac_telemetry.Telemetry
 module Trace = Zkqac_telemetry.Trace
 module Histogram = Zkqac_telemetry.Histogram
+module Alloc = Zkqac_telemetry.Alloc
+module Metrics = Zkqac_telemetry.Metrics
 module Json = Zkqac_telemetry.Json
 module Pool = Zkqac_parallel.Pool
+module Report = Zkqac_bench.Report
 
 let experiments =
   [ "table1"; "table2"; "fig7"; "fig8"; "fig9"; "fig10"; "fig11"; "fig12";
@@ -114,11 +117,15 @@ let () =
       in
       let before = Telemetry.snapshot () in
       let hist_before = Histogram.snapshot () in
+      let alloc_before = Alloc.snapshot () in
       let _, t = Report.time run in
       if !json_path <> None then begin
         let cost = Telemetry.diff ~earlier:before ~later:(Telemetry.snapshot ()) in
         let hists =
           Histogram.diff ~earlier:hist_before ~later:(Histogram.snapshot ())
+        in
+        let allocs =
+          Alloc.diff ~earlier:alloc_before ~later:(Alloc.snapshot ())
         in
         let series = Report.take_series () in
         records :=
@@ -129,6 +136,8 @@ let () =
                ("spans", Telemetry.spans_json cost) ]
              @ (if hists = [] then []
                 else [ ("histograms", Histogram.snapshot_json hists) ])
+             @ (if allocs = [] then []
+                else [ ("alloc", Alloc.snapshot_json allocs) ])
              @ (if series = [] then [] else [ ("series", Json.Obj series) ]))
           :: !records
       end;
@@ -148,17 +157,20 @@ let () =
       Printf.printf "[%s done in %.1fs]\n%!" exp t)
     selected;
   if Telemetry.enabled () || !trace_dir <> None then Report.print_histograms ();
+  Report.warn_dropped_spans ();
   Printf.printf "\ntotal: %.1fs\n" (Unix.gettimeofday () -. t0);
   match !json_path with
   | None -> ()
   | Some path ->
     Json.to_file path
       (Json.Obj
-         [ ("schema", Json.Str "zkqac-bench/2");
+         [ ("schema", Json.Str "zkqac-bench/3");
            ("backend", Json.Str (Backend.to_string !backend));
            ("full", Json.Bool !full);
            ("domains", Json.Int (Pool.size ()));
            ("total_wall_s", Json.Float (Unix.gettimeofday () -. t0));
            ("histograms", Histogram.snapshot_json (Histogram.snapshot ()));
+           ("alloc", Alloc.snapshot_json (Alloc.snapshot ()));
+           ("metrics", Metrics.to_json ());
            ("experiments", Json.Arr (List.rev !records)) ]);
     Printf.printf "wrote %s\n" path

@@ -4,6 +4,7 @@
 
 open Bechamel
 open Toolkit
+module Report = Zkqac_bench.Report
 module Expr = Zkqac_policy.Expr
 module Attr = Zkqac_policy.Attr
 module Universe = Zkqac_policy.Universe

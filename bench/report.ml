@@ -62,6 +62,47 @@ let avg_time n f =
   done;
   (Option.get !last, !acc /. float_of_int n)
 
+(* --- BENCH.json loading --- *)
+
+(* Schema versions this build knows how to read. Readers hard-fail on
+   anything else: silently misreading a future layout as zeros would make
+   a regression diff vacuously green. *)
+let supported_schemas = [ "zkqac-bench/2"; "zkqac-bench/3" ]
+
+let obj_mem name = function
+  | Json.Obj kvs -> List.assoc_opt name kvs
+  | _ -> None
+
+let load_bench path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error e -> Error (Printf.sprintf "cannot read %s: %s" path e)
+  | raw -> (
+    match Json.of_string raw with
+    | Error e -> Error (Printf.sprintf "%s: invalid JSON: %s" path e)
+    | Ok j -> (
+      match obj_mem "schema" j with
+      | Some (Json.Str s) when List.mem s supported_schemas -> Ok j
+      | Some (Json.Str s) ->
+        Error
+          (Printf.sprintf "%s: unsupported schema %S (this build reads: %s)"
+             path s
+             (String.concat ", " supported_schemas))
+      | Some _ -> Error (Printf.sprintf "%s: \"schema\" is not a string" path)
+      | None -> Error (Printf.sprintf "%s: missing \"schema\" field" path)))
+
+(* Dropped spans silently truncate traces and undercount histograms — any
+   report built on them must say so, loudly. *)
+let warn_dropped_spans () =
+  let d = Zkqac_telemetry.Trace.dropped () in
+  if d > 0 then
+    Printf.eprintf
+      "WARNING: %d trace span(s) dropped (trace capacity reached).\n\
+      \         Per-stage histograms, allocation attribution and trace files\n\
+      \         undercount this run; raise the capacity or trace fewer \
+       experiments.\n\
+       %!"
+      d
+
 (* Per-stage latency percentiles from the histogram registry, fed by every
    span close since the last reset. *)
 let print_histograms () =

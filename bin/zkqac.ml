@@ -5,6 +5,8 @@
      zkqac query   -- service-provider side: answer a range query with a VO
      zkqac verify  -- user side: check soundness + completeness of a VO
      zkqac attack  -- fault-injection harness: tamper VOs, assert rejection
+     zkqac metrics -- run an instrumented workload, print the metrics registry
+     zkqac bench   -- BENCH.json tooling (regression diff)
      zkqac demo    -- self-contained end-to-end run
 
    Records are read from a simple line format:  k1,k2,...|value|policy
@@ -331,6 +333,120 @@ let attack_cmd =
                   attack seed scenario out))
           $ stats_arg $ trace_arg $ trace_tree_arg $ seed $ scenario $ out)
 
+(* --- metrics --- *)
+
+let metrics fmt seed out =
+  let module T = Zkqac_telemetry.Telemetry in
+  let module Metrics = Zkqac_telemetry.Metrics in
+  T.enable ();
+  (* One adversarial sweep touches every metric family: PAIRING-boundary op
+     counts, per-stage latency and allocation attribution, and typed
+     verifier rejections. *)
+  let (_ : Harness.report) =
+    try Harness.run ~seed () with Invalid_argument msg -> die "%s" msg
+  in
+  let text =
+    match fmt with
+    | `Prometheus -> Metrics.to_prometheus ()
+    | `Json -> Zkqac_telemetry.Json.to_string (Metrics.to_json ()) ^ "\n"
+  in
+  match out with
+  | None -> print_string text
+  | Some path ->
+    write_file path text;
+    Printf.printf "metrics written to %s\n" path
+
+let metrics_cmd =
+  let fmt =
+    Arg.(value
+         & opt (enum [ ("prometheus", `Prometheus); ("json", `Json) ]) `Prometheus
+         & info [ "format" ] ~docv:"FMT"
+             ~doc:"Output format: $(b,prometheus) text exposition or $(b,json).")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N"
+           ~doc:"Seed for the instrumented workload.")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE"
+           ~doc:"Write the exposition to $(docv) instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:"Run an instrumented workload (the fault-injection sweep) and \
+             print the full metrics registry: operation counts, per-stage \
+             latency summaries, GC/allocation attribution, trace health and \
+             verifier rejection counts.")
+    Term.(const metrics $ fmt $ seed $ out)
+
+(* --- bench (BENCH.json tooling) --- *)
+
+let bench_diff baseline current threshold latency_threshold alloc_threshold all
+    markdown =
+  let module Diff = Zkqac_bench.Diff in
+  let load path =
+    match Zkqac_bench.Report.load_bench path with
+    | Ok j -> j
+    | Error e ->
+      prerr_endline ("zkqac: " ^ e);
+      exit 2
+  in
+  let b = load baseline and c = load current in
+  let r =
+    Diff.run ~threshold ~latency_threshold ~alloc_threshold ~baseline:b
+      ~current:c ()
+  in
+  if markdown then Diff.print_markdown r else Diff.print ~all r;
+  if r.Diff.regressions > 0 then exit 1
+
+let bench_diff_cmd =
+  let baseline =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"BASELINE"
+           ~doc:"Baseline BENCH.json.")
+  in
+  let current =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"NEW"
+           ~doc:"New BENCH.json to compare against the baseline.")
+  in
+  let threshold =
+    Arg.(value & opt float 10.0 & info [ "threshold" ] ~docv:"PCT"
+           ~doc:"Relative change (percent) past which a deterministic metric \
+                 (op counts, VO bytes) counts as significant.")
+  in
+  let latency_threshold =
+    Arg.(value & opt float 25.0 & info [ "latency-threshold" ] ~docv:"PCT"
+           ~doc:"Threshold for latency metrics; a stage only regresses when \
+                 the whole bootstrap 95% confidence interval of its mean \
+                 delta clears this.")
+  in
+  let alloc_threshold =
+    Arg.(value & opt float 50.0 & info [ "alloc-threshold" ] ~docv:"PCT"
+           ~doc:"Threshold for per-stage allocation (minor words).")
+  in
+  let all =
+    Arg.(value & flag & info [ "all" ]
+           ~doc:"Show every comparison, not only significant changes.")
+  in
+  let markdown =
+    Arg.(value & flag & info [ "markdown" ]
+           ~doc:"Emit a Markdown table (for CI job summaries).")
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:"Compare two BENCH.json files. Deterministic metrics (pairing \
+             and group-operation counts, VO bytes, allocation words) diff \
+             directly; latency distributions diff with bootstrap confidence \
+             intervals so noise does not flag. Exits 1 when a significant \
+             regression is found, 2 when a file cannot be read or has an \
+             unsupported schema.")
+    Term.(const bench_diff $ baseline $ current $ threshold $ latency_threshold
+          $ alloc_threshold $ all $ markdown)
+
+let bench_cmd =
+  Cmd.group
+    (Cmd.info "bench" ~doc:"Benchmark-result tooling (regression diffing).")
+    [ bench_diff_cmd ]
+
 (* --- demo --- *)
 
 let demo () =
@@ -362,4 +478,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ setup_cmd; inspect_cmd; query_cmd; verify_cmd; attack_cmd; demo_cmd ]))
+          [ setup_cmd; inspect_cmd; query_cmd; verify_cmd; attack_cmd;
+            metrics_cmd; bench_cmd; demo_cmd ]))

@@ -99,6 +99,7 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
     | m -> G.pow base (B.erem (B.mul (B.of_int m) r) order)
 
   let sign drbg mvk sk ~msg ~policy =
+    Trace.with_span "abs.sign" @@ fun _ ->
     T.bump T.Abs_sign;
     let msp = Msp.build policy in
     let v =

@@ -642,6 +642,7 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
                   match tgt.verify bytes with
                   | Ok () -> Accepted
                   | Error e ->
+                    Zkqac_telemetry.Metrics.rejection (VE.code e);
                     if Scenario.expected sc.Scenario.name e then Rejected e
                     else Misclassified e)
               in

@@ -118,6 +118,7 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
     let fail e =
       Trace.set_attr ctx "verify_error"
         (Trace.Str (Zkqac_util.Verify_error.code e));
+      Zkqac_telemetry.Metrics.rejection (Zkqac_util.Verify_error.code e);
       Error e
     in
     if not (Box.equal query response.query) then

@@ -21,6 +21,16 @@ let size () =
         invalid_arg (Printf.sprintf "ZKQAC_DOMAINS=%S is not an integer" raw)
     end
 
+(* Registered once at library init: the configured fan-out is a property of
+   the environment, so exporters always see the value a run would use. *)
+let () =
+  Zkqac_telemetry.Metrics.register_gauge ~name:"zkqac_worker_domains"
+    ~help:"Worker domains a parallel fan-out would use (ZKQAC_DOMAINS or the scheduler's recommendation)."
+    (fun () ->
+      match size () with
+      | n -> [ ([], float_of_int n) ]
+      | exception Invalid_argument _ -> [])
+
 exception Job_failed of exn
 
 let map_results ~threads jobs =

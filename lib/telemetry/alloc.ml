@@ -1,0 +1,117 @@
+(* Per-stage GC/allocation attribution.
+
+   [Trace.with_span] samples the domain-local allocation counters
+   ([Gc.counters]: minor, promoted, major words — all attributed to the
+   calling domain on OCaml 5) around every measured span and feeds the
+   deltas here. Like [Histogram], recording goes through a per-domain table
+   (domain-local storage) so the hot path takes no lock; snapshots merge
+   all per-domain tables under a mutex. Keeping the per-domain tables also
+   gives per-worker-domain attribution of the [Pool] fan-out for free. *)
+
+type cell = {
+  mutable count : int;
+  mutable minor : float; (* words allocated in the minor heap *)
+  mutable promoted : float; (* words promoted minor -> major *)
+  mutable major : float; (* words allocated directly in the major heap *)
+}
+
+let zero () = { count = 0; minor = 0.0; promoted = 0.0; major = 0.0 }
+
+type dstate = { tid : int; tbl : (string, cell) Hashtbl.t }
+
+let reg_lock = Mutex.create ()
+let states : dstate list ref = ref []
+
+let dls =
+  Domain.DLS.new_key (fun () ->
+      let d = { tid = (Domain.self () :> int); tbl = Hashtbl.create 16 } in
+      Mutex.lock reg_lock;
+      states := d :: !states;
+      Mutex.unlock reg_lock;
+      d)
+
+(* Negative deltas can only come from counter approximation glitches; clamp
+   so a snapshot is always monotone. *)
+let note name ~minor ~promoted ~major =
+  let d = Domain.DLS.get dls in
+  let c =
+    match Hashtbl.find_opt d.tbl name with
+    | Some c -> c
+    | None ->
+      let c = zero () in
+      Hashtbl.add d.tbl name c;
+      c
+  in
+  c.count <- c.count + 1;
+  c.minor <- c.minor +. Float.max 0.0 minor;
+  c.promoted <- c.promoted +. Float.max 0.0 promoted;
+  c.major <- c.major +. Float.max 0.0 major
+
+let add into c =
+  into.count <- into.count + c.count;
+  into.minor <- into.minor +. c.minor;
+  into.promoted <- into.promoted +. c.promoted;
+  into.major <- into.major +. c.major
+
+let snapshot () =
+  Mutex.lock reg_lock;
+  let merged : (string, cell) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun d ->
+      Hashtbl.iter
+        (fun name c ->
+          match Hashtbl.find_opt merged name with
+          | Some acc -> add acc c
+          | None ->
+            let acc = zero () in
+            add acc c;
+            Hashtbl.replace merged name acc)
+        d.tbl)
+    !states;
+  Mutex.unlock reg_lock;
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) merged [])
+
+let by_domain () =
+  Mutex.lock reg_lock;
+  let out =
+    List.filter_map
+      (fun d ->
+        let total = zero () in
+        Hashtbl.iter (fun _ c -> add total c) d.tbl;
+        if total.count = 0 then None else Some (d.tid, total))
+      !states
+  in
+  Mutex.unlock reg_lock;
+  List.sort compare out
+
+let diff ~earlier ~later =
+  List.filter_map
+    (fun (name, (l : cell)) ->
+      let d =
+        match List.assoc_opt name earlier with
+        | None -> l
+        | Some e ->
+          {
+            count = max 0 (l.count - e.count);
+            minor = Float.max 0.0 (l.minor -. e.minor);
+            promoted = Float.max 0.0 (l.promoted -. e.promoted);
+            major = Float.max 0.0 (l.major -. e.major);
+          }
+      in
+      if d.count = 0 then None else Some (name, d))
+    later
+
+let reset () =
+  Mutex.lock reg_lock;
+  List.iter (fun d -> Hashtbl.reset d.tbl) !states;
+  Mutex.unlock reg_lock
+
+let cell_json (c : cell) =
+  Json.Obj
+    [ ("count", Json.Int c.count);
+      ("minor_words", Json.Float c.minor);
+      ("promoted_words", Json.Float c.promoted);
+      ("major_words", Json.Float c.major) ]
+
+let snapshot_json snap =
+  Json.Obj (List.map (fun (name, c) -> (name, cell_json c)) snap)

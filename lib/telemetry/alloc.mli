@@ -1,0 +1,51 @@
+(** Per-stage GC/allocation attribution.
+
+    Latency histograms say where the time went; this registry says where
+    the *words* went. Every measured span close ([Trace.with_span] with
+    telemetry or tracing enabled) samples the domain-local allocation
+    counters ([Gc.counters]) and attributes the minor/promoted/major word
+    deltas to the span's stage name.
+
+    Attribution is inclusive, like span wall time: a parent span's words
+    include its children's. Deltas are exact per domain on OCaml 5
+    ([Gc.counters] is domain-local), so relax jobs fanned out by
+    [Zkqac_parallel.Pool] attribute to the worker domain that allocated —
+    the per-domain tables double as a per-worker breakdown. The sampling
+    itself allocates a few words per span close (the counters tuple),
+    which is noise at stage granularity. *)
+
+type cell = {
+  mutable count : int;  (** spans that contributed *)
+  mutable minor : float;  (** words allocated in the minor heap *)
+  mutable promoted : float;  (** words promoted from minor to major *)
+  mutable major : float;  (** words allocated directly in the major heap *)
+}
+
+val note : string -> minor:float -> promoted:float -> major:float -> unit
+(** [note stage ~minor ~promoted ~major] attributes one span's allocation
+    deltas to [stage] in this domain's table. Lock-free with respect to
+    other domains; negative deltas are clamped to 0. *)
+
+val snapshot : unit -> (string * cell) list
+(** Merge all domains' tables: every stage observed so far, sorted by
+    name. Take it at a quiet point, like {!Histogram.snapshot}. *)
+
+val by_domain : unit -> (int * cell) list
+(** Per-domain totals across all stages (domain id, summed cell), sorted
+    by domain id; domains that never recorded are omitted. *)
+
+val diff :
+  earlier:(string * cell) list ->
+  later:(string * cell) list ->
+  (string * cell) list
+(** Pointwise subtraction of two snapshots; stages with no new spans are
+    dropped. *)
+
+val reset : unit -> unit
+(** Clear every stage in every domain's table. *)
+
+val cell_json : cell -> Json.t
+(** [{"count": n, "minor_words": w, "promoted_words": w, "major_words": w}] *)
+
+val snapshot_json : (string * cell) list -> Json.t
+(** Object mapping stage names to {!cell_json} summaries. *)

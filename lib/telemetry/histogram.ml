@@ -52,6 +52,50 @@ let record t ns =
 let count t = t.total
 let mean_ns t = if t.total = 0 then 0.0 else t.sum_ns /. float_of_int t.total
 
+(* Min/max are derived from the bucket counts (lower bound of the first /
+   last nonempty bucket), so they stay exact under merge and diff at the
+   cost of bucket resolution (<= ~6% of the value). *)
+let min_ns t =
+  let rec find b =
+    if b >= num_buckets then 0.0
+    else if t.counts.(b) > 0 then fst (bucket_bounds b)
+    else find (b + 1)
+  in
+  find 0
+
+let max_ns t =
+  let rec find b =
+    if b < 0 then 0.0
+    else if t.counts.(b) > 0 then fst (bucket_bounds b)
+    else find (b - 1)
+  in
+  find (num_buckets - 1)
+
+(* Sparse bucket view: (bucket index, count) for nonempty buckets, in
+   index order. The inverse [of_buckets] reconstructs a histogram whose
+   sum (hence mean) is approximated from bucket midpoints — it is how
+   BENCH.json readers recover a resampleable distribution. *)
+let buckets t =
+  let out = ref [] in
+  for b = num_buckets - 1 downto 0 do
+    if t.counts.(b) > 0 then out := (b, t.counts.(b)) :: !out
+  done;
+  !out
+
+let of_buckets sparse =
+  let t = create () in
+  List.iter
+    (fun (b, c) ->
+      if b < 0 || b >= num_buckets then
+        invalid_arg (Printf.sprintf "Histogram.of_buckets: bucket %d" b);
+      if c < 0 then invalid_arg "Histogram.of_buckets: negative count";
+      t.counts.(b) <- t.counts.(b) + c;
+      t.total <- t.total + c;
+      let lo, hi = bucket_bounds b in
+      t.sum_ns <- t.sum_ns +. (float_of_int c *. ((lo +. hi) /. 2.0)))
+    sparse;
+  t
+
 let merge a b =
   {
     counts = Array.mapi (fun i c -> c + b.counts.(i)) a.counts;
@@ -87,9 +131,16 @@ let to_json t =
   Json.Obj
     [ ("count", Json.Int t.total);
       ("mean_ms", Json.Float (ms (mean_ns t)));
+      ("min_ms", Json.Float (ms (min_ns t)));
+      ("max_ms", Json.Float (ms (max_ns t)));
       ("p50_ms", Json.Float (ms (quantile t 0.5)));
       ("p95_ms", Json.Float (ms (quantile t 0.95)));
-      ("p99_ms", Json.Float (ms (quantile t 0.99))) ]
+      ("p99_ms", Json.Float (ms (quantile t 0.99)));
+      ( "buckets",
+        Json.Arr
+          (List.map
+             (fun (b, c) -> Json.Arr [ Json.Int b; Json.Int c ])
+             (buckets t)) ) ]
 
 (* --- the per-stage registry --- *)
 

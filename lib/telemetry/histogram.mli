@@ -22,6 +22,15 @@ val record : t -> int -> unit
 val count : t -> int
 val mean_ns : t -> float
 
+val min_ns : t -> float
+(** Lower bound of the smallest nonempty bucket — the minimum recorded
+    value to bucket resolution (~6%); 0 on an empty histogram. Derived
+    from the counts, so it remains correct under {!merge} and {!diff}. *)
+
+val max_ns : t -> float
+(** Lower bound of the largest nonempty bucket — the maximum recorded
+    value to bucket resolution; 0 on an empty histogram. *)
+
 val quantile : t -> float -> float
 (** [quantile t q] for [q] in [[0,1]], in nanoseconds, by linear
     interpolation inside the target bucket. 0 on an empty histogram. *)
@@ -35,8 +44,20 @@ val bucket_bounds : int -> float * float
 (** [(lo, hi)] bounds of a bucket in ns: values [v] with
     [lo <= v < hi] land in it (exposed for tests). *)
 
+val buckets : t -> (int * int) list
+(** Sparse bucket view: [(bucket index, count)] for every nonempty
+    bucket, in index order — the resampleable form of the distribution
+    that BENCH.json carries. *)
+
+val of_buckets : (int * int) list -> t
+(** Rebuild a histogram from a sparse bucket list (indices may repeat and
+    accumulate). The sum — hence {!mean_ns} — is approximated from bucket
+    midpoints.
+    @raise Invalid_argument on an out-of-range index or negative count. *)
+
 val to_json : t -> Json.t
-(** [{"count": n, "mean_ms": ..., "p50_ms": ..., "p95_ms": ..., "p99_ms": ...}] *)
+(** [{"count": n, "mean_ms": ..., "min_ms": ..., "max_ms": ...,
+     "p50_ms": ..., "p95_ms": ..., "p99_ms": ..., "buckets": [[b,c],...]}] *)
 
 (** {1 The per-stage registry} *)
 

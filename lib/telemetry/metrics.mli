@@ -1,0 +1,86 @@
+(** Process-wide metrics registry with Prometheus and JSON export.
+
+    This is the pull side of the telemetry layer: the op counters
+    ({!Telemetry}), per-stage latency histograms ({!Histogram}), per-stage
+    and per-domain allocation attribution ({!Alloc}), trace health
+    ({!Trace.dropped}) and verification-rejection counts are exposed as one
+    registry of named metrics, scraped all at once by {!collect}. Metrics
+    appear in registration order and label sets are sorted, so the
+    Prometheus exposition is byte-stable for a given set of recorded
+    values — golden tests rely on that.
+
+    Built-in metrics:
+    - [zkqac_ops_total{op}] — PAIRING-boundary operation counts
+    - [zkqac_stage_latency_seconds{stage}] — per-stage summary
+      (p50/p95/p99 quantiles, [_count], [_sum])
+    - [zkqac_stage_alloc_words_total{stage,heap}] — GC words per stage
+    - [zkqac_domain_alloc_words_total{domain,heap}] — GC words per domain
+    - [zkqac_trace_dropped_spans] — spans lost to the trace capacity bound
+    - [zkqac_verify_rejections_total{code}] — typed verifier rejections
+
+    Other libraries may add their own sources with {!register} /
+    {!register_gauge} (e.g. [Zkqac_parallel.Pool] registers its
+    worker-domain count). *)
+
+type labels = (string * string) list
+(** Label key/value pairs. Stored and exported sorted by key. *)
+
+type kind = Counter | Gauge | Summary
+
+type sample = { suffix : string; labels : labels; value : float }
+(** One exposition line: [name ^ suffix ^ labels ^ value]. The suffix is
+    ["_count"] / ["_sum"] for summary components, [""] otherwise. *)
+
+type metric = { name : string; kind : kind; help : string; samples : sample list }
+
+val sample : ?suffix:string -> ?labels:labels -> float -> sample
+
+(** {1 Counter families (push side)} *)
+
+type family
+(** A mutable labelled counter family, for rare discrete events that have
+    no existing registry to pull from (e.g. verifier rejections).
+    Domain-safe. *)
+
+val counter : name:string -> help:string -> family
+(** Create and register a counter family. Call once, at module init. *)
+
+val inc : ?by:int -> family -> labels -> unit
+val get : family -> labels -> int
+
+(** {1 Pull collectors} *)
+
+val register : (unit -> metric list) -> unit
+(** Add a source; it is invoked on every {!collect}, after all earlier
+    registrations. *)
+
+val register_gauge :
+  name:string -> help:string -> (unit -> (labels * float) list) -> unit
+(** Convenience wrapper: a single gauge whose labelled values are read at
+    collect time. *)
+
+(** {1 Built-in recording hooks} *)
+
+val rejection : string -> unit
+(** [rejection code] counts one verifier rejection under the stable
+    [Verify_error] code string (feeds
+    [zkqac_verify_rejections_total{code}]). *)
+
+(** {1 Export} *)
+
+val collect : unit -> metric list
+(** Pull every registered source once, in registration order. *)
+
+val to_prometheus : unit -> string
+(** Prometheus text exposition (format 0.0.4): [# HELP] / [# TYPE] header
+    then one line per sample. Metrics with no samples are omitted
+    entirely, as is the whole family when nothing was recorded. *)
+
+val to_json : unit -> Json.t
+(** The same snapshot as a JSON object keyed by metric name (the
+    BENCH.json ["metrics"] section). *)
+
+val reset : unit -> unit
+(** Zero all counter families. Pull collectors reflect their underlying
+    registries, which have their own resets ([Telemetry.reset] clears the
+    op counters, histograms and allocation tables). *)

@@ -103,7 +103,8 @@ let diff ~earlier ~later =
 let reset () =
   Array.iter (fun c -> Atomic.set c 0) counters;
   Trace.stage_reset ();
-  Histogram.reset ()
+  Histogram.reset ();
+  Alloc.reset ()
 
 let ops snap = List.map (fun c -> (c, snap.ops.(index c))) all_counters
 let spans snap = snap.span_stats

@@ -89,7 +89,7 @@ val diff : earlier:snapshot -> later:snapshot -> snapshot
 
 val reset : unit -> unit
 (** Zero all counters, drop all aggregate spans and clear the per-stage
-    histograms. Prefer {!snapshot}/{!diff}. *)
+    histograms and allocation tables. Prefer {!snapshot}/{!diff}. *)
 
 val get : counter -> int
 (** Current live value of one counter. *)

@@ -9,8 +9,9 @@
 
    The budget bounds retained memory: once [capacity] spans are stored, new
    spans are counted in [dropped] and discarded. Span closes also feed
-   {!Histogram} (always, when measuring) and the aggregate per-stage table
-   that [Telemetry.snapshot] reports (when telemetry is enabled). *)
+   {!Histogram} and {!Alloc} (always, when measuring) and the aggregate
+   per-stage table that [Telemetry.snapshot] reports (when telemetry is
+   enabled). *)
 
 type value = Int of int | Float of float | Str of string | Bool of bool
 
@@ -132,6 +133,10 @@ let with_span ?parent ?(attrs = []) name f =
       }
     in
     if tracing then d.stack <- sp :: d.stack;
+    (* Domain-local allocation counters (minor, promoted, major words):
+       the close-time deltas attribute this span's allocation to its stage
+       (inclusive of children, like wall time). *)
+    let mi0, pr0, ma0 = Gc.counters () in
     Fun.protect
       ~finally:(fun () ->
         sp.t1 <- now_ns ();
@@ -139,6 +144,9 @@ let with_span ?parent ?(attrs = []) name f =
         if tracing then push d sp;
         let ns = Int64.to_int (Int64.sub sp.t1 sp.t0) in
         Histogram.note name ns;
+        let mi1, pr1, ma1 = Gc.counters () in
+        Alloc.note name ~minor:(mi1 -. mi0) ~promoted:(pr1 -. pr0)
+          ~major:(ma1 -. ma0);
         if Atomic.get Switch.telemetry_on then
           stage_record name (float_of_int ns *. 1e-9))
       (fun () -> f (Some sp))

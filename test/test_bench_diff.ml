@@ -1,0 +1,183 @@
+(* The benchmark regression observatory: schema validation on load, and the
+   diff engine's three verdicts on synthetic baselines — a clean rerun
+   diffs within noise, an injected slowdown flags as a regression, a
+   speedup as an improvement. *)
+
+module Json = Zkqac_telemetry.Json
+module Histogram = Zkqac_telemetry.Histogram
+module Report = Zkqac_bench.Report
+module Diff = Zkqac_bench.Diff
+
+(* A synthetic BENCH.json tree with one experiment. Latency buckets come
+   from a real histogram so the shapes match what bench/main.exe writes. *)
+let bench ?(schema = "zkqac-bench/3") ~pairing ~vo_bytes ~latencies
+    ~minor_words () =
+  let h = Histogram.create () in
+  List.iter (Histogram.record h) latencies;
+  Json.Obj
+    [ ("schema", Json.Str schema);
+      ("backend", Json.Str "mock");
+      ("full", Json.Bool false);
+      ( "experiments",
+        Json.Arr
+          [ Json.Obj
+              [ ("name", Json.Str "synthetic");
+                ("wall_s", Json.Float 1.0);
+                ("ops", Json.Obj [ ("pairing", Json.Int pairing) ]);
+                ( "histograms",
+                  Json.Obj [ ("sp.query", Histogram.to_json h) ] );
+                ( "alloc",
+                  Json.Obj
+                    [ ( "sp.query",
+                        Json.Obj
+                          [ ("count", Json.Int (List.length latencies));
+                            ("minor_words", Json.Float minor_words);
+                            ("promoted_words", Json.Float 0.0);
+                            ("major_words", Json.Float 0.0) ] ) ] );
+                ( "series",
+                  Json.Obj
+                    [ ( "rows",
+                        Json.Arr
+                          [ Json.Obj [ ("vo_bytes", Json.Int vo_bytes) ] ] ) ] )
+              ] ] ) ]
+
+(* 40 observations around 1ms with mild spread. *)
+let base_lat = List.init 40 (fun i -> 1_000_000 + (i * 9_000))
+
+let baseline =
+  bench ~pairing:1000 ~vo_bytes:4096 ~latencies:base_lat ~minor_words:100_000.0
+    ()
+
+let verdict_t =
+  Alcotest.testable
+    (fun ppf v -> Format.pp_print_string ppf (Diff.verdict_text v))
+    ( = )
+
+let verdicts r metric =
+  List.filter_map
+    (fun (f : Diff.finding) ->
+      if f.Diff.metric = metric then Some f.Diff.verdict else None)
+    r.Diff.findings
+
+let test_within_noise () =
+  (* Same code, slightly different measurements: jitter every latency by
+     ~2% and the VO by a few bytes. *)
+  let current =
+    bench ~pairing:1000 ~vo_bytes:4140
+      ~latencies:(List.map (fun ns -> ns + (ns / 50)) base_lat)
+      ~minor_words:101_000.0 ()
+  in
+  let r = Diff.run ~baseline ~current () in
+  Alcotest.(check int) "no regressions" 0 r.Diff.regressions;
+  Alcotest.(check int) "no improvements" 0 r.Diff.improvements;
+  Alcotest.(check bool) "compared something" true (r.Diff.findings <> [])
+
+let test_regression () =
+  (* 2x pairings, 4x latency, 3x allocation, 50% larger VO. *)
+  let current =
+    bench ~pairing:2000 ~vo_bytes:6144
+      ~latencies:(List.map (fun ns -> ns * 4) base_lat)
+      ~minor_words:300_000.0 ()
+  in
+  let r = Diff.run ~baseline ~current () in
+  Alcotest.(check (list verdict_t))
+    "pairing regression" [ Diff.Regression ] (verdicts r "ops.pairing");
+  Alcotest.(check (list verdict_t))
+    "latency regression" [ Diff.Regression ] (verdicts r "latency.sp.query");
+  Alcotest.(check (list verdict_t))
+    "vo regression" [ Diff.Regression ] (verdicts r "vo_bytes");
+  Alcotest.(check (list verdict_t))
+    "alloc regression" [ Diff.Regression ] (verdicts r "alloc.sp.query");
+  (* The latency verdict must come with a bootstrap CI that clears zero. *)
+  (match
+     List.find_opt
+       (fun (f : Diff.finding) -> f.Diff.metric = "latency.sp.query")
+       r.Diff.findings
+   with
+   | Some { Diff.ci = Some (lo, hi); _ } ->
+     Alcotest.(check bool) "ci low > 0" true (lo > 0.0);
+     Alcotest.(check bool) "ci ordered" true (lo <= hi)
+   | _ -> Alcotest.fail "latency finding lost its confidence interval");
+  Alcotest.(check bool) "regressions counted" true (r.Diff.regressions >= 4)
+
+let test_improvement () =
+  let current =
+    bench ~pairing:500 ~vo_bytes:4096
+      ~latencies:(List.map (fun ns -> ns / 4) base_lat)
+      ~minor_words:100_000.0 ()
+  in
+  let r = Diff.run ~baseline ~current () in
+  Alcotest.(check (list verdict_t))
+    "pairing improvement" [ Diff.Improvement ] (verdicts r "ops.pairing");
+  Alcotest.(check (list verdict_t))
+    "latency improvement" [ Diff.Improvement ] (verdicts r "latency.sp.query");
+  Alcotest.(check int) "no regressions" 0 r.Diff.regressions
+
+let test_deterministic () =
+  let current =
+    bench ~pairing:1000 ~vo_bytes:4096
+      ~latencies:(List.map (fun ns -> ns * 2) base_lat)
+      ~minor_words:100_000.0 ()
+  in
+  let r1 = Diff.run ~baseline ~current () in
+  let r2 = Diff.run ~baseline ~current () in
+  let cis r =
+    List.map (fun (f : Diff.finding) -> f.Diff.ci) r.Diff.findings
+  in
+  Alcotest.(check bool) "same CIs both runs" true (cis r1 = cis r2)
+
+let test_missing_experiment () =
+  let current =
+    Json.Obj
+      [ ("schema", Json.Str "zkqac-bench/3"); ("experiments", Json.Arr []) ]
+  in
+  let r = Diff.run ~baseline ~current () in
+  Alcotest.(check (list string)) "missing flagged" [ "synthetic" ] r.Diff.missing;
+  Alcotest.(check int) "nothing compared" 0 (List.length r.Diff.findings)
+
+let write_tmp json =
+  let path = Filename.temp_file "zkqac-bench" ".json" in
+  Json.to_file path json;
+  path
+
+let test_load_schema_validation () =
+  let ok_path = write_tmp baseline in
+  (match Report.load_bench ok_path with
+   | Ok _ -> ()
+   | Error e -> Alcotest.fail ("valid file rejected: " ^ e));
+  let old_path =
+    write_tmp
+      (Json.Obj
+         [ ("schema", Json.Str "zkqac-bench/2"); ("experiments", Json.Arr []) ])
+  in
+  (match Report.load_bench old_path with
+   | Ok _ -> ()
+   | Error e -> Alcotest.fail ("schema 2 must stay readable: " ^ e));
+  let reject json msg =
+    let path = write_tmp json in
+    match Report.load_bench path with
+    | Ok _ -> Alcotest.fail ("accepted " ^ msg)
+    | Error _ -> Sys.remove path
+  in
+  reject
+    (Json.Obj [ ("schema", Json.Str "zkqac-bench/99") ])
+    "unknown schema version";
+  reject (Json.Obj [ ("schema", Json.Int 3) ]) "non-string schema";
+  reject (Json.Obj [ ("experiments", Json.Arr []) ]) "missing schema";
+  (match Report.load_bench "/nonexistent/bench.json" with
+   | Ok _ -> Alcotest.fail "accepted unreadable path"
+   | Error _ -> ());
+  Sys.remove ok_path;
+  Sys.remove old_path
+
+let suite =
+  [ ( "bench-diff",
+      [ Alcotest.test_case "rerun within noise" `Quick test_within_noise;
+        Alcotest.test_case "synthetic regression flags" `Quick test_regression;
+        Alcotest.test_case "improvement flags" `Quick test_improvement;
+        Alcotest.test_case "bootstrap is deterministic" `Quick
+          test_deterministic;
+        Alcotest.test_case "missing experiment warned" `Quick
+          test_missing_experiment;
+        Alcotest.test_case "schema validation on load" `Quick
+          test_load_schema_validation ] ) ]

@@ -1,0 +1,192 @@
+(* Metrics registry: counter families, the golden Prometheus exposition
+   (byte-stable given fixed inputs), histogram min/max accessors and the
+   bucket roundtrip, and GC/allocation attribution across worker domains. *)
+
+module T = Zkqac_telemetry.Telemetry
+module Metrics = Zkqac_telemetry.Metrics
+module Histogram = Zkqac_telemetry.Histogram
+module Alloc = Zkqac_telemetry.Alloc
+module Trace = Zkqac_telemetry.Trace
+module Pool = Zkqac_parallel.Pool
+
+let test_counter_family () =
+  let f = Metrics.counter ~name:"test_family_total" ~help:"test" in
+  Alcotest.(check int) "fresh cell" 0 (Metrics.get f [ ("k", "a") ]);
+  Metrics.inc f [ ("k", "a") ];
+  Metrics.inc f ~by:4 [ ("k", "a") ];
+  Metrics.inc f [ ("k", "b") ];
+  Alcotest.(check int) "a" 5 (Metrics.get f [ ("k", "a") ]);
+  Alcotest.(check int) "b" 1 (Metrics.get f [ ("k", "b") ]);
+  (* Label order must not matter: the cell key is sorted. *)
+  let g = Metrics.counter ~name:"test_family2_total" ~help:"test" in
+  Metrics.inc g [ ("x", "1"); ("y", "2") ];
+  Metrics.inc g [ ("y", "2"); ("x", "1") ];
+  Alcotest.(check int) "sorted key" 2 (Metrics.get g [ ("x", "1"); ("y", "2") ])
+
+let golden =
+  "# HELP zkqac_verify_rejections_total Client-side verification rejections \
+   by typed Verify_error code.\n\
+   # TYPE zkqac_verify_rejections_total counter\n\
+   zkqac_verify_rejections_total{code=\"bad-abs-signature\"} 2\n\
+   zkqac_verify_rejections_total{code=\"malformed\"} 1\n\
+   # HELP zkqac_ops_total Cryptographic operation counts at the PAIRING \
+   boundary.\n\
+   # TYPE zkqac_ops_total counter\n\
+   zkqac_ops_total{op=\"pairing\"} 3\n\
+   zkqac_ops_total{op=\"g_exp\"} 2\n\
+   zkqac_ops_total{op=\"g_mul\"} 0\n\
+   zkqac_ops_total{op=\"gt_exp\"} 0\n\
+   zkqac_ops_total{op=\"gt_mul\"} 0\n\
+   zkqac_ops_total{op=\"sha256_compress\"} 0\n\
+   zkqac_ops_total{op=\"abs_sign\"} 0\n\
+   zkqac_ops_total{op=\"abs_verify\"} 0\n\
+   zkqac_ops_total{op=\"abs_relax\"} 0\n\
+   zkqac_ops_total{op=\"cpabe_encrypt\"} 0\n\
+   zkqac_ops_total{op=\"cpabe_decrypt\"} 0\n\
+   # HELP zkqac_stage_latency_seconds Latency of every closed span, by stage \
+   name.\n\
+   # TYPE zkqac_stage_latency_seconds summary\n\
+   zkqac_stage_latency_seconds{stage=\"golden.stage\",quantile=\"0.5\"} \
+   2.048e-06\n\
+   zkqac_stage_latency_seconds{stage=\"golden.stage\",quantile=\"0.95\"} \
+   4.096e-06\n\
+   zkqac_stage_latency_seconds{stage=\"golden.stage\",quantile=\"0.99\"} \
+   4.096e-06\n\
+   zkqac_stage_latency_seconds_count{stage=\"golden.stage\"} 4\n\
+   zkqac_stage_latency_seconds_sum{stage=\"golden.stage\"} 1.5e-05\n\
+   # HELP zkqac_stage_alloc_words_total GC words attributed to closed spans, \
+   by stage and heap.\n\
+   # TYPE zkqac_stage_alloc_words_total counter\n\
+   zkqac_stage_alloc_words_total{stage=\"golden.stage\",heap=\"minor\"} 1024\n\
+   zkqac_stage_alloc_words_total{stage=\"golden.stage\",heap=\"promoted\"} 64\n\
+   zkqac_stage_alloc_words_total{stage=\"golden.stage\",heap=\"major\"} 32\n\
+   # HELP zkqac_domain_alloc_words_total GC words attributed to spans, by \
+   recording domain and heap.\n\
+   # TYPE zkqac_domain_alloc_words_total counter\n\
+   zkqac_domain_alloc_words_total{domain=\"0\",heap=\"minor\"} 1024\n\
+   zkqac_domain_alloc_words_total{domain=\"0\",heap=\"major\"} 32\n\
+   # HELP zkqac_trace_dropped_spans Spans discarded because the trace \
+   capacity bound was hit.\n\
+   # TYPE zkqac_trace_dropped_spans gauge\n\
+   zkqac_trace_dropped_spans 0\n\
+   # HELP zkqac_worker_domains Worker domains a parallel fan-out would use \
+   (ZKQAC_DOMAINS or the scheduler's recommendation).\n\
+   # TYPE zkqac_worker_domains gauge\n\
+   zkqac_worker_domains 3\n"
+
+let test_prometheus_golden () =
+  Unix.putenv "ZKQAC_DOMAINS" "3";
+  T.reset ();
+  Metrics.reset ();
+  Trace.reset ();
+  T.with_enabled (fun () ->
+      T.bump_n T.Pairing 3;
+      T.bump_n T.G_exp 2);
+  List.iter (Histogram.note "golden.stage") [ 1000; 2000; 4000; 8000 ];
+  Alloc.note "golden.stage" ~minor:1024.0 ~promoted:64.0 ~major:32.0;
+  Metrics.rejection "bad-abs-signature";
+  Metrics.rejection "bad-abs-signature";
+  Metrics.rejection "malformed";
+  Alcotest.(check string) "exposition" golden (Metrics.to_prometheus ());
+  (* Collecting is read-only: a second scrape is identical. *)
+  Alcotest.(check string) "stable" golden (Metrics.to_prometheus ());
+  Unix.putenv "ZKQAC_DOMAINS" "";
+  T.reset ();
+  Metrics.reset ()
+
+let test_label_escaping () =
+  let f = Metrics.counter ~name:"test_escape_total" ~help:"test" in
+  Metrics.inc f [ ("k", "a\"b\\c\nd") ];
+  let text = Metrics.to_prometheus () in
+  let line = {|test_escape_total{k="a\"b\\c\nd"} 1|} in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "escaped line present" true (contains text line);
+  Metrics.reset ()
+
+let test_histogram_min_max () =
+  let h = Histogram.create () in
+  Alcotest.(check (float 0.0)) "empty min" 0.0 (Histogram.min_ns h);
+  Alcotest.(check (float 0.0)) "empty max" 0.0 (Histogram.max_ns h);
+  List.iter (Histogram.record h) [ 100; 5_000; 1_000_000 ];
+  let within v target = Float.abs (v -. target) /. target < 0.08 in
+  Alcotest.(check bool) "min ~100" true (within (Histogram.min_ns h) 100.0);
+  Alcotest.(check bool) "max ~1ms" true (within (Histogram.max_ns h) 1e6);
+  Alcotest.(check int) "count" 3 (Histogram.count h)
+
+let test_histogram_bucket_roundtrip () =
+  let h = Histogram.create () in
+  List.iter (Histogram.record h) [ 3; 3; 700; 90_000; 90_001; 12_345_678 ];
+  let h' = Histogram.of_buckets (Histogram.buckets h) in
+  Alcotest.(check int) "count" (Histogram.count h) (Histogram.count h');
+  Alcotest.(check (list (pair int int)))
+    "buckets" (Histogram.buckets h) (Histogram.buckets h');
+  let rel a b = if b = 0.0 then Float.abs a else Float.abs (a -. b) /. b in
+  Alcotest.(check bool) "mean within bucket resolution" true
+    (rel (Histogram.mean_ns h') (Histogram.mean_ns h) < 0.08);
+  Alcotest.(check bool) "out-of-range bucket rejected" true
+    (try
+       ignore (Histogram.of_buckets [ (100_000, 1) ]);
+       false
+     with Invalid_argument _ -> true)
+
+(* Allocation attribution across >= 2 worker domains: every job's words
+   land in some domain's table, and the per-domain breakdown sees at least
+   the two workers. *)
+let test_alloc_multi_domain () =
+  T.reset ();
+  let allocate () =
+    Trace.with_span "alloc.job" @@ fun _ ->
+    let acc = ref [] in
+    for i = 1 to 1000 do
+      acc := (i, string_of_int i) :: !acc
+    done;
+    ignore (Sys.opaque_identity !acc)
+  in
+  T.with_enabled (fun () ->
+      ignore (Pool.map ~threads:2 (List.init 4 (fun _ -> allocate))));
+  let snap = Alloc.snapshot () in
+  (match List.assoc_opt "alloc.job" snap with
+   | None -> Alcotest.fail "alloc.job not attributed"
+   | Some c ->
+     Alcotest.(check int) "4 spans" 4 c.Alloc.count;
+     Alcotest.(check bool) "allocated minor words" true (c.Alloc.minor > 0.0));
+  let doms = Alloc.by_domain () in
+  Alcotest.(check bool)
+    (Printf.sprintf "saw %d domain(s), want >= 2" (List.length doms))
+    true
+    (List.length doms >= 2);
+  List.iter
+    (fun (_, (c : Alloc.cell)) ->
+      Alcotest.(check bool) "domain allocated" true (c.Alloc.minor > 0.0))
+    doms;
+  T.reset ()
+
+let test_alloc_diff () =
+  T.reset ();
+  Alloc.note "diff.stage" ~minor:100.0 ~promoted:10.0 ~major:1.0;
+  let earlier = Alloc.snapshot () in
+  Alloc.note "diff.stage" ~minor:50.0 ~promoted:5.0 ~major:2.0;
+  let d = Alloc.diff ~earlier ~later:(Alloc.snapshot ()) in
+  (match List.assoc_opt "diff.stage" d with
+   | None -> Alcotest.fail "stage missing from diff"
+   | Some c ->
+     Alcotest.(check int) "count delta" 1 c.Alloc.count;
+     Alcotest.(check (float 1e-9)) "minor delta" 50.0 c.Alloc.minor;
+     Alcotest.(check (float 1e-9)) "major delta" 2.0 c.Alloc.major);
+  T.reset ()
+
+let suite =
+  [ ( "metrics",
+      [ Alcotest.test_case "counter family" `Quick test_counter_family;
+        Alcotest.test_case "prometheus golden" `Quick test_prometheus_golden;
+        Alcotest.test_case "label escaping" `Quick test_label_escaping;
+        Alcotest.test_case "histogram min/max" `Quick test_histogram_min_max;
+        Alcotest.test_case "histogram bucket roundtrip" `Quick
+          test_histogram_bucket_roundtrip;
+        Alcotest.test_case "alloc attribution across domains" `Quick
+          test_alloc_multi_domain;
+        Alcotest.test_case "alloc snapshot diff" `Quick test_alloc_diff ] ) ]
