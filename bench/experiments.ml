@@ -579,6 +579,16 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
     let inst = make_instance ~seed:77 ~depth ~rows:2_000 () in
     let user = user_20pct ~seed:77 inst in
     let rng = Prng.create 770 in
+    (* ZKQAC_BENCH_BATCH=off|on restricts the run to a single arm so that
+       two --json artifacts can be compared arm-against-arm with
+       [zkqac bench diff]: the client.verify histogram of each artifact
+       then holds only that arm's spans. Default: both arms, one table. *)
+    let arm =
+      match Sys.getenv_opt "ZKQAC_BENCH_BATCH" with
+      | Some "off" -> `Plain
+      | Some "on" -> `Batched
+      | _ -> `Both
+    in
     let rows =
       List.map
         (fun frac ->
@@ -588,20 +598,39 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
             List.length
               (List.filter (function Vo.Accessible _ -> false | _ -> true) vo)
           in
-          let res_p, plain_t =
+          let plain () =
             Report.time (fun () ->
                 Ap2g.verify ~mvk ~t_universe:inst.universe ~user ~query vo)
           in
-          let res_b, batch_t =
+          let batched () =
             Report.time (fun () ->
-                Ap2g.verify ~batch:drbg ~mvk ~t_universe:inst.universe ~user ~query vo)
+                Ap2g.verify ~batch:drbg ~mvk ~t_universe:inst.universe ~user
+                  ~query vo)
           in
-          (match (res_p, res_b) with
-           | Ok a, Ok b -> assert (List.length a = List.length b)
-           | _ -> failwith "ablation verify failed");
+          let check res =
+            match res with
+            | Ok r -> List.length r
+            | Error _ -> failwith "ablation verify failed"
+          in
+          let plain_c, batch_c, speedup =
+            match arm with
+            | `Plain ->
+              let res_p, plain_t = plain () in
+              ignore (check res_p);
+              (Report.ms plain_t, "-", "-")
+            | `Batched ->
+              let res_b, batch_t = batched () in
+              ignore (check res_b);
+              ("-", Report.ms batch_t, "-")
+            | `Both ->
+              let res_p, plain_t = plain () in
+              let res_b, batch_t = batched () in
+              assert (check res_p = check res_b);
+              ( Report.ms plain_t, Report.ms batch_t,
+                Printf.sprintf "%.2fx" (plain_t /. batch_t) )
+          in
           [ Printf.sprintf "%.1f%%" (frac *. 100.); string_of_int aps_count;
-            Report.ms plain_t; Report.ms batch_t;
-            Printf.sprintf "%.2fx" (plain_t /. batch_t) ])
+            plain_c; batch_c; speedup ])
         [ 0.01; 0.05; 0.2 ]
     in
     Report.print_table

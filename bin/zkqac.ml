@@ -251,18 +251,26 @@ let query_cmd =
 
 (* --- verify (user side) --- *)
 
-let verify path vo_path roles range =
+let verify ?(batch = true) path vo_path roles range =
   match Ads_io.load ~path with
   | Error e -> die "%s" e
   | Ok (mvk, tree) ->
     let user = Attr.set_of_list (parse_roles roles) in
     let space = Ap2g.space tree in
     let box = parse_range ~dims:(Keyspace.dims space) range in
-    (match Vo.decode (read_file vo_path) with
+    let vo_bytes = read_file vo_path in
+    (* Batch weights derived from the VO bytes: whoever produced the VO
+       committed to it before the weights existed. *)
+    let batch =
+      if batch then
+        Some (Zkqac_hashing.Drbg.create ~seed:("zkqac-cli-batch:" ^ vo_bytes))
+      else None
+    in
+    (match Vo.decode vo_bytes with
      | Error e -> die_verify e
      | Ok vo ->
        (match
-          Ap2g.verify ~mvk ~t_universe:(Ap2g.universe tree)
+          Ap2g.verify ?batch ~mvk ~t_universe:(Ap2g.universe tree)
             ?hierarchy:(Ap2g.hierarchy tree) ~user ~query:box vo
         with
         | Error e -> die_verify e
@@ -282,12 +290,21 @@ let verify_cmd =
   let vo = Arg.(required & opt (some file) None & info [ "vo" ] ~doc:"VO file to check.") in
   let roles = Arg.(required & opt (some string) None & info [ "user" ] ~docv:"R1,R2") in
   let range = Arg.(required & opt (some string) None & info [ "range" ] ~docv:"a1,a2:b1,b2") in
+  let batch =
+    Arg.(
+      value
+      & vflag true
+          [ (true, info [ "batch" ] ~doc:"Batch signature verification (default).");
+            ( false,
+              info [ "no-batch" ]
+                ~doc:"Verify every signature individually (one pairing equation at a time)." ) ])
+  in
   Cmd.v
     (Cmd.info "verify" ~doc:"User side: check a VO for soundness and completeness.")
-    Term.(const (fun stats trace trace_tree path vo roles range ->
+    Term.(const (fun stats trace trace_tree batch path vo roles range ->
               with_obs { stats; trace; trace_tree } (fun () ->
-                  verify path vo roles range))
-          $ stats_arg $ trace_arg $ trace_tree_arg $ path $ vo $ roles $ range)
+                  verify ~batch path vo roles range))
+          $ stats_arg $ trace_arg $ trace_tree_arg $ batch $ path $ vo $ roles $ range)
 
 (* --- attack (fault-injection harness) --- *)
 

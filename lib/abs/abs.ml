@@ -140,8 +140,55 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
     in
     { tau; y; w; s; p }
 
+  (* --- serialization (needed below to commit to sigma in the verifier's
+     weight derivation) --- *)
+
+  let put_u16 buf n =
+    Buffer.add_char buf (Char.chr ((n lsr 8) land 0xff));
+    Buffer.add_char buf (Char.chr (n land 0xff))
+
+  let to_bytes sigma =
+    let buf = Buffer.create 256 in
+    put_u16 buf (String.length sigma.tau);
+    Buffer.add_string buf sigma.tau;
+    Buffer.add_string buf (G.to_bytes sigma.y);
+    Buffer.add_string buf (G.to_bytes sigma.w);
+    put_u16 buf (Array.length sigma.s);
+    Array.iter (fun x -> Buffer.add_string buf (G.to_bytes x)) sigma.s;
+    put_u16 buf (Array.length sigma.p);
+    Array.iter (fun x -> Buffer.add_string buf (G.to_bytes x)) sigma.p;
+    Buffer.contents buf
+
+  (* Fiat-Shamir-style weights for the combined verification equation:
+     [verify] is deterministic and takes no randomness, so the random
+     linear-combination coefficients that merge the key-binding and the
+     per-column span-program equations into one product are derived from
+     the (message, policy, signature) under check. A forger commits to
+     sigma before the weights exist, so a combination that cancels a bad
+     equation against another is a ~1/order event per attempt — the same
+     bound as verifier-sampled small-exponent batching. *)
+  let verify_weights ~msg ~policy sigma n =
+    let seed =
+      String.concat "\x00"
+        [ "zkqac-abs-verify-weights"; msg; Expr.to_string policy; to_bytes sigma ]
+    in
+    let drbg = Drbg.create ~seed in
+    Array.init n (fun _ -> P.rand_scalar drbg)
+
   (* Typed verification: each way ABS.Verify can fail is a distinct
-     [Bad_abs_signature] payload, so a client rejection is attributable. *)
+     [Bad_abs_signature] payload, so a client rejection is attributable.
+
+     The acceptance test is one product-of-pairings-equals-one check: with
+     weights z_kb (key binding) and z_j (column j),
+
+       e(W^{z_kb}, A0) * e(Y^{-1}, h0^{z_kb} h^{z_0})
+         * prod_i e(S_i, (AB^{u(i)})^{sum_j M_ij z_j})
+         * prod_j e((C g^{h_m})^{-z_j}, P_j)  =  1
+
+     which is k + l + 2 Miller loops sharing a single accumulator and one
+     final exponentiation, versus 2(k + l) + 3 full pairings for the
+     one-equation-at-a-time form. Only when the product is not 1 do we
+     re-check equation by equation to name the culprit. *)
   let verify_result mvk ~msg ~policy sigma =
     Trace.with_span "abs.verify" @@ fun _ ->
     T.bump T.Abs_verify;
@@ -150,41 +197,80 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
     if Array.length sigma.s <> msp.Msp.rows || Array.length sigma.p <> msp.Msp.cols
     then fail "component count does not match the policy's span program"
     else if G.is_one sigma.y then fail "degenerate Y component"
-    else if not (P.Gt.equal (P.e sigma.w mvk.cap_a0) (P.e sigma.y mvk.h0)) then
-      fail "key-binding pairing equation"
     else begin
       let hash = msg_scalar sigma.tau msg in
       let base_c = msg_base mvk hash in
       let bases = Array.map (fun u -> attr_base mvk u) msp.Msp.labels in
-      let bad = ref (-1) in
-      for j = 0 to msp.Msp.cols - 1 do
-        if !bad < 0 then begin
-          let lhs = ref P.Gt.one in
-          for i = 0 to msp.Msp.rows - 1 do
-            let mij = msp.Msp.matrix.(i).(j) in
-            if mij <> 0 then
-              lhs := P.Gt.mul !lhs (P.e sigma.s.(i) (pow_entry bases.(i) mij B.one))
-          done;
-          let rhs = P.e base_c sigma.p.(j) in
-          let rhs = if j = 0 then P.Gt.mul (P.e sigma.y mvk.h) rhs else rhs in
-          if not (P.Gt.equal !lhs rhs) then bad := j
-        end
+      let ws = verify_weights ~msg ~policy sigma (msp.Msp.cols + 1) in
+      let zkb = ws.(msp.Msp.cols) in
+      let row_terms = ref [] in
+      for i = msp.Msp.rows - 1 downto 0 do
+        let c = ref B.zero in
+        for j = 0 to msp.Msp.cols - 1 do
+          let mij = msp.Msp.matrix.(i).(j) in
+          if mij <> 0 then
+            c := B.erem (B.add !c (B.mul (B.of_int mij) ws.(j))) order
+        done;
+        if not (B.is_zero !c) then
+          row_terms := (sigma.s.(i), G.pow bases.(i) !c) :: !row_terms
       done;
-      if !bad < 0 then Ok ()
-      else fail (Printf.sprintf "span-program equation (column %d)" !bad)
+      let col_terms =
+        List.init msp.Msp.cols (fun j ->
+            (G.pow base_c (B.neg ws.(j)), sigma.p.(j)))
+      in
+      let terms =
+        (G.pow sigma.w zkb, mvk.cap_a0)
+        :: (G.inv sigma.y, G.mul (G.pow mvk.h0 zkb) (G.pow mvk.h ws.(0)))
+        :: (!row_terms @ col_terms)
+      in
+      if P.Gt.is_one (P.e_prod terms) then Ok ()
+      else if not (P.Gt.equal (P.e sigma.w mvk.cap_a0) (P.e sigma.y mvk.h0))
+      then fail "key-binding pairing equation"
+      else begin
+        let bad = ref (-1) in
+        for j = 0 to msp.Msp.cols - 1 do
+          if !bad < 0 then begin
+            let lhs = ref P.Gt.one in
+            for i = 0 to msp.Msp.rows - 1 do
+              let mij = msp.Msp.matrix.(i).(j) in
+              if mij <> 0 then
+                lhs := P.Gt.mul !lhs (P.e sigma.s.(i) (pow_entry bases.(i) mij B.one))
+            done;
+            let rhs = P.e base_c sigma.p.(j) in
+            let rhs = if j = 0 then P.Gt.mul (P.e sigma.y mvk.h) rhs else rhs in
+            if not (P.Gt.equal !lhs rhs) then bad := j
+          end
+        done;
+        if !bad >= 0 then
+          fail (Printf.sprintf "span-program equation (column %d)" !bad)
+        else
+          (* Combined product rejected but every individual equation holds:
+             a ~1/order coincidence in the weight derivation. Reject — the
+             combined check is the authoritative one. *)
+          fail "combined verification equation"
+      end
     end
 
   let verify mvk ~msg ~policy sigma =
     Result.is_ok (verify_result mvk ~msg ~policy sigma)
 
-  (* Batch verification with small random exponents. All signatures share
-     one policy (hence one span program), so for each column j the
-     per-signature equations
-        prod_i e(S_i, (AB^{u(i)})^{M_ij}) = e(Y,h)^{z_j} e(Cg^{h_m}, P_j)
-     combine, with weights d_m, into
-        prod_i e(prod_m S_{m,i}^{d_m}, (AB^{u(i)})^{M_ij})
-          = e(prod_m Y_m^{d_m}, h)^{z_j} * prod_m e((Cg^{h_m})^{d_m}, P_{m,j})
-     -- the left side needs only l pairings regardless of the batch size. *)
+  (* Batch verification with random exponents. All signatures share one
+     policy (hence one span program), so every equation of every signature
+     folds into a single product-of-pairings-equals-one check: with
+     per-signature weights d_m, per-column weights z_j and a key-binding
+     weight z_kb,
+
+       e(prod_m W_m^{d_m z_kb}, A0)
+         * e((prod_m Y_m^{d_m})^{-1}, h0^{z_kb} h^{z_0})
+         * prod_i e(prod_m S_{m,i}^{d_m}, (AB^{u(i)})^{sum_j M_ij z_j})
+         * prod_h e((C g^h)^{-1}, prod_{m : h_m = h} prod_j P_{m,j}^{z_j d_m})
+       = 1
+
+     -- k row pairings regardless of the batch size, plus one pairing per
+     *distinct* message hash: batches that re-sign the same message (the
+     common case for APS entries sharing a region) collapse their C-side
+     terms into one Miller loop (the "same-message fast path"), all under
+     one shared accumulator and a single final exponentiation. *)
   let verify_batch drbg mvk ~policy sigs =
     Trace.with_span "abs.verify_batch"
       ~attrs:[ ("batch", Trace.Int (List.length sigs)) ]
@@ -208,44 +294,59 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
         let weights =
           List.map (fun (msg, s) -> (msg, s, P.rand_scalar drbg)) sigs
         in
-        (* Key-binding equations: e(prod W^d, A0) = e(prod Y^d, h0). *)
+        let zs = Array.init msp.Msp.cols (fun _ -> P.rand_scalar drbg) in
+        let zkb = P.rand_scalar drbg in
         let w_acc =
           List.fold_left (fun acc (_, s, d) -> G.mul acc (G.pow s.w d)) G.one weights
         in
         let y_acc =
           List.fold_left (fun acc (_, s, d) -> G.mul acc (G.pow s.y d)) G.one weights
         in
-        if not (P.Gt.equal (P.e w_acc mvk.cap_a0) (P.e y_acc mvk.h0)) then false
-        else begin
-          let bases = Array.map (fun u -> attr_base mvk u) msp.Msp.labels in
-          let ok = ref true in
+        let bases = Array.map (fun u -> attr_base mvk u) msp.Msp.labels in
+        (* Row terms: the column weights collapse each row's per-column
+           entries into one exponent c_i = sum_j M_ij z_j. *)
+        let row_terms = ref [] in
+        for i = msp.Msp.rows - 1 downto 0 do
+          let c = ref B.zero in
           for j = 0 to msp.Msp.cols - 1 do
-            if !ok then begin
-              let lhs = ref P.Gt.one in
-              for i = 0 to msp.Msp.rows - 1 do
-                let mij = msp.Msp.matrix.(i).(j) in
-                if mij <> 0 then begin
-                  let s_acc =
-                    List.fold_left
-                      (fun acc (_, s, d) -> G.mul acc (G.pow s.s.(i) d))
-                      G.one weights
-                  in
-                  lhs := P.Gt.mul !lhs (P.e s_acc (pow_entry bases.(i) mij B.one))
-                end
-              done;
-              let rhs = ref P.Gt.one in
-              List.iter
-                (fun (msg, s, d) ->
-                  let hash = msg_scalar s.tau msg in
-                  rhs :=
-                    P.Gt.mul !rhs (P.e (G.pow (msg_base mvk hash) d) s.p.(j)))
-                weights;
-              let rhs = if j = 0 then P.Gt.mul (P.e y_acc mvk.h) !rhs else !rhs in
-              if not (P.Gt.equal !lhs rhs) then ok := false
-            end
+            let mij = msp.Msp.matrix.(i).(j) in
+            if mij <> 0 then
+              c := B.erem (B.add !c (B.mul (B.of_int mij) zs.(j))) order
           done;
-          !ok
-        end
+          if not (B.is_zero !c) then begin
+            let s_acc =
+              List.fold_left
+                (fun acc (_, s, d) -> G.mul acc (G.pow s.s.(i) d))
+                G.one weights
+            in
+            row_terms := (s_acc, G.pow bases.(i) !c) :: !row_terms
+          end
+        done;
+        (* C-side terms, grouped by message hash (same-message fast path). *)
+        let groups : (string, B.t * G.t ref) Hashtbl.t = Hashtbl.create 8 in
+        List.iter
+          (fun (msg, s, d) ->
+            let hash = msg_scalar s.tau msg in
+            let q = ref G.one in
+            for j = 0 to msp.Msp.cols - 1 do
+              q := G.mul !q (G.pow s.p.(j) (B.erem (B.mul zs.(j) d) order))
+            done;
+            let key = B.to_string hash in
+            match Hashtbl.find_opt groups key with
+            | Some (_, acc) -> acc := G.mul !acc !q
+            | None -> Hashtbl.add groups key (hash, ref !q))
+          weights;
+        let msg_terms =
+          Hashtbl.fold
+            (fun _ (hash, acc) l -> (G.inv (msg_base mvk hash), !acc) :: l)
+            groups []
+        in
+        let terms =
+          (G.pow w_acc zkb, mvk.cap_a0)
+          :: (G.inv y_acc, G.mul (G.pow mvk.h0 zkb) (G.pow mvk.h zs.(0)))
+          :: (!row_terms @ msg_terms)
+        in
+        P.Gt.is_one (P.e_prod terms)
       end
 
   let relaxed_policy keep = Expr.of_attrs_or (Attr.Set.elements keep)
@@ -295,23 +396,7 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
           }
       end
 
-  (* --- serialization --- *)
-
-  let put_u16 buf n =
-    Buffer.add_char buf (Char.chr ((n lsr 8) land 0xff));
-    Buffer.add_char buf (Char.chr (n land 0xff))
-
-  let to_bytes sigma =
-    let buf = Buffer.create 256 in
-    put_u16 buf (String.length sigma.tau);
-    Buffer.add_string buf sigma.tau;
-    Buffer.add_string buf (G.to_bytes sigma.y);
-    Buffer.add_string buf (G.to_bytes sigma.w);
-    put_u16 buf (Array.length sigma.s);
-    Array.iter (fun x -> Buffer.add_string buf (G.to_bytes x)) sigma.s;
-    put_u16 buf (Array.length sigma.p);
-    Array.iter (fun x -> Buffer.add_string buf (G.to_bytes x)) sigma.p;
-    Buffer.contents buf
+  (* --- deserialization (encoding lives above, with the verifier) --- *)
 
   let g_size = String.length (G.to_bytes G.g)
 

@@ -4,6 +4,7 @@ module Universe = Zkqac_policy.Universe
 module Drbg = Zkqac_hashing.Drbg
 module Prng = Zkqac_rng.Prng
 module VE = Zkqac_util.Verify_error
+module Wire = Zkqac_util.Wire
 module Box = Zkqac_core.Box
 module Keyspace = Zkqac_core.Keyspace
 module Record = Zkqac_core.Record
@@ -15,16 +16,18 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
   module Ap2g = Zkqac_core.Ap2g.Make (P)
   module Ap2kd = Zkqac_core.Ap2kd.Make (P)
   module Join = Zkqac_core.Join.Make (P)
+  module Envelope = Zkqac_cpabe.Envelope.Make (P)
 
-  type kind = Equality_q | Range_q | Kd_q | Join_q
+  type kind = Equality_q | Range_q | Kd_q | Join_q | Envelope_q
 
-  let all_kinds = [ Equality_q; Range_q; Kd_q; Join_q ]
+  let all_kinds = [ Equality_q; Range_q; Kd_q; Join_q; Envelope_q ]
 
   let kind_name = function
     | Equality_q -> "equality"
     | Range_q -> "range"
     | Kd_q -> "kd"
     | Join_q -> "join"
+    | Envelope_q -> "envelope"
 
   type outcome =
     | Rejected of VE.t
@@ -43,6 +46,10 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
     kind : kind;
     bytes : string;
     verify : string -> (unit, VE.t) result;
+    verify_batched : string -> (unit, VE.t) result;
+        (* same check, but through the batched verification path (weights
+           derived from the bytes under test, like the CLI does) — must
+           reach the same verdict on every input, tampered or honest *)
     tamper : Prng.t -> string -> string option;
   }
 
@@ -471,16 +478,20 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
   let rec_ key value policy =
     Record.make ~key ~value ~policy:(Expr.of_string policy)
 
+  let batch_drbg bytes = Drbg.create ~seed:("zkqac-attack-batch:" ^ bytes)
+
   let vo_target ~kind ~verify_vo vo =
+    let check batch bytes =
+      match Vo.decode bytes with
+      | Error e -> Error e
+      | Ok vo -> (
+        match verify_vo ?batch vo with Error e -> Error e | Ok _ -> Ok ())
+    in
     {
       kind;
       bytes = Vo.to_bytes vo;
-      verify =
-        (fun bytes ->
-          match Vo.decode bytes with
-          | Error e -> Error e
-          | Ok vo -> (
-            match verify_vo vo with Error e -> Error e | Ok _ -> Ok ()));
+      verify = check None;
+      verify_batched = (fun bytes -> check (Some (batch_drbg bytes)) bytes);
       tamper =
         (fun prng name ->
           Option.map Vo.to_bytes (vo_tamper ~alt_policy prng name vo));
@@ -526,7 +537,8 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
     let query = Keyspace.whole space in
     let vo, _ = Ap2g.range_vo drbg ~mvk t ~user query in
     vo_target ~kind:Range_q
-      ~verify_vo:(Ap2g.verify ~mvk ~t_universe:universe ~user ~query)
+      ~verify_vo:(fun ?batch vo ->
+        Ap2g.verify ?batch ~mvk ~t_universe:universe ~user ~query vo)
       vo
 
   let make_kd () =
@@ -573,34 +585,122 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
     in
     let query = Keyspace.whole space in
     let vo, _ = Join.join_vo drbg ~mvk ~r ~s ~user query in
+    let check batch bytes =
+      match Join.decode bytes with
+      | Error e -> Error e
+      | Ok vo -> (
+        match Join.verify ?batch ~mvk ~t_universe:universe ~user ~query vo with
+        | Error e -> Error e
+        | Ok _ -> Ok ())
+    in
     {
       kind = Join_q;
       bytes = Join.to_bytes vo;
-      verify =
-        (fun bytes ->
-          match Join.decode bytes with
-          | Error e -> Error e
-          | Ok vo -> (
-            match Join.verify ~mvk ~t_universe:universe ~user ~query vo with
-            | Error e -> Error e
-            | Ok _ -> Ok ()));
+      verify = check None;
+      verify_batched = (fun bytes -> check (Some (batch_drbg bytes)) bytes);
       tamper =
         (fun prng name ->
           Option.map Join.to_bytes (join_tamper ~alt_policy prng name vo));
     }
 
-  let targets () = [ make_equality (); make_range (); make_kd (); make_join () ]
+  (* A Gt encoding the backend must refuse to decode. The first candidate
+     (a tiny nonzero field element) is accepted by the raw F_p2 parser but
+     lies outside the order-r subgroup on the real backend — exactly the
+     class of input the subgroup membership check exists to reject; on the
+     mock backend the same bytes violate encoding canonicity. The all-0xff
+     fallback is out of range on every backend. *)
+  let non_subgroup_gt_bytes len =
+    let tiny =
+      let b = Bytes.make len '\x00' in
+      Bytes.set b (len - 1) '\x02';
+      Bytes.to_string b
+    in
+    List.find_opt
+      (fun s -> Option.is_none (P.Gt.of_bytes s))
+      [ tiny; String.make len '\xff' ]
+
+  (* Wire surgery on a sealed response: split the envelope, split the KEM
+     ciphertext inside it, substitute c_tilde, and re-assemble byte-exactly
+     around the substitution. *)
+  let envelope_tamper name bytes =
+    if not (String.equal name "gt-subgroup") then None
+    else begin
+      match
+        let r = Wire.reader bytes in
+        let kem = Wire.rbytes r in
+        let nonce = Wire.rbytes r in
+        let body = Wire.rbytes r in
+        let tag = Wire.rbytes r in
+        if not (Wire.at_end r) then raise Wire.Malformed;
+        let kr = Wire.reader kem in
+        let policy = Wire.rbytes kr in
+        let c_tilde = Wire.rbytes kr in
+        let rest =
+          String.sub kem (Wire.pos kr) (String.length kem - Wire.pos kr)
+        in
+        (policy, c_tilde, rest, nonce, body, tag)
+      with
+      | exception (Wire.Malformed | Wire.Limit _) -> None
+      | policy, c_tilde, rest, nonce, body, tag ->
+        (match non_subgroup_gt_bytes (String.length c_tilde) with
+         | None -> None
+         | Some bad ->
+           let kw = Wire.writer () in
+           Wire.bytes kw policy;
+           Wire.bytes kw bad;
+           Buffer.add_string kw rest;
+           let w = Wire.writer () in
+           Wire.bytes w (Wire.contents kw);
+           Wire.bytes w nonce;
+           Wire.bytes w body;
+           Wire.bytes w tag;
+           Some (Wire.contents w))
+    end
+
+  let envelope_payload = "zkqac-attack: envelope payload"
+
+  let make_envelope () =
+    let drbg = Drbg.create ~seed:"zkqac-attack:env" in
+    let mk, pp = Envelope.C.setup drbg in
+    let sk = Envelope.C.keygen drbg mk pp user in
+    let sealed =
+      Envelope.seal drbg pp ~policy:(Expr.of_string role_a) envelope_payload
+    in
+    let bytes = Envelope.to_bytes sealed in
+    (* There is no ABS batching inside an envelope open: the batched path
+       is the sequential one. *)
+    let check bytes =
+      match Envelope.decode bytes with
+      | Error e -> Error e
+      | Ok sealed ->
+        (match Envelope.open_result pp sk sealed with
+         | Error e -> Error e
+         | Ok payload ->
+           if String.equal payload envelope_payload then Ok ()
+           else Error (VE.Digest_mismatch "envelope payload"))
+    in
+    {
+      kind = Envelope_q;
+      bytes;
+      verify = check;
+      verify_batched = check;
+      tamper = (fun _prng name -> envelope_tamper name bytes);
+    }
+
+  let targets () =
+    [ make_equality (); make_range (); make_kd (); make_join (); make_envelope () ]
 
   let fixtures () =
     List.map (fun (t : target) -> (t.kind, t.bytes, t.verify)) (targets ())
 
   (* --- driver --- *)
 
-  let run ?scenario ~seed () =
+  let run ?scenario ?(batched = false) ~seed () =
     let targets = targets () in
+    let check t = if batched then t.verify_batched else t.verify in
     List.iter
       (fun t ->
-        match t.verify t.bytes with
+        match (check t) t.bytes with
         | Ok () -> ()
         | Error e ->
           invalid_arg
@@ -639,7 +739,7 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
                 match tampered with
                 | None -> Not_applicable
                 | Some bytes -> (
-                  match tgt.verify bytes with
+                  match (check tgt) bytes with
                   | Ok () -> Accepted
                   | Error e ->
                     Zkqac_telemetry.Metrics.rejection (VE.code e);

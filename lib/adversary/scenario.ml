@@ -33,6 +33,11 @@ let all =
       description =
         "rewrite an accessible record's policy to one the user still \
          satisfies" };
+    { name = "gt-subgroup";
+      category = Soundness;
+      description =
+        "replace the CP-ABE c_tilde of a sealed response with a Gt encoding \
+         outside the order-r subgroup" };
     (* Completeness game (Theorem 7.2): omit results the user is entitled
        to. *)
     { name = "drop-entry";
@@ -79,6 +84,7 @@ let expected name (e : Zkqac_util.Verify_error.t) =
   | ("drop-entry" | "prune-subtree" | "shrink-boundary"), Completeness_gap ->
     true
   | "duplicate-entry", (Completeness_gap | Invalid_shape _) -> true
+  | "gt-subgroup", Malformed _ -> true
   | "bit-flip", _ -> true (* any typed rejection: the flip lands anywhere *)
   | ("truncate" | "length-inflate" | "trailing-garbage"), Malformed _ -> true
   | "huge-count", (Limit_exceeded _ | Malformed _) -> true

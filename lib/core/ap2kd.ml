@@ -252,7 +252,7 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
         sp_time = Unix.gettimeofday () -. t0;
       } )
 
-  let verify ~mvk ~t_universe ~user ~query vo =
+  let verify ?batch ~mvk ~t_universe ~user ~query vo =
     let super_policy = Universe.super_policy t_universe ~user in
-    Vo.verify ~clip:true ~mvk ~binding:`Boxed ~super_policy ~user ~query vo
+    Vo.verify ~clip:true ?batch ~mvk ~binding:`Boxed ~super_policy ~user ~query vo
 end

@@ -138,10 +138,11 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
       t.gaps;
     List.rev !out
 
-  let verify_range ~mvk ~t_universe ~user ~lo ~hi vo =
+  let rec verify_range ?batch ~mvk ~t_universe ~user ~lo ~hi vo =
     let ( let* ) = Result.bind in
     let super_policy = Universe.super_policy t_universe ~user in
-    (* Soundness of each entry. *)
+    (* Soundness of each entry (signatures deferred to one batch when a
+       batching DRBG is supplied). *)
     let check entry =
       match entry with
       | Rec_accessible { record; app } ->
@@ -149,25 +150,70 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
           Error (Vo.Record_outside_query record.Record.key)
         else if not (Expr.eval record.Record.policy user) then
           Error (Vo.Policy_not_satisfied record.Record.key)
+        else if batch <> None then Ok ()
         else if
           Abs.verify mvk ~msg:(Record.message_of record) ~policy:record.Record.policy
             app
         then Ok ()
         else Error (Vo.Bad_abs_signature "continuous record APP")
       | Rec_inaccessible { key; value_hash; aps } ->
-        if
+        if batch <> None then Ok ()
+        else if
           Abs.verify mvk
             ~msg:(Record.message ~key:[| key |] ~value_hash)
             ~policy:super_policy aps
         then Ok ()
         else Error (Vo.Bad_aps_signature "continuous record APS")
       | Gap { lo = glo; hi = ghi; aps } ->
-        if Abs.verify mvk ~msg:(gap_message ~lo:glo ~hi:ghi) ~policy:super_policy aps
+        if batch <> None then Ok ()
+        else if
+          Abs.verify mvk ~msg:(gap_message ~lo:glo ~hi:ghi) ~policy:super_policy aps
         then Ok ()
         else Error (Vo.Bad_aps_signature "continuous gap APS")
     in
     let* () =
       List.fold_left (fun acc e -> Result.bind acc (fun () -> check e)) (Ok ()) vo
+    in
+    let* () =
+      match batch with
+      | None -> Ok ()
+      | Some drbg ->
+        (* Accessible APPs batch per record policy; inaccessible-record and
+           gap APSes share the super-policy batch. On rejection, the
+           sequential pass names the culprit with its precise typed error. *)
+        let app_groups :
+            (string, Expr.t * (string * Abs.signature) list ref) Hashtbl.t =
+          Hashtbl.create 8
+        in
+        let aps_entries = ref [] in
+        List.iter
+          (function
+            | Rec_accessible { record; app } ->
+              let key = Expr.to_string record.Record.policy in
+              let item = (Record.message_of record, app) in
+              (match Hashtbl.find_opt app_groups key with
+               | Some (_, l) -> l := item :: !l
+               | None ->
+                 Hashtbl.add app_groups key (record.Record.policy, ref [ item ]))
+            | Rec_inaccessible { key; value_hash; aps } ->
+              aps_entries :=
+                (Record.message ~key:[| key |] ~value_hash, aps) :: !aps_entries
+            | Gap { lo = glo; hi = ghi; aps } ->
+              aps_entries := (gap_message ~lo:glo ~hi:ghi, aps) :: !aps_entries)
+          vo;
+        let batches_ok =
+          Abs.verify_batch drbg mvk ~policy:super_policy (List.rev !aps_entries)
+          && Hashtbl.fold
+               (fun _ (policy, sigs) acc ->
+                 acc && Abs.verify_batch drbg mvk ~policy (List.rev !sigs))
+               app_groups true
+        in
+        if batches_ok then Ok ()
+        else begin
+          match verify_range ~mvk ~t_universe ~user ~lo ~hi vo with
+          | Error e -> Error e
+          | Ok _ -> Error (Vo.Bad_aps_signature "batched APS verification")
+        end
     in
     (* Completeness: points and open gaps must cover every integer of
        [lo, hi]. Collect covered intervals and sweep. *)

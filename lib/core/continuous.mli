@@ -47,6 +47,7 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) : sig
     vo
 
   val verify_range :
+    ?batch:Zkqac_hashing.Drbg.t ->
     mvk:Abs.mvk ->
     t_universe:Zkqac_policy.Universe.t ->
     user:Zkqac_policy.Attr.Set.t ->

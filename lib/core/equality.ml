@@ -114,10 +114,10 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
     let record, signature = Key_map.find (Array.to_list key) t.entries in
     entry_for drbg ~mvk t ~keep ~user (record, signature)
 
-  let verify_equality ~mvk ~t_universe ~user ~key entry =
+  let verify_equality ?batch ~mvk ~t_universe ~user ~key entry =
     let super_policy = Universe.super_policy t_universe ~user in
     let query = Box.of_point key in
-    match Vo.verify ~mvk ~binding:`Plain ~super_policy ~user ~query [ entry ] with
+    match Vo.verify ?batch ~mvk ~binding:`Plain ~super_policy ~user ~query [ entry ] with
     | Error e -> Error e
     | Ok [] -> Ok Denied
     | Ok [ r ] -> Ok (Result r)
@@ -166,7 +166,7 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
         sp_time = Unix.gettimeofday () -. t0;
       } )
 
-  let verify_range ~mvk ~t_universe ~user ~query vo =
+  let verify_range ?batch ~mvk ~t_universe ~user ~query vo =
     let super_policy = Universe.super_policy t_universe ~user in
-    Vo.verify ~mvk ~binding:`Plain ~super_policy ~user ~query vo
+    Vo.verify ?batch ~mvk ~binding:`Plain ~super_policy ~user ~query vo
 end

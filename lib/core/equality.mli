@@ -48,6 +48,7 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) : sig
   (** SP-side response for one key. *)
 
   val verify_equality :
+    ?batch:Zkqac_hashing.Drbg.t ->
     mvk:Abs.mvk ->
     t_universe:Zkqac_policy.Universe.t ->
     user:Zkqac_policy.Attr.Set.t ->
@@ -66,6 +67,7 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) : sig
   (** The Basic baseline: one entry per key in the box. *)
 
   val verify_range :
+    ?batch:Zkqac_hashing.Drbg.t ->
     mvk:Abs.mvk ->
     t_universe:Zkqac_policy.Universe.t ->
     user:Zkqac_policy.Attr.Set.t ->

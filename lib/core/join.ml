@@ -85,7 +85,7 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
         sp_time = Unix.gettimeofday () -. t0;
       } )
 
-  let verify ~mvk ~t_universe ~user ~query vo =
+  let rec verify ?batch ~mvk ~t_universe ~user ~query vo =
     Trace.with_span "client.verify"
       ~attrs:
         [ ("op", Trace.Str "join"); ("vo_entries", Trace.Int (List.length vo)) ]
@@ -134,6 +134,7 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
             (Expr.eval r_record.Record.policy user
              && Expr.eval s_record.Record.policy user)
         then fail (Vo.Policy_not_satisfied r_record.Record.key)
+        else if batch <> None then Ok () (* checked below in one batch *)
         else begin
           let check record app =
             Abs.verify_result mvk ~msg:(Record.message_of record)
@@ -159,23 +160,76 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
              fail
                (Vo.Bad_aps_policy
                   "inaccessible leaf region is not the key's unit cell")
+           else if batch <> None then Ok ()
            else
              let msg = Vo.leaf_message `Plain ~region ~key ~value_hash in
              (match Abs.verify_result mvk ~msg ~policy:super_policy aps with
               | Ok () -> Ok ()
               | Error e -> fail (Zkqac_util.Verify_error.as_aps e))
          | Vo.Inaccessible_node { region; aps } ->
-           (match
-              Abs.verify_result mvk ~msg:(Vo.node_aps_message ~region)
-                ~policy:super_policy aps
-            with
-            | Ok () -> Ok ()
-            | Error e -> fail (Zkqac_util.Verify_error.as_aps e)))
+           if batch <> None then Ok ()
+           else
+             (match
+                Abs.verify_result mvk ~msg:(Vo.node_aps_message ~region)
+                  ~policy:super_policy aps
+              with
+              | Ok () -> Ok ()
+              | Error e -> fail (Zkqac_util.Verify_error.as_aps e)))
     in
     let* () =
       List.fold_left
         (fun acc e -> Result.bind acc (fun () -> check_entry e))
         (Ok ()) vo
+    in
+    let* () =
+      match batch with
+      | None -> Ok ()
+      | Some drbg ->
+        (* Pair APPs batch per record policy; side APSes batch under the
+           super-policy. On rejection, fall back to the sequential pass so
+           the caller sees the same precise typed error as unbatched. *)
+        let app_groups :
+            (string, Expr.t * (string * Abs.signature) list ref) Hashtbl.t =
+          Hashtbl.create 8
+        in
+        let aps_entries = ref [] in
+        List.iter
+          (function
+            | Pair { r_record; r_app; s_record; s_app } ->
+              let add record app =
+                let key = Expr.to_string record.Record.policy in
+                let item = (Record.message_of record, app) in
+                match Hashtbl.find_opt app_groups key with
+                | Some (_, l) -> l := item :: !l
+                | None ->
+                  Hashtbl.add app_groups key (record.Record.policy, ref [ item ])
+              in
+              add r_record r_app;
+              add s_record s_app
+            | R_side e | S_side e ->
+              (match e with
+               | Vo.Accessible _ -> ()
+               | Vo.Inaccessible_leaf { region; key; value_hash; aps } ->
+                 aps_entries :=
+                   (Vo.leaf_message `Plain ~region ~key ~value_hash, aps)
+                   :: !aps_entries
+               | Vo.Inaccessible_node { region; aps } ->
+                 aps_entries :=
+                   (Vo.node_aps_message ~region, aps) :: !aps_entries))
+          vo;
+        let batches_ok =
+          Abs.verify_batch drbg mvk ~policy:super_policy (List.rev !aps_entries)
+          && Hashtbl.fold
+               (fun _ (policy, sigs) acc ->
+                 acc && Abs.verify_batch drbg mvk ~policy (List.rev !sigs))
+               app_groups true
+        in
+        if batches_ok then Ok ()
+        else begin
+          match verify ~mvk ~t_universe ~user ~query vo with
+          | Error e -> fail e
+          | Ok _ -> fail (Vo.Bad_aps_signature "batched APS verification")
+        end
     in
     let pairs =
       List.filter_map

@@ -39,6 +39,7 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) : sig
       universe. *)
 
   val verify :
+    ?batch:Zkqac_hashing.Drbg.t ->
     mvk:Abs.mvk ->
     t_universe:Zkqac_policy.Universe.t ->
     user:Zkqac_policy.Attr.Set.t ->

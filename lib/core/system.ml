@@ -113,7 +113,7 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
     vo_size : int;
   }
 
-  let open_and_verify_v user ~query response =
+  let open_and_verify_v ?(batch = true) user ~query response =
     Trace.with_span "system.open_and_verify" ~parent:Trace.none @@ fun ctx ->
     let fail e =
       Trace.set_attr ctx "verify_error"
@@ -130,8 +130,17 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
         (match Vo.decode payload with
          | Error e -> fail e
          | Ok vo ->
+           (* Batch weights may be derived deterministically from the
+              payload: the server commits to the VO before the weights
+              exist, which is the soundness requirement of small-exponent
+              batching. *)
+           let batch =
+             if batch then
+               Some (Drbg.create ~seed:("zkqac-system-batch:" ^ payload))
+             else None
+           in
            (match
-              Ap2g.verify ~mvk:user.user_mvk ~t_universe:user.user_universe
+              Ap2g.verify ?batch ~mvk:user.user_mvk ~t_universe:user.user_universe
                 ?hierarchy:user.user_hierarchy ~user:user.roles ~query vo
             with
             | Error e -> fail e
@@ -151,9 +160,9 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
               Ok { results; vo_entries = List.length vo; vo_size = String.length payload }))
     end
 
-  let open_and_verify user ~query response =
+  let open_and_verify ?batch user ~query response =
     Result.map_error Zkqac_util.Verify_error.to_string
-      (open_and_verify_v user ~query response)
+      (open_and_verify_v ?batch user ~query response)
 
   let user_roles u = u.roles
   let universe o = o.universe

@@ -65,6 +65,7 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) : sig
   }
 
   val open_and_verify_v :
+    ?batch:bool ->
     user ->
     query:Box.t ->
     response ->
@@ -72,10 +73,16 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) : sig
   (** User side: open the envelope (fails for impostors), verify the VO
       (fails on any tampering or omission), decrypt accessible contents.
       Failures carry the typed {!Zkqac_util.Verify_error.t} taxonomy; the
-      error code is also recorded as a [verify_error] span attribute. *)
+      error code is also recorded as a [verify_error] span attribute.
+
+      [batch] (default [true]) verifies the VO's signatures with
+      small-exponent batching (weights derived deterministically from the
+      decrypted payload, which the server committed to before the weights
+      existed). A rejected batch falls back to one-by-one verification, so
+      the typed error is identical either way. *)
 
   val open_and_verify :
-    user -> query:Box.t -> response -> (verified, string) result
+    ?batch:bool -> user -> query:Box.t -> response -> (verified, string) result
   (** {!open_and_verify_v} with errors rendered to strings. *)
 
   val user_roles : user -> Zkqac_policy.Attr.Set.t

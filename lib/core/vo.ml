@@ -51,7 +51,7 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
 
   let node_aps_message ~region = Record.node_message region
 
-  let verify ?(clip = false) ?batch ~mvk ~binding ~super_policy ~user ~query vo =
+  let rec verify ?(clip = false) ?batch ~mvk ~binding ~super_policy ~user ~query vo =
     Trace.with_span "client.verify"
       ~attrs:[ ("vo_entries", Trace.Int (List.length vo)) ]
     @@ fun vctx ->
@@ -83,6 +83,7 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
           fail (Record_outside_query record.Record.key)
         else if not (Expr.eval record.Record.policy user) then
           fail (Policy_not_satisfied record.Record.key)
+        else if batch <> None then Ok () (* checked below in one batch *)
         else begin
           let msg =
             leaf_message binding ~region ~key:record.Record.key
@@ -132,8 +133,44 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
               | Accessible _ -> None)
             vo
         in
-        if Abs.verify_batch drbg mvk ~policy:super_policy aps_entries then Ok ()
-        else fail (Bad_aps_signature "batched APS verification")
+        (* Accessible APP signatures batch too, grouped by record policy:
+           [Abs.verify_batch] needs one shared span program per batch. *)
+        let app_groups :
+            (string, Expr.t * (string * Abs.signature) list ref) Hashtbl.t =
+          Hashtbl.create 8
+        in
+        List.iter
+          (function
+            | Accessible { region; record; app } ->
+              let msg =
+                leaf_message binding ~region ~key:record.Record.key
+                  ~value_hash:(Record.value_hash record.Record.value)
+              in
+              let key = Expr.to_string record.Record.policy in
+              (match Hashtbl.find_opt app_groups key with
+               | Some (_, l) -> l := (msg, app) :: !l
+               | None ->
+                 Hashtbl.add app_groups key (record.Record.policy, ref [ (msg, app) ]))
+            | Inaccessible_leaf _ | Inaccessible_node _ -> ())
+          vo;
+        let batches_ok =
+          Abs.verify_batch drbg mvk ~policy:super_policy aps_entries
+          && Hashtbl.fold
+               (fun _ (policy, sigs) acc ->
+                 acc && Abs.verify_batch drbg mvk ~policy (List.rev !sigs))
+               app_groups true
+        in
+        if batches_ok then Ok ()
+        else begin
+          (* A batch rejected: fall back to one-by-one verification to
+             locate the culprit, so callers get the same precise typed
+             error (and exit code) as the unbatched path. The blanket
+             error below is only reachable if the sequential pass accepts
+             what the batch rejected — a ~1/order coincidence. *)
+          match verify ~clip ~mvk ~binding ~super_policy ~user ~query vo with
+          | Error e -> fail e
+          | Ok _ -> fail (Bad_aps_signature "batched APS verification")
+        end
     in
     let records =
       List.filter_map

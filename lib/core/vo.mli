@@ -74,7 +74,14 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) : sig
   (** The user-side check: soundness (every signature valid, results inside
       the query and readable by the user, inaccessibility proven under
       exactly the user's super policy) and completeness (regions tile the
-      query). Returns the accessible result records on success. *)
+      query). Returns the accessible result records on success.
+
+      When [batch] supplies a DRBG, all APS signatures are verified in one
+      small-exponent batch and the accessible entries' APP signatures are
+      batched too, grouped by record policy (one shared span program per
+      batch). Structural checks are unchanged. If any batch rejects, the
+      verifier falls back to one-by-one verification, so the returned typed
+      error (and exit code) is identical to the unbatched path. *)
 
   val size : t -> int
   (** Serialized size in bytes — the "VO size" metric of the paper. *)

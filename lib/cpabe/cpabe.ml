@@ -39,6 +39,17 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
 
   let hash_attr a = G.hash_to ("cpabe-attr:" ^ a)
 
+  (* Leaf attribute names in DFS order — the order [share] emits shares
+     and [decrypt] consumes ciphertext components. *)
+  let policy_leaves expr =
+    let out = ref [] in
+    let rec go = function
+      | Expr.Leaf a -> out := a :: !out
+      | Expr.Or cs | Expr.And cs | Expr.Threshold (_, cs) -> List.iter go cs
+    in
+    go expr;
+    Array.of_list (List.rev !out)
+
   let setup drbg =
     let alpha = P.rand_scalar drbg in
     let beta = P.rand_scalar drbg in
@@ -214,6 +225,15 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
       in
       let leaves = Array.of_list (go n []) in
       if not (Wire.at_end r) then raise Wire.Malformed;
+      (* [decrypt] indexes components by the policy's DFS leaf order and
+         never reads the serialized attribute names; require them to agree
+         with the policy so those bytes are not silently malleable. *)
+      let expected = policy_leaves policy in
+      if Array.length leaves <> Array.length expected then raise Wire.Malformed;
+      Array.iteri
+        (fun i (a, _, _) ->
+          if not (String.equal a expected.(i)) then raise Wire.Malformed)
+        leaves;
       { policy; c_tilde; c; leaves }
     with
     | ct -> Some ct

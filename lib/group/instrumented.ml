@@ -65,6 +65,11 @@ module Make (P : Pairing_intf.PAIRING) : Pairing_intf.PAIRING = struct
     T.bump T.Pairing;
     P.e a b
 
+  let e_prod ps =
+    T.bump T.Multi_pairing;
+    T.bump_n T.Multi_pairing_terms (List.length ps);
+    P.e_prod ps
+
   let rand_scalar = P.rand_scalar
   let rand_g = P.rand_g
 end

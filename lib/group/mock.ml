@@ -84,6 +84,11 @@ let create ?(order = default_order) () : (module Pairing_intf.PAIRING) =
     end
 
     let e a b = B.erem (B.mul a b) order
+
+    (* In the discrete-log model a product of pairings is a sum of
+       products of logs. *)
+    let e_prod ps =
+      List.fold_left (fun acc (a, b) -> B.erem (B.add acc (B.mul a b)) order) B.zero ps
     let rand_scalar drbg = Zkqac_hashing.Drbg.nonzero_bigint drbg order
     let rand_g drbg = rand_scalar drbg
   end)

@@ -57,6 +57,16 @@ module type PAIRING = sig
   val e : G.t -> G.t -> Gt.t
   (** The bilinear map. *)
 
+  val e_prod : (G.t * G.t) list -> Gt.t
+  (** [e_prod [(p1,q1); ...; (pn,qn)]] is the product ∏ e(pi, qi).
+
+      Semantically equivalent to folding {!Gt.mul} over individual {!e}
+      calls, but implementations share work across the terms: the type-A
+      backend runs one accumulated Miller loop over all pairs and performs
+      a single final exponentiation, so n-term products cost roughly one
+      pairing plus (n-1) Miller loops instead of n full pairings. The
+      empty product is {!Gt.one}; identity arguments contribute nothing. *)
+
   val rand_scalar : Zkqac_hashing.Drbg.t -> Zkqac_bigint.Bigint.t
   (** Uniform in [1, order). *)
 

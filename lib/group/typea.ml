@@ -52,7 +52,16 @@ let create (params : Typea_params.t) : (module Pairing_intf.PAIRING) =
       let equal = Fp2.equal
       let is_one = Fp2.is_one
       let to_bytes = Fp2.to_bytes fp
-      let of_bytes s = Fp2.of_bytes fp s
+
+      (* Membership in the order-r subgroup of F_p2* must be checked on
+         decode, mirroring [G.of_bytes]'s r*P = infinity check: pairing
+         outputs satisfy x^r = 1, and untrusted inputs (the CP-ABE
+         [c_tilde] component decodes through here) must not smuggle in
+         arbitrary in-range field elements. *)
+      let of_bytes s =
+        match Fp2.of_bytes fp s with
+        | Some x when Fp2.is_one (Fp2.pow fp x r) -> Some x
+        | Some _ | None -> None
     end
 
     (* Miller loop computing f_{r,P}(psi(Q)) for affine P, Q. The evaluation
@@ -119,6 +128,70 @@ let create (params : Typea_params.t) : (module Pairing_intf.PAIRING) =
            raise to the cofactor (p+1)/r. *)
         let f1 = Fp2.mul fp (Fp2.conj fp f) (Fp2.inv fp f) in
         Fp2.pow fp f1 cofactor
+
+    (* Multi-pairing ∏ e(Pi, Qi): because squaring distributes over the
+       product, a single Miller accumulator [f] is squared once per bit of r
+       while every pair contributes its own tangent/chord line values, and
+       one final exponentiation covers all terms. An n-term product thus
+       costs n Miller line computations but only one shared squaring chain
+       and one final exponentiation, instead of n of each. *)
+    let e_prod pairs =
+      let pairs =
+        List.filter_map
+          (fun pair ->
+            match pair with
+            | Curve.Infinity, _ | _, Curve.Infinity -> None
+            | Curve.Affine (xp, yp), Curve.Affine (xq, yq) ->
+              Some (xp, yp, Fp.neg fp xq, yq, ref (Curve.Affine (xp, yp))))
+          pairs
+      in
+      if pairs = [] then Fp2.one
+      else begin
+        let eval_line lambda xv yv xq' yq =
+          let re = Fp.sub fp (Fp.neg fp yv) (Fp.mul fp lambda (Fp.sub fp xq' xv)) in
+          Fp2.make re yq
+        in
+        let tangent xv yv =
+          Fp.div fp
+            (Fp.add fp (Fp.mul fp (Fp.of_int fp 3) (Fp.sqr fp xv)) Fp.one)
+            (Fp.add fp yv yv)
+        in
+        let f = ref Fp2.one in
+        let nb = B.num_bits r in
+        for i = nb - 2 downto 0 do
+          f := Fp2.sqr fp !f;
+          List.iter
+            (fun (xp, yp, xq', yq, v) ->
+              (match !v with
+               | Curve.Infinity -> ()
+               | Curve.Affine (xv, yv) ->
+                 if Fp.is_zero yv then v := Curve.Infinity
+                 else begin
+                   f := Fp2.mul fp !f (eval_line (tangent xv yv) xv yv xq' yq);
+                   v := Curve.double fp !v
+                 end);
+              if B.testbit r i then begin
+                match !v with
+                | Curve.Infinity -> ()
+                | Curve.Affine (xv, yv) ->
+                  if B.equal xv xp then begin
+                    if B.equal yv yp then begin
+                      f := Fp2.mul fp !f (eval_line (tangent xv yv) xv yv xq' yq);
+                      v := Curve.double fp !v
+                    end
+                    else v := Curve.Infinity
+                  end
+                  else begin
+                    let lambda = Fp.div fp (Fp.sub fp yp yv) (Fp.sub fp xp xv) in
+                    f := Fp2.mul fp !f (eval_line lambda xv yv xq' yq);
+                    v := Curve.add fp !v (Curve.Affine (xp, yp))
+                  end
+              end)
+            pairs
+        done;
+        let f1 = Fp2.mul fp (Fp2.conj fp !f) (Fp2.inv fp !f) in
+        Fp2.pow fp f1 cofactor
+      end
 
     let rand_scalar drbg = Zkqac_hashing.Drbg.nonzero_bigint drbg r
 

@@ -10,10 +10,13 @@ type counter =
   | Abs_relax
   | Cpabe_encrypt
   | Cpabe_decrypt
+  | Multi_pairing
+  | Multi_pairing_terms
 
 let all_counters =
   [ Pairing; G_exp; G_mul; Gt_exp; Gt_mul; Sha256_compress; Abs_sign;
-    Abs_verify; Abs_relax; Cpabe_encrypt; Cpabe_decrypt ]
+    Abs_verify; Abs_relax; Cpabe_encrypt; Cpabe_decrypt; Multi_pairing;
+    Multi_pairing_terms ]
 
 let counter_name = function
   | Pairing -> "pairing"
@@ -27,6 +30,8 @@ let counter_name = function
   | Abs_relax -> "abs_relax"
   | Cpabe_encrypt -> "cpabe_encrypt"
   | Cpabe_decrypt -> "cpabe_decrypt"
+  | Multi_pairing -> "multi_pairings"
+  | Multi_pairing_terms -> "multi_pairing_terms"
 
 let index = function
   | Pairing -> 0
@@ -40,6 +45,8 @@ let index = function
   | Abs_relax -> 8
   | Cpabe_encrypt -> 9
   | Cpabe_decrypt -> 10
+  | Multi_pairing -> 11
+  | Multi_pairing_terms -> 12
 
 let num_counters = List.length all_counters
 

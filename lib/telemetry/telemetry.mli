@@ -36,6 +36,8 @@ type counter =
   | Abs_relax  (** ABS.Relax calls *)
   | Cpabe_encrypt  (** CP-ABE encryptions *)
   | Cpabe_decrypt  (** CP-ABE decryption attempts *)
+  | Multi_pairing  (** multi-pairing e_prod evaluations (shared Miller loop) *)
+  | Multi_pairing_terms  (** total pairing terms folded into e_prod calls *)
 
 val all_counters : counter list
 

@@ -51,27 +51,54 @@ let test_attack_matrix () =
   in
   List.iter
     (fun kind ->
+      (* The envelope fixture is a single sealed blob, not a VO: only the
+         Gt-subgroup and wire-format scenarios have a target in it. *)
+      let floor = if kind = Harness.Envelope_q then 1 else 12 in
       let n = List.length (rejected_names kind) in
-      if n < 12 then
-        Alcotest.failf "%s: only %d applicable scenarios (need >= 12)"
-          (Harness.kind_name kind) n)
-    Harness.all_kinds
+      if n < floor then
+        Alcotest.failf "%s: only %d applicable scenarios (need >= %d)"
+          (Harness.kind_name kind) n floor)
+    Harness.all_kinds;
+  (* Regression for the Gt subgroup-membership fix: the non-subgroup
+     c_tilde substitution must actually land (not Not_applicable) and be
+     caught by the decoder. *)
+  match
+    List.find_opt
+      (fun (c : Harness.cell) ->
+        c.kind = Harness.Envelope_q && c.scenario.Scenario.name = "gt-subgroup")
+      report.cells
+  with
+  | Some { outcome = Harness.Rejected _; _ } -> ()
+  | Some _ -> Alcotest.fail "gt-subgroup x envelope: not rejected as expected"
+  | None -> Alcotest.fail "gt-subgroup x envelope cell missing"
+
+let digest (r : Harness.report) =
+  List.map
+    (fun (c : Harness.cell) ->
+      ( cell_label c,
+        match c.outcome with
+        | Harness.Rejected e -> "ok:" ^ VE.code e
+        | Harness.Misclassified e -> "wrong:" ^ VE.code e
+        | Harness.Accepted -> "accepted"
+        | Harness.Not_applicable -> "n/a" ))
+    r.cells
 
 let test_attack_matrix_deterministic () =
-  let digest (r : Harness.report) =
-    List.map
-      (fun (c : Harness.cell) ->
-        ( cell_label c,
-          match c.outcome with
-          | Harness.Rejected e -> "ok:" ^ VE.code e
-          | Harness.Misclassified e -> "wrong:" ^ VE.code e
-          | Harness.Accepted -> "accepted"
-          | Harness.Not_applicable -> "n/a" ))
-      r.cells
-  in
   let a = digest (Harness.run ~seed:42 ()) in
   let b = digest (Harness.run ~seed:42 ()) in
   Alcotest.(check (list (pair string string))) "same seed, same matrix" a b
+
+(* Batched and sequential verification must reach identical verdicts —
+   typed error included — on every cell of the matrix: the batched path's
+   contract is "same accept set, same errors" (any batch rejection falls
+   back to a full sequential pass). Honest fixtures are covered too, via
+   the harness self-check, which also runs batched here. *)
+let test_batch_sequential_equivalence () =
+  let sequential = Harness.run ~seed:23 () in
+  let batched = Harness.run ~batched:true ~seed:23 () in
+  Alcotest.(check (list (pair string string)))
+    "batched matrix == sequential matrix" (digest sequential) (digest batched);
+  Alcotest.(check bool) "batched report ok" true batched.ok
 
 let test_single_scenario_filter () =
   let report = Harness.run ~scenario:"truncate" ~seed:1 () in
@@ -286,6 +313,8 @@ let suite =
           test_attack_matrix;
         Alcotest.test_case "matrix deterministic in seed" `Quick
           test_attack_matrix_deterministic;
+        Alcotest.test_case "batched verdicts match sequential" `Quick
+          test_batch_sequential_equivalence;
         Alcotest.test_case "single-scenario filter" `Quick
           test_single_scenario_filter;
         Alcotest.test_case "every single-byte mutation rejected" `Slow

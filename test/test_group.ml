@@ -83,6 +83,61 @@ let test_hash_to_group (_name, m) () =
   Alcotest.(check bool) "in subgroup" true (P.G.is_one (P.G.pow a P.order));
   Alcotest.(check bool) "not identity" false (P.G.is_one a)
 
+(* e_prod must agree with the naive product of individual pairings —
+   including pairs with an identity argument (they contribute nothing) and
+   the empty product. *)
+let test_multi_pairing (name, m) () =
+  let module P = (val m : Group.Pairing_intf.PAIRING) in
+  let drbg = Drbg.create ~seed:("eprod" ^ name) in
+  Alcotest.(check bool) "empty product" true (P.Gt.is_one (P.e_prod []));
+  let naive ps =
+    List.fold_left (fun acc (p, q) -> P.Gt.mul acc (P.e p q)) P.Gt.one ps
+  in
+  for n = 1 to 6 do
+    let ps = List.init n (fun _ -> (P.rand_g drbg, P.rand_g drbg)) in
+    Alcotest.(check bool)
+      (Printf.sprintf "%d pairs" n)
+      true
+      (P.Gt.equal (P.e_prod ps) (naive ps))
+  done;
+  (* Identity in either slot: the pair must drop out, even mixed in with
+     non-trivial pairs. *)
+  let a = P.rand_g drbg and b = P.rand_g drbg in
+  let inf = P.G.one in
+  List.iter
+    (fun ps ->
+      Alcotest.(check bool) "identity pairs drop out" true
+        (P.Gt.equal (P.e_prod ps) (naive ps)))
+    [ [ (inf, a) ]; [ (a, inf) ];
+      [ (a, b); (inf, b); (b, a) ];
+      [ (inf, inf); (a, b) ] ];
+  (* A pair and its inverse cancel to one. *)
+  Alcotest.(check bool) "cancellation" true
+    (P.Gt.is_one (P.e_prod [ (a, b); (P.G.inv a, b) ]))
+
+(* Regression: Gt.of_bytes must reject encodings outside the order-r
+   subgroup (a raw field element that parses but has x^r <> 1 would let a
+   malicious SP smuggle structure into a c_tilde). *)
+let test_gt_subgroup_membership (name, m) () =
+  let module P = (val m : Group.Pairing_intf.PAIRING) in
+  let drbg = Drbg.create ~seed:("gtsub" ^ name) in
+  let z = P.e (P.rand_g drbg) (P.rand_g drbg) in
+  let len = String.length (P.Gt.to_bytes z) in
+  (match P.Gt.of_bytes (P.Gt.to_bytes z) with
+   | Some z' -> Alcotest.(check bool) "honest roundtrip" true (P.Gt.equal z z')
+   | None -> Alcotest.fail "honest Gt encoding rejected");
+  (* A tiny non-identity element: in range for the raw field parser, but
+     of multiplicative order dividing p^2 - 1, not r. *)
+  let tiny =
+    let b = Bytes.make len '\x00' in
+    Bytes.set b (len - 1) '\x02';
+    Bytes.to_string b
+  in
+  Alcotest.(check bool) "non-subgroup element rejected" true
+    (P.Gt.of_bytes tiny = None);
+  Alcotest.(check bool) "out-of-range bytes rejected" true
+    (P.Gt.of_bytes (String.make len '\xff') = None)
+
 let test_curve_basics () =
   let params = Lazy.force Zkqac_group.Typea_params.tiny in
   let fp = params.fp in
@@ -103,6 +158,10 @@ let suite =
           Alcotest.test_case (name ^ " bilinearity") `Quick (test_bilinearity (name, m));
           Alcotest.test_case (name ^ " gt order") `Quick (test_gt_order (name, m));
           Alcotest.test_case (name ^ " serialization") `Quick (test_serialization (name, m));
+          Alcotest.test_case (name ^ " multi-pairing e_prod") `Quick
+            (test_multi_pairing (name, m));
+          Alcotest.test_case (name ^ " gt subgroup membership") `Quick
+            (test_gt_subgroup_membership (name, m));
           Alcotest.test_case (name ^ " hash to group") `Quick (test_hash_to_group (name, m)) ])
       (backends ())
   in

@@ -43,6 +43,8 @@ let golden =
    zkqac_ops_total{op=\"abs_relax\"} 0\n\
    zkqac_ops_total{op=\"cpabe_encrypt\"} 0\n\
    zkqac_ops_total{op=\"cpabe_decrypt\"} 0\n\
+   zkqac_ops_total{op=\"multi_pairings\"} 0\n\
+   zkqac_ops_total{op=\"multi_pairing_terms\"} 0\n\
    # HELP zkqac_stage_latency_seconds Latency of every closed span, by stage \
    name.\n\
    # TYPE zkqac_stage_latency_seconds summary\n\
