@@ -14,6 +14,8 @@ module Trace = Zkqac_telemetry.Trace
 module Histogram = Zkqac_telemetry.Histogram
 module Alloc = Zkqac_telemetry.Alloc
 module Metrics = Zkqac_telemetry.Metrics
+module Flight = Zkqac_telemetry.Flight
+module Rte = Zkqac_telemetry.Rte
 module Json = Zkqac_telemetry.Json
 module Pool = Zkqac_parallel.Pool
 module Report = Zkqac_bench.Report
@@ -30,6 +32,13 @@ let usage () =
   exit 2
 
 let () =
+  (* A crashing experiment should leave its last moments on disk (or at
+     least on stderr) before the process dies. *)
+  Printexc.set_uncaught_exception_handler (fun e bt ->
+    Flight.emergency ~reason:("uncaught:" ^ Printexc.to_string e);
+    Printf.eprintf "bench: fatal: %s\n%s%!" (Printexc.to_string e)
+      (Printexc.raw_backtrace_to_string bt);
+    exit 125);
   let args = List.tl (Array.to_list Sys.argv) in
   let full = ref false in
   let backend = ref Backend.Mock in
@@ -89,6 +98,9 @@ let () =
        exit 2
      end;
      Trace.enable ());
+  (* GC-pause attribution rides along whenever an output consumer exists:
+     Perfetto GC tracks for --trace, gc-pause metrics for --json. *)
+  if !json_path <> None || !trace_dir <> None then Rte.start ();
   let records = ref [] in
   let t0 = Unix.gettimeofday () in
   List.iter
@@ -156,6 +168,7 @@ let () =
          Trace.reset ());
       Printf.printf "[%s done in %.1fs]\n%!" exp t)
     selected;
+  Rte.stop ();
   if Telemetry.enabled () || !trace_dir <> None then Report.print_histograms ();
   Report.warn_dropped_spans ();
   Printf.printf "\ntotal: %.1fs\n" (Unix.gettimeofday () -. t0);

@@ -117,6 +117,74 @@ let telemetry_overhead () =
          ("instrumented_us_per_verify", Json.Float (per !best_inst));
          ("overhead_percent", Json.Float overhead) ])
 
+(* Overhead of the always-on flight recorder: unlike the telemetry wrapper
+   above, [Flight] records by default, so its cost per instrumented span is
+   what every production run pays. The span fast path with flight enabled
+   does one enabled-load plus a ring write; with flight disabled it is a
+   single branch. Both variants run with telemetry and tracing off, so the
+   difference isolates the recorder itself (target <= 2%). *)
+let flight_overhead () =
+  let module Telemetry = Zkqac_telemetry.Telemetry in
+  let module Trace = Zkqac_telemetry.Trace in
+  let module Flight = Zkqac_telemetry.Flight in
+  let module Json = Zkqac_telemetry.Json in
+  let was_on = Flight.enabled () in
+  let tel_on = Telemetry.enabled () in
+  Telemetry.disable ();
+  Fun.protect
+    ~finally:(fun () ->
+      if was_on then Flight.enable () else Flight.disable ();
+      if tel_on then Telemetry.enable ())
+  @@ fun () ->
+  let module P =
+    (val Zkqac_group.Backend.instantiate Zkqac_group.Backend.Mock)
+  in
+  let module Abs = Zkqac_abs.Abs.Make (P) in
+  let drbg = Drbg.create ~seed:"micro:flight-overhead" in
+  let msk, mvk = Abs.setup drbg in
+  let universe = Universe.create (Universe.roles ~prefix:"R" 10) in
+  let sk = Abs.keygen drbg msk (Universe.attrs universe) in
+  let policy = Expr.of_string "(R0 & R1) | (R2 & R3) | (R4 & R5)" in
+  let msg = "flight-overhead message" in
+  let sigma = Abs.sign drbg mvk sk ~msg ~policy in
+  let run iters =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do
+      Trace.with_span "flight.overhead" ~parent:Trace.none @@ fun _ ->
+      assert (Abs.verify mvk ~msg ~policy sigma)
+    done;
+    Unix.gettimeofday () -. t0
+  in
+  let iters = 400 and blocks = 5 in
+  Flight.disable ();
+  ignore (run 100);
+  Flight.enable ();
+  ignore (run 100);
+  let best_off = ref infinity and best_on = ref infinity in
+  for _ = 1 to blocks do
+    Flight.disable ();
+    best_off := Float.min !best_off (run iters);
+    Flight.enable ();
+    best_on := Float.min !best_on (run iters)
+  done;
+  let per v = v /. float_of_int iters *. 1e6 in
+  let overhead = (!best_on -. !best_off) /. !best_off *. 100. in
+  Report.print_table
+    ~title:"Flight recorder overhead (mock ABS.Verify inside a span)"
+    ~header:[ "variant"; "us/verify"; "overhead" ]
+    [
+      [ "flight disabled"; Printf.sprintf "%.2f" (per !best_off); "-" ];
+      [ "flight enabled"; Printf.sprintf "%.2f" (per !best_on);
+        Printf.sprintf "%+.2f%%" overhead ];
+    ];
+  Report.emit ~series:"flight_overhead"
+    (Json.Obj
+       [ ("iters_per_block", Json.Int iters);
+         ("blocks", Json.Int blocks);
+         ("disabled_us_per_verify", Json.Float (per !best_off));
+         ("enabled_us_per_verify", Json.Float (per !best_on));
+         ("overhead_percent", Json.Float overhead) ])
+
 let micro backends =
   let rows =
     List.concat_map
@@ -139,4 +207,5 @@ let micro backends =
          in
          [ name; pretty ])
        (List.sort compare rows));
-  telemetry_overhead ()
+  telemetry_overhead ();
+  flight_overhead ()

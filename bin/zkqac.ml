@@ -27,17 +27,38 @@ module Ap2g = Zkqac_core.Ap2g.Make (Backend)
 module Vo = Zkqac_core.Vo.Make (Backend)
 module Ads_io = Zkqac_core.Ads_io.Make (Backend)
 
+module Flight = Zkqac_telemetry.Flight
+module Rte = Zkqac_telemetry.Rte
+module Audit = Zkqac_audit.Audit
+module Json = Zkqac_telemetry.Json
+
 let die fmt = Printf.ksprintf (fun s -> prerr_endline ("zkqac: " ^ s); exit 1) fmt
 
 (* Verification failures exit with the error's own code (10..21, one per
    Verify_error constructor) so scripts can tell a completeness gap from a
    bad signature without parsing stderr. *)
 let die_verify (e : Zkqac_util.Verify_error.t) =
+  Flight.trip ~reason:("verify-error:" ^ Zkqac_util.Verify_error.code e);
   prerr_endline
     (Printf.sprintf "zkqac: verification FAILED [%s]: %s"
        (Zkqac_util.Verify_error.code e)
        (Zkqac_util.Verify_error.to_string e));
   exit (Zkqac_util.Verify_error.exit_code e)
+
+(* The flight recorder's last-resort dump paths: SIGUSR1 asks a live process
+   for its recent history; an uncaught exception dumps on the way down. *)
+let () =
+  (match Sys.os_type with
+  | "Unix" ->
+    (try
+       Sys.set_signal Sys.sigusr1
+         (Sys.Signal_handle (fun _ -> Flight.emergency ~reason:"sigusr1"))
+     with Invalid_argument _ | Sys_error _ -> ())
+  | _ -> ());
+  Printexc.set_uncaught_exception_handler (fun exn bt ->
+      Flight.emergency ~reason:("uncaught:" ^ Printexc.to_string exn);
+      Printf.eprintf "Fatal error: exception %s\n%s%!" (Printexc.to_string exn)
+        (Printexc.raw_backtrace_to_string bt))
 
 (* Observability flags, shared by every subcommand:
      --stats       print op counts + stage timings on exit
@@ -64,16 +85,37 @@ let trace_tree_arg =
        & info [ "trace-tree" ]
            ~doc:"Record a hierarchical trace and print the span tree on exit.")
 
-type obs = { stats : bool; trace : string option; trace_tree : bool }
+let audit_arg =
+  Arg.(value & opt (some string) None
+       & info [ "audit" ] ~docv:"FILE"
+           ~doc:"Append every verification decision to a hash-chained audit \
+                 log at $(docv) (created if missing; an existing log is \
+                 re-verified and extended). Check it later with $(b,zkqac \
+                 audit verify).")
 
-let with_obs { stats; trace; trace_tree } f =
+type obs = {
+  stats : bool;
+  trace : string option;
+  trace_tree : bool;
+  audit : string option;
+}
+
+let with_obs { stats; trace; trace_tree; audit } f =
   let module T = Zkqac_telemetry.Telemetry in
   if stats then T.enable ();
   if trace <> None || trace_tree then Trace.enable ();
+  (* GC pause attribution wants the runtime-events monitor; it only runs
+     when some observer (stats, trace) will report what it collects. *)
+  if stats || trace <> None || trace_tree then Rte.start ();
+  (match audit with
+  | Some path -> (match Audit.enable ~path with Ok () -> () | Error e -> die "%s" e)
+  | None -> ());
   let before = if stats then Some (T.snapshot ()) else None in
   Fun.protect
     ~finally:(fun () ->
       Trace.disable ();
+      Rte.stop ();
+      Audit.disable ();
       (match trace with
        | Some path ->
          Trace.write_chrome path;
@@ -84,9 +126,13 @@ let with_obs { stats; trace; trace_tree } f =
             else "")
        | None -> ());
       if trace_tree then Trace.print_tree stdout;
-      match before with
+      (match before with
       | Some before -> T.print stdout (T.diff ~earlier:before ~later:(T.snapshot ()))
-      | None -> ())
+      | None -> ());
+      if stats then
+        Printf.printf
+          "flight recorder: %d event(s) recorded, %d dropped, %d trip(s)\n"
+          (Flight.recorded ()) (Flight.dropped ()) (Flight.trips ()))
     f
 
 let parse_record line =
@@ -183,10 +229,10 @@ let setup_cmd =
   let out = Arg.(value & opt string "ads.zkqac" & info [ "o"; "out" ] ~doc:"Output ADS file.") in
   Cmd.v
     (Cmd.info "setup" ~doc:"Data-owner setup: sign a database into an ADS file.")
-    Term.(const (fun stats trace trace_tree records roles dims depth seed out ->
-              with_obs { stats; trace; trace_tree } (fun () ->
+    Term.(const (fun stats trace trace_tree audit records roles dims depth seed out ->
+              with_obs { stats; trace; trace_tree; audit } (fun () ->
                   setup records roles dims depth seed out))
-          $ stats_arg $ trace_arg $ trace_tree_arg
+          $ stats_arg $ trace_arg $ trace_tree_arg $ audit_arg
           $ records $ roles $ dims $ depth $ seed $ out)
 
 (* --- inspect --- *)
@@ -209,9 +255,9 @@ let inspect path =
 let inspect_cmd =
   let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"ADS") in
   Cmd.v (Cmd.info "inspect" ~doc:"Describe an ADS file.")
-    Term.(const (fun stats trace trace_tree path ->
-              with_obs { stats; trace; trace_tree } (fun () -> inspect path))
-          $ stats_arg $ trace_arg $ trace_tree_arg $ path)
+    Term.(const (fun stats trace trace_tree audit path ->
+              with_obs { stats; trace; trace_tree; audit } (fun () -> inspect path))
+          $ stats_arg $ trace_arg $ trace_tree_arg $ audit_arg $ path)
 
 (* --- query (SP side) --- *)
 
@@ -244,10 +290,11 @@ let query_cmd =
   let out = Arg.(value & opt string "vo.zkqac" & info [ "o"; "out" ] ~doc:"Output VO file.") in
   Cmd.v
     (Cmd.info "query" ~doc:"Service-provider side: answer a range query with a VO.")
-    Term.(const (fun stats trace trace_tree path roles range out ->
-              with_obs { stats; trace; trace_tree } (fun () ->
+    Term.(const (fun stats trace trace_tree audit path roles range out ->
+              with_obs { stats; trace; trace_tree; audit } (fun () ->
                   query path roles range out))
-          $ stats_arg $ trace_arg $ trace_tree_arg $ path $ roles $ range $ out)
+          $ stats_arg $ trace_arg $ trace_tree_arg $ audit_arg $ path $ roles
+          $ range $ out)
 
 (* --- verify (user side) --- *)
 
@@ -259,22 +306,47 @@ let verify ?(batch = true) path vo_path roles range =
     let space = Ap2g.space tree in
     let box = parse_range ~dims:(Keyspace.dims space) range in
     let vo_bytes = read_file vo_path in
+    let fallbacks0 = Zkqac_telemetry.Metrics.batch_fallbacks () in
+    (* Mirrors the audit entry System.open_and_verify writes: the CLI path
+       verifies raw VO bytes without an envelope, but an auditor still gets
+       query, digest, path and outcome for every decision. *)
+    let record_audit ~outcome ~rows =
+      if Audit.enabled () then
+        Audit.record ~kind:"verify"
+          (Json.Obj
+             [ ("query", Json.Str (Box.to_string box));
+               ("vo_digest", Json.Str (Zkqac_hashing.Sha256.hex vo_bytes));
+               ("vo_bytes", Json.Int (String.length vo_bytes));
+               ( "path",
+                 Json.Str
+                   (if not batch then "sequential"
+                    else if Zkqac_telemetry.Metrics.batch_fallbacks () > fallbacks0
+                    then "batch-fallback"
+                    else "batch") );
+               ("outcome", Json.Str outcome);
+               ("rows", Json.Int rows) ])
+    in
+    let fail e =
+      record_audit ~outcome:(Zkqac_util.Verify_error.code e) ~rows:0;
+      die_verify e
+    in
     (* Batch weights derived from the VO bytes: whoever produced the VO
        committed to it before the weights existed. *)
-    let batch =
+    let batch_drbg =
       if batch then
         Some (Zkqac_hashing.Drbg.create ~seed:("zkqac-cli-batch:" ^ vo_bytes))
       else None
     in
     (match Vo.decode vo_bytes with
-     | Error e -> die_verify e
+     | Error e -> fail e
      | Ok vo ->
        (match
-          Ap2g.verify ?batch ~mvk ~t_universe:(Ap2g.universe tree)
+          Ap2g.verify ?batch:batch_drbg ~mvk ~t_universe:(Ap2g.universe tree)
             ?hierarchy:(Ap2g.hierarchy tree) ~user ~query:box vo
         with
-        | Error e -> die_verify e
+        | Error e -> fail e
         | Ok results ->
+          record_audit ~outcome:"ok" ~rows:(List.length results);
           Printf.printf "verification OK: %d accessible record(s)\n" (List.length results);
           List.iter
             (fun (r : Record.t) ->
@@ -301,10 +373,11 @@ let verify_cmd =
   in
   Cmd.v
     (Cmd.info "verify" ~doc:"User side: check a VO for soundness and completeness.")
-    Term.(const (fun stats trace trace_tree batch path vo roles range ->
-              with_obs { stats; trace; trace_tree } (fun () ->
+    Term.(const (fun stats trace trace_tree audit batch path vo roles range ->
+              with_obs { stats; trace; trace_tree; audit } (fun () ->
                   verify ~batch path vo roles range))
-          $ stats_arg $ trace_arg $ trace_tree_arg $ batch $ path $ vo $ roles $ range)
+          $ stats_arg $ trace_arg $ trace_tree_arg $ audit_arg $ batch $ path
+          $ vo $ roles $ range)
 
 (* --- attack (fault-injection harness) --- *)
 
@@ -345,10 +418,11 @@ let attack_cmd =
              tamper scenario to equality, range, kd and join query responses \
              and assert the client rejects each with the expected typed \
              error. Exits non-zero if any attack survives.")
-    Term.(const (fun stats trace trace_tree seed scenario out ->
-              with_obs { stats; trace; trace_tree } (fun () ->
+    Term.(const (fun stats trace trace_tree audit seed scenario out ->
+              with_obs { stats; trace; trace_tree; audit } (fun () ->
                   attack seed scenario out))
-          $ stats_arg $ trace_arg $ trace_tree_arg $ seed $ scenario $ out)
+          $ stats_arg $ trace_arg $ trace_tree_arg $ audit_arg $ seed $ scenario
+          $ out)
 
 (* --- metrics --- *)
 
@@ -356,12 +430,16 @@ let metrics fmt seed out =
   let module T = Zkqac_telemetry.Telemetry in
   let module Metrics = Zkqac_telemetry.Metrics in
   T.enable ();
+  Rte.start ();
   (* One adversarial sweep touches every metric family: PAIRING-boundary op
      counts, per-stage latency and allocation attribution, and typed
      verifier rejections. *)
   let (_ : Harness.report) =
     try Harness.run ~seed () with Invalid_argument msg -> die "%s" msg
   in
+  (* Quiesce the runtime-events monitor so the exposition includes every GC
+     pause the sweep caused. *)
+  Rte.stop ();
   let text =
     match fmt with
     | `Prometheus -> Metrics.to_prometheus ()
@@ -395,6 +473,82 @@ let metrics_cmd =
              latency summaries, GC/allocation attribution, trace health and \
              verifier rejection counts.")
     Term.(const metrics $ fmt $ seed $ out)
+
+(* --- audit (hash-chained log tooling) --- *)
+
+let audit_verify path quiet =
+  match Audit.verify_file path with
+  | Error b ->
+    prerr_endline
+      (Printf.sprintf "zkqac: audit chain BROKEN at entry %d: %s" b.Audit.entry
+         b.Audit.reason);
+    exit 1
+  | Ok entries ->
+    let n = List.length entries in
+    let kinds = Hashtbl.create 8 in
+    List.iter
+      (fun (e : Audit.entry) ->
+        Hashtbl.replace kinds e.Audit.kind
+          (1 + Option.value ~default:0 (Hashtbl.find_opt kinds e.Audit.kind)))
+      entries;
+    let head =
+      match List.rev entries with
+      | e :: _ -> String.sub e.Audit.hash 0 12
+      | [] -> "(empty)"
+    in
+    Printf.printf "audit chain OK: %d entr%s, head %s\n" n
+      (if n = 1 then "y" else "ies")
+      head;
+    if not quiet then
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) kinds []
+      |> List.sort compare
+      |> List.iter (fun (k, v) -> Printf.printf "  %-16s %d\n" k v)
+
+let audit_show path =
+  match Audit.verify_file path with
+  | Error b ->
+    prerr_endline
+      (Printf.sprintf "zkqac: audit chain BROKEN at entry %d: %s" b.Audit.entry
+         b.Audit.reason);
+    exit 1
+  | Ok entries ->
+    List.iter
+      (fun (e : Audit.entry) ->
+        Printf.printf "#%-5d %s  %-14s %s  %s\n" e.Audit.seq
+          (Audit.pp_time e.Audit.time) e.Audit.kind
+          (String.sub e.Audit.hash 0 12)
+          (Json.to_string e.Audit.body))
+      entries
+
+let audit_path_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"LOG"
+         ~doc:"Audit log produced with --audit.")
+
+let audit_verify_cmd =
+  let quiet =
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Only print the verdict line.")
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Re-derive every hash link of an audit log from the bytes on \
+             disk. Exits 1 naming the first broken entry if any byte of the \
+             log was altered.")
+    Term.(const audit_verify $ audit_path_arg $ quiet)
+
+let audit_show_cmd =
+  Cmd.v
+    (Cmd.info "show"
+       ~doc:"Verify the chain, then print every entry (sequence, UTC time, \
+             kind, chain-hash prefix, body).")
+    Term.(const audit_show $ audit_path_arg)
+
+let audit_cmd =
+  Cmd.group
+    (Cmd.info "audit"
+       ~doc:"Tamper-evident audit-log tooling: every entry is hash-chained \
+             to its predecessor, so any modification of a recorded log is \
+             detectable offline.")
+    [ audit_show_cmd; audit_verify_cmd ]
 
 (* --- bench (BENCH.json tooling) --- *)
 
@@ -483,9 +637,9 @@ let demo () =
 
 let demo_cmd =
   Cmd.v (Cmd.info "demo" ~doc:"Self-contained end-to-end demonstration.")
-    Term.(const (fun stats trace trace_tree ->
-              with_obs { stats; trace; trace_tree } demo)
-          $ stats_arg $ trace_arg $ trace_tree_arg)
+    Term.(const (fun stats trace trace_tree audit ->
+              with_obs { stats; trace; trace_tree; audit } demo)
+          $ stats_arg $ trace_arg $ trace_tree_arg $ audit_arg)
 
 let () =
   let info =
@@ -496,4 +650,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ setup_cmd; inspect_cmd; query_cmd; verify_cmd; attack_cmd;
-            metrics_cmd; bench_cmd; demo_cmd ]))
+            audit_cmd; metrics_cmd; bench_cmd; demo_cmd ]))

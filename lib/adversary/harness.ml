@@ -5,6 +5,9 @@ module Drbg = Zkqac_hashing.Drbg
 module Prng = Zkqac_rng.Prng
 module VE = Zkqac_util.Verify_error
 module Wire = Zkqac_util.Wire
+module Audit = Zkqac_audit.Audit
+module Json = Zkqac_telemetry.Json
+module Flight = Zkqac_telemetry.Flight
 module Box = Zkqac_core.Box
 module Keyspace = Zkqac_core.Keyspace
 module Record = Zkqac_core.Record
@@ -746,6 +749,22 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
                     if Scenario.expected sc.Scenario.name e then Rejected e
                     else Misclassified e)
               in
+              (match outcome with
+              | Rejected e | Misclassified e ->
+                Flight.record ~cat:"verdict" ~detail:(VE.code e)
+                  ("attack:" ^ sc.Scenario.name)
+              | Accepted | Not_applicable -> ());
+              (* Expected rejections are the sweep working as designed; only
+                 a survivor or a wrong classification is a forensic event
+                 worth a flight dump. *)
+              (match outcome with
+              | Accepted ->
+                Flight.trip ~reason:("attack-accepted:" ^ sc.Scenario.name)
+              | Misclassified e ->
+                Flight.trip
+                  ~reason:
+                    ("attack-misclassified:" ^ sc.Scenario.name ^ ":" ^ VE.code e)
+              | Rejected _ | Not_applicable -> ());
               { scenario = sc; kind = tgt.kind; outcome })
             targets)
         scenarios
@@ -758,6 +777,45 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
           | Accepted | Misclassified _ -> false)
         cells
     in
+    (* With an audit sink enabled, every cell becomes one chained entry and
+       the sweep closes with a summary whose counts must reconcile with the
+       rendered matrix footer — CI cross-checks exactly that. *)
+    if Audit.enabled () then begin
+      let outcome_name = function
+        | Rejected _ -> "rejected"
+        | Misclassified _ -> "misclassified"
+        | Accepted -> "accepted"
+        | Not_applicable -> "not-applicable"
+      in
+      List.iter
+        (fun c ->
+          let error =
+            match c.outcome with
+            | Rejected e | Misclassified e -> VE.code e
+            | Accepted | Not_applicable -> ""
+          in
+          Audit.record ~kind:"attack"
+            (Json.Obj
+               [ ("scenario", Json.Str c.scenario.Scenario.name);
+                 ("query", Json.Str (kind_name c.kind));
+                 ("batched", Json.Bool batched);
+                 ("outcome", Json.Str (outcome_name c.outcome));
+                 ("error", Json.Str error) ]))
+        cells;
+      let count p = List.length (List.filter (fun c -> p c.outcome) cells) in
+      Audit.record ~kind:"attack-summary"
+        (Json.Obj
+           [ ("seed", Json.Int seed);
+             ("batched", Json.Bool batched);
+             ("cells", Json.Int (List.length cells));
+             ( "applied",
+               Json.Int (count (function Not_applicable -> false | _ -> true)) );
+             ("rejected", Json.Int (count (function Rejected _ -> true | _ -> false)));
+             ("accepted", Json.Int (count (function Accepted -> true | _ -> false)));
+             ( "misclassified",
+               Json.Int (count (function Misclassified _ -> true | _ -> false)) );
+             ("ok", Json.Bool ok) ])
+    end;
     { seed; cells; ok }
 
   (* --- matrix rendering --- *)

@@ -1,0 +1,177 @@
+(* Append-only hash-chained audit log.
+
+   The chain hashes the exact bytes written to disk: each entry line is
+   "<hash-hex> <json>" and hash = SHA-256(prev_hash_hex ^ "\n" ^ json).
+   Verification therefore needs no JSON canonicalization — it re-hashes the
+   payload substring as stored, so any single byte flip (in a hash, a
+   payload, a space, a newline) breaks exactly one link and is reported as
+   the first broken entry. *)
+
+module Sha256 = Zkqac_hashing.Sha256
+module Json = Zkqac_telemetry.Json
+
+type entry = { seq : int; time : float; kind : string; body : Json.t; hash : string }
+type broken = { entry : int; reason : string }
+
+let magic = "# zkqac-audit/1"
+let genesis = Sha256.hex magic
+
+let payload_string ~seq ~time ~kind body =
+  Json.to_string
+    (Json.Obj
+       [ ("seq", Json.Int seq);
+         ("time", Json.Float time);
+         ("kind", Json.Str kind);
+         ("body", body) ])
+
+let link ~prev payload = Sha256.hex (prev ^ "\n" ^ payload)
+
+(* --- parsing one stored line --- *)
+
+let is_hex c = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')
+
+let parse_line ~index line =
+  let fail reason = Error { entry = index; reason } in
+  if String.length line < 66 then fail "line too short for a chain entry"
+  else
+    let hash = String.sub line 0 64 in
+    if not (String.for_all is_hex hash) then fail "chain hash is not lowercase hex"
+    else if line.[64] <> ' ' then fail "missing separator after chain hash"
+    else
+      let payload = String.sub line 65 (String.length line - 65) in
+      match Json.of_string payload with
+      | Error e -> fail ("entry payload is not valid JSON: " ^ e)
+      | Ok (Json.Obj fields) -> (
+          let find k = List.assoc_opt k fields in
+          match (find "seq", find "time", find "kind", find "body") with
+          | Some (Json.Int seq), Some t, Some (Json.Str kind), Some body ->
+              let time =
+                match t with Json.Float f -> f | Json.Int i -> float_of_int i | _ -> nan
+              in
+              if Float.is_nan time then fail "entry time is not a number"
+              else Ok ({ seq; time; kind; body; hash }, payload)
+          | _ -> fail "entry payload is missing seq/time/kind/body")
+      | Ok _ -> fail "entry payload is not a JSON object"
+
+(* --- offline verification --- *)
+
+let read_lines path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+let verify_file path =
+  match read_lines path with
+  | [] -> Error { entry = 0; reason = "empty file: missing header line" }
+  | header :: rest ->
+      if header <> magic then
+        Error { entry = 0; reason = Printf.sprintf "bad header (expected %S)" magic }
+      else
+        let rec go index prev acc = function
+          | [] -> Ok (List.rev acc)
+          | line :: tl -> (
+              match parse_line ~index line with
+              | Error e -> Error e
+              | Ok (e, payload) ->
+                  if e.hash <> link ~prev payload then
+                    Error
+                      {
+                        entry = index;
+                        reason = "chain hash mismatch: entry or its predecessor was altered";
+                      }
+                  else if e.seq <> index then
+                    Error
+                      {
+                        entry = index;
+                        reason =
+                          Printf.sprintf "sequence gap: entry claims seq %d at position %d"
+                            e.seq index;
+                      }
+                  else go (index + 1) e.hash (e :: acc) tl)
+        in
+        go 0 genesis [] rest
+
+(* --- global sink --- *)
+
+type sink = { oc : out_channel; spath : string; mutable prev : string; mutable next_seq : int }
+
+let sink_lock = Mutex.create ()
+let sink : sink option ref = ref None
+
+let disable () =
+  Mutex.lock sink_lock;
+  (match !sink with
+  | Some s ->
+      (try close_out s.oc with Sys_error _ -> ());
+      sink := None
+  | None -> ());
+  Mutex.unlock sink_lock
+
+let enable ~path =
+  disable ();
+  let resume =
+    if Sys.file_exists path then
+      match verify_file path with
+      | Ok entries ->
+          let prev = match List.rev entries with e :: _ -> e.hash | [] -> genesis in
+          Ok (prev, List.length entries)
+      | Error b ->
+          Error
+            (Printf.sprintf "refusing to append to corrupted audit log %s (entry %d: %s)"
+               path b.entry b.reason)
+    else Ok (genesis, -1)
+  in
+  match resume with
+  | Error _ as e -> e
+  | Ok (prev, n) -> (
+      try
+        let fresh = n < 0 in
+        let oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path in
+        if fresh then (
+          output_string oc (magic ^ "\n");
+          flush oc);
+        Mutex.lock sink_lock;
+        sink := Some { oc; spath = path; prev; next_seq = max n 0 };
+        Mutex.unlock sink_lock;
+        Ok ()
+      with Sys_error e -> Error ("cannot open audit log: " ^ e))
+
+let enabled () =
+  Mutex.lock sink_lock;
+  let r = !sink <> None in
+  Mutex.unlock sink_lock;
+  r
+
+let path () =
+  Mutex.lock sink_lock;
+  let r = match !sink with Some s -> Some s.spath | None -> None in
+  Mutex.unlock sink_lock;
+  r
+
+let record ?time ~kind body =
+  Mutex.lock sink_lock;
+  (match !sink with
+  | None -> ()
+  | Some s ->
+      let time = match time with Some t -> t | None -> Unix.gettimeofday () in
+      let payload = payload_string ~seq:s.next_seq ~time ~kind body in
+      let h = link ~prev:s.prev payload in
+      (try
+         output_string s.oc (h ^ " " ^ payload ^ "\n");
+         flush s.oc;
+         s.prev <- h;
+         s.next_seq <- s.next_seq + 1
+       with Sys_error _ -> ()));
+  Mutex.unlock sink_lock
+
+let pp_time t =
+  let tm = Unix.gmtime t in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec

@@ -1,0 +1,69 @@
+(** Append-only, hash-chained audit log.
+
+    Every [System.open_and_verify] decision (and every attack-harness cell)
+    can be recorded as one line of an audit log whose integrity is
+    verifiable offline — the paper's tamper-evidence mindset applied to our
+    own operational record.
+
+    {2 Chain format}
+
+    Line 0 is the header ["# zkqac-audit/1"]. Every subsequent line is
+
+    {v <hash-hex> <json> v}
+
+    where [<json>] is [{"seq": n, "time": unix_seconds, "kind": k,
+    "body": ...}] and [<hash-hex>] is
+    [sha256_hex (prev_hash_hex ^ "\n" ^ <json>)]; the previous hash of
+    entry 0 is [sha256_hex (header_line)]. Hashes cover the exact bytes on
+    disk (not a re-serialization), so verification has no canonicalization
+    step: flip any byte of any line — hash, payload, or separator — and
+    {!verify_file} reports the first entry whose link no longer checks. *)
+
+module Json = Zkqac_telemetry.Json
+
+type entry = {
+  seq : int;
+  time : float;  (** Unix wall-clock seconds at record time *)
+  kind : string;  (** e.g. "verify", "attack", "attack-summary" *)
+  body : Json.t;
+  hash : string;  (** this entry's chain hash, 64 hex chars *)
+}
+
+type broken = {
+  entry : int;
+      (** 0-based index of the first entry that fails; a corrupted header
+          reports entry 0 *)
+  reason : string;
+}
+
+val magic : string
+(** The header line content. *)
+
+(** {1 Global sink} *)
+
+val enable : path:string -> (unit, string) result
+(** Open (or create) an audit log at [path] and route {!record} to it. If
+    the file exists, its chain is re-verified first and appending resumes
+    from the tail hash; a corrupted existing log is refused. *)
+
+val disable : unit -> unit
+(** Flush and close the sink. Idempotent. *)
+
+val enabled : unit -> bool
+val path : unit -> string option
+
+val record : ?time:float -> kind:string -> Json.t -> unit
+(** Append one entry (no-op when no sink is enabled). [time] defaults to
+    [Unix.gettimeofday ()]; tests pin it for determinism. Entries are
+    flushed line-by-line so a crash loses at most the entry being
+    written. *)
+
+(** {1 Offline verification} *)
+
+val verify_file : string -> (entry list, broken) result
+(** Walk the whole file, re-deriving every chain hash from the bytes on
+    disk, and return the entries oldest-first — or the first broken
+    link. *)
+
+val pp_time : float -> string
+(** ["YYYY-MM-DDTHH:MM:SSZ"] (UTC), for [zkqac audit show]. *)

@@ -115,35 +115,89 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
 
   let open_and_verify_v ?(batch = true) user ~query response =
     Trace.with_span "system.open_and_verify" ~parent:Trace.none @@ fun ctx ->
-    let fail e =
-      Trace.set_attr ctx "verify_error"
-        (Trace.Str (Zkqac_util.Verify_error.code e));
-      Zkqac_telemetry.Metrics.rejection (Zkqac_util.Verify_error.code e);
+    let module Tel = Zkqac_telemetry.Telemetry in
+    let module Flight = Zkqac_telemetry.Flight in
+    let module Metrics = Zkqac_telemetry.Metrics in
+    let module Json = Zkqac_telemetry.Json in
+    let module Audit = Zkqac_audit.Audit in
+    let t_start = Tel.now_ns () in
+    let open_ms = ref 0.0 and decode_ms = ref 0.0 and verify_ms = ref 0.0 in
+    let timed cell f =
+      let t0 = Tel.now_ns () in
+      let r = f () in
+      cell := Int64.to_float (Int64.sub (Tel.now_ns ()) t0) /. 1e6;
+      r
+    in
+    let fallbacks0 = Metrics.batch_fallbacks () in
+    (* Every decision — acceptance or typed rejection — leaves a verdict in
+       the flight recorder and, when a sink is enabled, one hash-chained
+       audit entry carrying the evidence an offline auditor needs: what was
+       verified, under which batch path, and how long each stage took. *)
+    let conclude ~outcome ~vo_digest ~vo_bytes ~vo_entries ~rows =
+      let total_ms = Int64.to_float (Int64.sub (Tel.now_ns ()) t_start) /. 1e6 in
+      Flight.record ~cat:"verdict" ~detail:outcome ~v:rows "system.open_and_verify";
+      if Audit.enabled () then begin
+        let path =
+          if not batch then "sequential"
+          else if Metrics.batch_fallbacks () > fallbacks0 then "batch-fallback"
+          else "batch"
+        in
+        Audit.record ~kind:"verify"
+          (Json.Obj
+             [ ("query", Json.Str (Box.to_string query));
+               ("vo_digest", Json.Str vo_digest);
+               ("vo_bytes", Json.Int vo_bytes);
+               ("vo_entries", Json.Int vo_entries);
+               ("path", Json.Str path);
+               ("outcome", Json.Str outcome);
+               ("rows", Json.Int rows);
+               ( "stages_ms",
+                 Json.Obj
+                   [ ("envelope_open", Json.Float !open_ms);
+                     ("vo_decode", Json.Float !decode_ms);
+                     ("vo_verify", Json.Float !verify_ms);
+                     ("total", Json.Float total_ms) ] ) ])
+      end
+    in
+    let fail ?(vo_digest = "") ?(vo_bytes = 0) ?(vo_entries = 0) e =
+      let code = Zkqac_util.Verify_error.code e in
+      Trace.set_attr ctx "verify_error" (Trace.Str code);
+      Metrics.rejection code;
+      conclude ~outcome:code ~vo_digest ~vo_bytes ~vo_entries ~rows:0;
+      Flight.trip ~reason:("verify-error:" ^ code);
       Error e
     in
     if not (Box.equal query response.query) then
       fail Zkqac_util.Verify_error.Query_mismatch
     else begin
-      match Envelope.open_result user.user_pp user.cpabe_sk response.sealed with
+      match
+        timed open_ms (fun () ->
+            Envelope.open_result user.user_pp user.cpabe_sk response.sealed)
+      with
       | Error e -> fail e
       | Ok payload ->
-        (match Vo.decode payload with
-         | Error e -> fail e
+        let vo_digest = Zkqac_hashing.Sha256.hex payload in
+        let vo_bytes = String.length payload in
+        (match timed decode_ms (fun () -> Vo.decode payload) with
+         | Error e -> fail ~vo_digest ~vo_bytes e
          | Ok vo ->
+           let vo_entries = List.length vo in
            (* Batch weights may be derived deterministically from the
               payload: the server commits to the VO before the weights
               exist, which is the soundness requirement of small-exponent
               batching. *)
-           let batch =
+           let batch_drbg =
              if batch then
                Some (Drbg.create ~seed:("zkqac-system-batch:" ^ payload))
              else None
            in
            (match
-              Ap2g.verify ?batch ~mvk:user.user_mvk ~t_universe:user.user_universe
-                ?hierarchy:user.user_hierarchy ~user:user.roles ~query vo
+              timed verify_ms (fun () ->
+                  Ap2g.verify ?batch:batch_drbg ~mvk:user.user_mvk
+                    ~t_universe:user.user_universe ?hierarchy:user.user_hierarchy
+                    ~user:user.roles ~query vo)
             with
-            | Error e -> fail e
+            | Error e -> fail ~vo_digest ~vo_bytes ~vo_entries e
             | Ok records ->
               let results =
                 List.map
@@ -157,7 +211,9 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
                   records
               in
               Trace.set_attr ctx "result_rows" (Trace.Int (List.length results));
-              Ok { results; vo_entries = List.length vo; vo_size = String.length payload }))
+              conclude ~outcome:"ok" ~vo_digest ~vo_bytes ~vo_entries
+                ~rows:(List.length results);
+              Ok { results; vo_entries; vo_size = vo_bytes }))
     end
 
   let open_and_verify ?batch user ~query response =

@@ -167,6 +167,9 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
              error (and exit code) as the unbatched path. The blanket
              error below is only reachable if the sequential pass accepts
              what the batch rejected — a ~1/order coincidence. *)
+          Zkqac_telemetry.Metrics.batch_fallback ();
+          Zkqac_telemetry.Flight.record ~cat:"verdict" ~detail:"batch-rejected"
+            "vo.batch_fallback";
           match verify ~clip ~mvk ~binding ~super_policy ~user ~query vo with
           | Error e -> fail e
           | Ok _ -> fail (Bad_aps_signature "batched APS verification")

@@ -39,7 +39,11 @@ let map_results ~threads jobs =
   let run j =
     match j () with
     | v -> Ok v
-    | exception e -> Error (e, Printexc.get_raw_backtrace ())
+    | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      Zkqac_telemetry.Flight.record ~cat:"pool"
+        ~detail:(Printexc.to_string e) "pool.job_failed";
+      Error (e, bt)
   in
   if threads <= 1 || n <= 1 then Array.to_list (Array.map run jobs)
   else begin
@@ -52,6 +56,9 @@ let map_results ~threads jobs =
        [k*n/threads, (k+1)*n/threads). A failing job is recorded in place and
        the slice keeps going: callers get every job's outcome. *)
     let worker k () =
+      (* Let the runtime-events monitor map this domain's ring slot to its
+         id, so its GC pauses are attributed to the right worker. *)
+      Zkqac_telemetry.Rte.announce ();
       (* Parent the worker's span on the caller's [pool.map] span so jobs
          running on this domain show up under the query that spawned them. *)
       Trace.with_span "pool.worker" ~parent:ctx
@@ -80,7 +87,12 @@ let map ~threads jobs =
   let rec extract acc = function
     | [] -> List.rev acc
     | Ok v :: rest -> extract (v :: acc) rest
-    | Error (e, bt) :: _ -> Printexc.raise_with_backtrace (Job_failed e) bt
+    | Error (e, bt) :: _ ->
+      (* An uncaught worker exception is exactly the post-mortem the flight
+         recorder exists for: dump before the failure propagates. *)
+      Zkqac_telemetry.Flight.trip
+        ~reason:("pool-job-failure:" ^ Printexc.to_string e);
+      Printexc.raise_with_backtrace (Job_failed e) bt
   in
   extract [] results
 

@@ -87,6 +87,13 @@ let rejections =
 
 let rejection code = inc rejections [ ("code", code) ]
 
+let batch_fallbacks_f =
+  counter ~name:"zkqac_batch_fallbacks_total"
+    ~help:"Batched VO verifications that fell back to the sequential path."
+
+let batch_fallback () = inc batch_fallbacks_f []
+let batch_fallbacks () = get batch_fallbacks_f []
+
 let () =
   (* Group/scheme operation counts at the PAIRING boundary. *)
   register (fun () ->
@@ -173,6 +180,86 @@ let () =
           kind = Gauge;
           help = "Spans discarded because the trace capacity bound was hit.";
           samples = [ sample (float_of_int (Trace.dropped ())) ];
+        } ]);
+  (* Flight-recorder health. Registered here rather than in Flight so the
+     recorder itself stays dependency-free; samples are unconditional
+     because the recorder is always on. *)
+  register (fun () ->
+      [ {
+          name = "zkqac_flight_events_total";
+          kind = Counter;
+          help = "Structured events recorded by the always-on flight recorder.";
+          samples = [ sample (float_of_int (Flight.recorded ())) ];
+        };
+        {
+          name = "zkqac_flight_dropped_events_total";
+          kind = Counter;
+          help = "Flight-recorder events overwritten by ring-buffer wraparound.";
+          samples = [ sample (float_of_int (Flight.dropped ())) ];
+        };
+        {
+          name = "zkqac_flight_trips_total";
+          kind = Counter;
+          help = "Flight-recorder dump triggers (verify errors, pool failures, signals).";
+          samples = [ sample (float_of_int (Flight.trips ())) ];
+        } ]);
+  (* GC pause attribution from the runtime-events bridge. Registered here
+     (not in Rte) because Rte cannot depend on Metrics: Metrics pulls from
+     Trace, which feeds Rte's stage table. Samples appear only once the
+     monitor has observed pauses, so expositions without Rte running are
+     unchanged. *)
+  register (fun () ->
+      let doms = Rte.domain_snapshot () in
+      let totals =
+        List.concat_map
+          (fun (d : Rte.dom_stats) ->
+            let l = [ ("domain", d.Rte.label) ] in
+            (if d.Rte.minor_n = 0 then []
+             else [ sample ~labels:(l @ [ ("gc", "minor") ]) d.Rte.minor_s ])
+            @
+            if d.Rte.major_n = 0 then []
+            else [ sample ~labels:(l @ [ ("gc", "major") ]) d.Rte.major_s ])
+          doms
+      and maxima =
+        List.concat_map
+          (fun (d : Rte.dom_stats) ->
+            let l = [ ("domain", d.Rte.label) ] in
+            (if d.Rte.minor_n = 0 then []
+             else [ sample ~labels:(l @ [ ("gc", "minor") ]) d.Rte.minor_max_s ])
+            @
+            if d.Rte.major_n = 0 then []
+            else [ sample ~labels:(l @ [ ("gc", "major") ]) d.Rte.major_max_s ])
+          doms
+      in
+      [ {
+          name = "zkqac_gc_pause_seconds_total";
+          kind = Counter;
+          help = "GC pause time observed via runtime events, by domain and collector.";
+          samples = totals;
+        };
+        {
+          name = "zkqac_gc_pause_seconds_max";
+          kind = Gauge;
+          help = "Longest single GC pause observed, by domain and collector.";
+          samples = maxima;
+        } ]);
+  register (fun () ->
+      let samples =
+        List.concat_map
+          (fun (stage, (_, minor_s, major_s)) ->
+            let l = [ ("stage", stage) ] in
+            (if minor_s = 0.0 then []
+             else [ sample ~labels:(l @ [ ("gc", "minor") ]) minor_s ])
+            @
+            if major_s = 0.0 then []
+            else [ sample ~labels:(l @ [ ("gc", "major") ]) major_s ])
+          (Rte.stage_snapshot ())
+      in
+      [ {
+          name = "zkqac_stage_gc_pause_seconds_total";
+          kind = Counter;
+          help = "GC pause time absorbed by closed spans, by stage and collector.";
+          samples;
         } ])
 
 let reset () =

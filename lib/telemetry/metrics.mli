@@ -17,6 +17,14 @@
     - [zkqac_domain_alloc_words_total{domain,heap}] — GC words per domain
     - [zkqac_trace_dropped_spans] — spans lost to the trace capacity bound
     - [zkqac_verify_rejections_total{code}] — typed verifier rejections
+    - [zkqac_batch_fallbacks_total] — batched verifications that re-ran
+      sequentially
+    - [zkqac_flight_events_total] / [zkqac_flight_dropped_events_total] /
+      [zkqac_flight_trips_total] — flight-recorder health ({!Flight})
+    - [zkqac_gc_pause_seconds_total{domain,gc}] /
+      [zkqac_gc_pause_seconds_max{domain,gc}] /
+      [zkqac_stage_gc_pause_seconds_total{stage,gc}] — GC pauses observed
+      by the runtime-events bridge ({!Rte}); present only when it ran
 
     Other libraries may add their own sources with {!register} /
     {!register_gauge} (e.g. [Zkqac_parallel.Pool] registers its
@@ -65,6 +73,13 @@ val rejection : string -> unit
 (** [rejection code] counts one verifier rejection under the stable
     [Verify_error] code string (feeds
     [zkqac_verify_rejections_total{code}]). *)
+
+val batch_fallback : unit -> unit
+(** Count one batched-verification fallback to the sequential path (feeds
+    [zkqac_batch_fallbacks_total]; sampled around [System.open_and_verify]
+    to tell the audit log which path produced a verdict). *)
+
+val batch_fallbacks : unit -> int
 
 (** {1 Export} *)
 

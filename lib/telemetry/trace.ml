@@ -112,7 +112,19 @@ let set_attr ctx k v = set_attrs ctx [ (k, v) ]
 
 let with_span ?parent ?(attrs = []) name f =
   let tracing = Atomic.get on in
-  if not (tracing || Atomic.get Switch.telemetry_on) then f none
+  if not (tracing || Atomic.get Switch.telemetry_on) then
+    if not (Flight.enabled ()) then f none
+    else begin
+      (* Tracing and telemetry are off, but the flight recorder still wants
+         the span close: two clock reads and one ring store per span. *)
+      let t0 = now_ns () in
+      Fun.protect
+        ~finally:(fun () ->
+          Flight.record ~cat:"span"
+            ~v:(Int64.to_int (Int64.sub (now_ns ()) t0))
+            name)
+        (fun () -> f none)
+    end
   else begin
     let d = Domain.DLS.get dls in
     let parent_id =
@@ -137,6 +149,7 @@ let with_span ?parent ?(attrs = []) name f =
        the close-time deltas attribute this span's allocation to its stage
        (inclusive of children, like wall time). *)
     let mi0, pr0, ma0 = Gc.counters () in
+    let gc_mark = Rte.pause_mark () in
     Fun.protect
       ~finally:(fun () ->
         sp.t1 <- now_ns ();
@@ -147,6 +160,8 @@ let with_span ?parent ?(attrs = []) name f =
         let mi1, pr1, ma1 = Gc.counters () in
         Alloc.note name ~minor:(mi1 -. mi0) ~promoted:(pr1 -. pr0)
           ~major:(ma1 -. ma0);
+        Rte.note_stage name gc_mark;
+        Flight.record ~cat:"span" ~v:ns name;
         if Atomic.get Switch.telemetry_on then
           stage_record name (float_of_int ns *. 1e-9))
       (fun () -> f (Some sp))
@@ -265,8 +280,43 @@ let chrome_json () =
                  else [ ("parent", Json.Int s.span_parent) ])
             @ List.map (fun (k, v) -> (k, value_json v)) s.span_attrs) ) ]
   in
+  (* GC pause slices from the runtime-events bridge ride along as extra
+     tracks (tid 1000+domain), so pauses line up under the spans that
+     absorbed them. Both clocks are CLOCK_MONOTONIC, so subtracting the
+     trace epoch aligns them; slices from before [enable] are dropped. *)
+  let zero = Atomic.get t_zero in
+  let gc_slices = List.filter (fun s -> s.Rte.sl_t0 >= zero) (Rte.slices ()) in
+  let gc_tid (s : Rte.slice) =
+    1000 + (if s.sl_domain >= 0 then s.sl_domain else 100 + s.sl_ring)
+  in
+  let gc_meta =
+    List.sort_uniq compare (List.map gc_tid gc_slices)
+    |> List.map (fun tid ->
+           Json.Obj
+             [ ("name", Json.Str "thread_name");
+               ("ph", Json.Str "M");
+               ("pid", Json.Int 1);
+               ("tid", Json.Int tid);
+               ("args", Json.Obj [ ("name", Json.Str (Printf.sprintf "gc (tid %d)" tid)) ]) ])
+  in
+  let gc_event (s : Rte.slice) =
+    Json.Obj
+      [ ("name", Json.Str ("gc." ^ s.sl_gc));
+        ("cat", Json.Str "gc");
+        ("ph", Json.Str "X");
+        ("ts", Json.Float (Int64.to_float (Int64.sub s.sl_t0 zero) /. 1e3));
+        ("dur", Json.Float (Int64.to_float (Int64.sub s.sl_t1 s.sl_t0) /. 1e3));
+        ("pid", Json.Int 1);
+        ("tid", Json.Int (gc_tid s));
+        ( "args",
+          Json.Obj
+            [ ("ring", Json.Int s.sl_ring);
+              ( "domain",
+                if s.sl_domain >= 0 then Json.Int s.sl_domain else Json.Str "unknown" ) ] ) ]
+  in
   Json.Obj
-    [ ("traceEvents", Json.Arr (meta @ List.map event sps));
+    [ ( "traceEvents",
+        Json.Arr (meta @ gc_meta @ List.map event sps @ List.map gc_event gc_slices) );
       ("displayTimeUnit", Json.Str "ms");
       ( "otherData",
         Json.Obj

@@ -55,9 +55,15 @@ type reader = {
 exception Malformed
 exception Limit of { what : string; limit : int }
 
+(* Resource-limit hits are the signature of hostile input, so each one goes
+   into the always-on flight recorder before the exception unwinds. *)
+let limit_hit what limit =
+  Zkqac_telemetry.Flight.record ~cat:"wire" ~detail:what ~v:limit "wire.limit";
+  raise (Limit { what; limit })
+
 let reader ?(limits = default_limits) data =
   if String.length data > limits.max_bytes then
-    raise (Limit { what = "input bytes"; limit = limits.max_bytes });
+    limit_hit "input bytes" limits.max_bytes;
   { data; pos = 0; limits; depth = 0 }
 
 let pos r = r.pos
@@ -96,7 +102,7 @@ let rint_array r =
 let rcount r =
   let n = ru32 r in
   if n > r.limits.max_collection then
-    raise (Limit { what = "collection count"; limit = r.limits.max_collection });
+    limit_hit "collection count" r.limits.max_collection;
   if n > remaining r then raise Malformed;
   n
 
@@ -104,7 +110,7 @@ let rcount r =
 let nested r f =
   r.depth <- r.depth + 1;
   if r.depth > r.limits.max_depth then
-    raise (Limit { what = "nesting depth"; limit = r.limits.max_depth });
+    limit_hit "nesting depth" r.limits.max_depth;
   let v = f () in
   r.depth <- r.depth - 1;
   v

@@ -1,0 +1,131 @@
+(* Hash-chained audit log: write/verify round-trip, resumed appends, and —
+   the property the chain exists for — an exhaustive single-byte tamper
+   sweep: flipping ANY byte of a recorded log must break verification. *)
+
+module Audit = Zkqac_audit.Audit
+module Json = Zkqac_telemetry.Json
+
+let temp_log () =
+  let p = Filename.temp_file "zkqac-audit" ".log" in
+  Sys.remove p;
+  p
+
+let read_file p =
+  let ic = open_in_bin p in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_file p s =
+  let oc = open_out_bin p in
+  output_string oc s;
+  close_out oc
+
+let with_sink path f =
+  (match Audit.enable ~path with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail ("enable: " ^ e));
+  Fun.protect ~finally:Audit.disable f
+
+let sample_entries =
+  [ ("verify", Json.Obj [ ("query", Json.Str "(0,0)-(8,8)"); ("outcome", Json.Str "ok") ]);
+    ("verify", Json.Obj [ ("outcome", Json.Str "bad-abs-signature") ]);
+    ("attack", Json.Obj [ ("scenario", Json.Str "gt-subgroup"); ("n", Json.Int 3) ]);
+    ("attack", Json.Obj [ ("detail", Json.Str "quote \" slash \\ done") ]);
+    ("attack-summary", Json.Obj [ ("cells", Json.Int 80) ]) ]
+
+let record_all () =
+  List.iteri
+    (fun i (kind, body) -> Audit.record ~time:(1000.0 +. float_of_int i) ~kind body)
+    sample_entries
+
+let test_roundtrip () =
+  let path = temp_log () in
+  with_sink path (fun () ->
+      Alcotest.(check bool) "enabled" true (Audit.enabled ());
+      Alcotest.(check (option string)) "path" (Some path) (Audit.path ());
+      record_all ());
+  Alcotest.(check bool) "disabled after" false (Audit.enabled ());
+  match Audit.verify_file path with
+  | Error b -> Alcotest.fail (Printf.sprintf "broken at %d: %s" b.Audit.entry b.Audit.reason)
+  | Ok entries ->
+    Alcotest.(check int) "entry count" (List.length sample_entries)
+      (List.length entries);
+    List.iteri
+      (fun i (e : Audit.entry) ->
+        Alcotest.(check int) "seq" i e.Audit.seq;
+        Alcotest.(check string) "kind" (fst (List.nth sample_entries i)) e.Audit.kind;
+        Alcotest.(check int) "hash length" 64 (String.length e.Audit.hash))
+      entries
+
+(* Re-enabling an existing log resumes the chain from its tail: the combined
+   file still verifies as one unbroken chain. *)
+let test_resume_append () =
+  let path = temp_log () in
+  with_sink path (fun () -> record_all ());
+  with_sink path (fun () ->
+      Audit.record ~time:2000.0 ~kind:"verify"
+        (Json.Obj [ ("outcome", Json.Str "second-session") ]));
+  (match Audit.verify_file path with
+   | Error b -> Alcotest.fail (Printf.sprintf "broken at %d: %s" b.Audit.entry b.Audit.reason)
+   | Ok entries ->
+     Alcotest.(check int) "combined count" (List.length sample_entries + 1)
+       (List.length entries);
+     let last = List.nth entries (List.length entries - 1) in
+     Alcotest.(check int) "resumed seq" (List.length sample_entries)
+       last.Audit.seq)
+
+(* The tamper sweep: for every byte position in the log, flip one bit and
+   demand that verification fails. This covers hashes, payload bytes, the
+   separator spaces, newlines and the header alike. *)
+let test_tamper_sweep () =
+  let path = temp_log () in
+  with_sink path (fun () -> record_all ());
+  let original = read_file path in
+  let n = String.length original in
+  let tampered = temp_log () in
+  let survived = ref [] in
+  for i = 0 to n - 1 do
+    let b = Bytes.of_string original in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x01));
+    write_file tampered (Bytes.to_string b);
+    match Audit.verify_file tampered with
+    | Error _ -> ()
+    | Ok _ -> survived := i :: !survived
+  done;
+  Sys.remove tampered;
+  Alcotest.(check (list int))
+    (Printf.sprintf "every one of %d byte flips detected" n)
+    [] (List.rev !survived)
+
+(* A corrupted log must be refused at enable time, not silently extended. *)
+let test_enable_refuses_corrupt () =
+  let path = temp_log () in
+  with_sink path (fun () -> record_all ());
+  let original = read_file path in
+  let b = Bytes.of_string original in
+  let mid = Bytes.length b / 2 in
+  Bytes.set b mid (Char.chr (Char.code (Bytes.get b mid) lxor 0x01));
+  write_file path (Bytes.to_string b);
+  match Audit.enable ~path with
+  | Ok () ->
+    Audit.disable ();
+    Alcotest.fail "enable accepted a corrupted log"
+  | Error _ -> Alcotest.(check bool) "stays disabled" false (Audit.enabled ())
+
+let test_verify_missing_header () =
+  let path = temp_log () in
+  write_file path "not an audit log\n";
+  match Audit.verify_file path with
+  | Ok _ -> Alcotest.fail "verified a non-audit file"
+  | Error b -> Alcotest.(check int) "blames the header" 0 b.Audit.entry
+
+let suite =
+  [ ( "audit",
+      [ Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+        Alcotest.test_case "resume append" `Quick test_resume_append;
+        Alcotest.test_case "single-byte tamper sweep" `Quick test_tamper_sweep;
+        Alcotest.test_case "enable refuses corrupt log" `Quick
+          test_enable_refuses_corrupt;
+        Alcotest.test_case "missing header" `Quick test_verify_missing_header ] ) ]

@@ -71,6 +71,18 @@ let golden =
    capacity bound was hit.\n\
    # TYPE zkqac_trace_dropped_spans gauge\n\
    zkqac_trace_dropped_spans 0\n\
+   # HELP zkqac_flight_events_total Structured events recorded by the \
+   always-on flight recorder.\n\
+   # TYPE zkqac_flight_events_total counter\n\
+   zkqac_flight_events_total 0\n\
+   # HELP zkqac_flight_dropped_events_total Flight-recorder events \
+   overwritten by ring-buffer wraparound.\n\
+   # TYPE zkqac_flight_dropped_events_total counter\n\
+   zkqac_flight_dropped_events_total 0\n\
+   # HELP zkqac_flight_trips_total Flight-recorder dump triggers (verify \
+   errors, pool failures, signals).\n\
+   # TYPE zkqac_flight_trips_total counter\n\
+   zkqac_flight_trips_total 0\n\
    # HELP zkqac_worker_domains Worker domains a parallel fan-out would use \
    (ZKQAC_DOMAINS or the scheduler's recommendation).\n\
    # TYPE zkqac_worker_domains gauge\n\
@@ -81,6 +93,10 @@ let test_prometheus_golden () =
   T.reset ();
   Metrics.reset ();
   Trace.reset ();
+  (* Earlier suites leave flight events and possibly GC-pause totals behind;
+     the golden exposition expects both at their pristine state. *)
+  Zkqac_telemetry.Flight.reset ();
+  Zkqac_telemetry.Rte.reset ();
   T.with_enabled (fun () ->
       T.bump_n T.Pairing 3;
       T.bump_n T.G_exp 2);
