@@ -7,6 +7,10 @@
      zkqac attack  -- fault-injection harness: tamper VOs, assert rejection
      zkqac metrics -- run an instrumented workload, print the metrics registry
      zkqac bench   -- BENCH.json tooling (regression diff)
+     zkqac serve   -- long-lived SP daemon: deadlines, shedding, graceful drain
+     zkqac client  -- verifying client with transient-fault retry/backoff
+     zkqac chaos   -- socket-level fault-injection proxy
+     zkqac loadgen -- replay the TPC-H query mix against a running server
      zkqac demo    -- self-contained end-to-end run
 
    Records are read from a simple line format:  k1,k2,...|value|policy
@@ -45,14 +49,35 @@ let die_verify (e : Zkqac_util.Verify_error.t) =
        (Zkqac_util.Verify_error.to_string e));
   exit (Zkqac_util.Verify_error.exit_code e)
 
+(* SIGTERM/SIGINT land here for every subcommand. By default they flush the
+   flight recorder and the audit tail and exit with the conventional
+   128+signal code; long-running subcommands (serve, chaos) install a
+   graceful teardown instead, and a second signal forces the default. *)
+let graceful_terminate : (string -> unit) option ref = ref None
+
+let terminate name code _ =
+  match !graceful_terminate with
+  | Some drain ->
+    graceful_terminate := None;
+    drain name
+  | None ->
+    Flight.emergency ~reason:name;
+    Zkqac_audit.Audit.disable ();
+    exit code
+
 (* The flight recorder's last-resort dump paths: SIGUSR1 asks a live process
-   for its recent history; an uncaught exception dumps on the way down. *)
+   for its recent history; an uncaught exception dumps on the way down.
+   SIGTERM/SIGINT flush both the flight recorder and the audit tail so an
+   interrupted run still leaves its evidence behind. *)
 let () =
   (match Sys.os_type with
   | "Unix" ->
     (try
        Sys.set_signal Sys.sigusr1
-         (Sys.Signal_handle (fun _ -> Flight.emergency ~reason:"sigusr1"))
+         (Sys.Signal_handle (fun _ -> Flight.emergency ~reason:"sigusr1"));
+       Sys.set_signal Sys.sigterm (Sys.Signal_handle (terminate "sigterm" 143));
+       Sys.set_signal Sys.sigint (Sys.Signal_handle (terminate "sigint" 130));
+       Sys.set_signal Sys.sigpipe Sys.Signal_ignore
      with Invalid_argument _ | Sys_error _ -> ())
   | _ -> ());
   Printexc.set_uncaught_exception_handler (fun exn bt ->
@@ -618,6 +643,318 @@ let bench_cmd =
     (Cmd.info "bench" ~doc:"Benchmark-result tooling (regression diffing).")
     [ bench_diff_cmd ]
 
+(* --- serve / client / chaos / loadgen (the resilience layer) --- *)
+
+module Server = Zkqac_server.Server.Make (Backend)
+module Client = Zkqac_server.Client
+module Cl = Zkqac_server.Client.Make (Backend)
+module Chaos = Zkqac_server.Chaos
+module Loadgen = Zkqac_server.Loadgen
+module Lg = Zkqac_server.Loadgen.Make (Backend)
+module Metrics_http = Zkqac_server.Metrics_http
+
+let serve ads host port metrics_port threads max_in_flight read_dl write_dl
+    query_dl drain_dl =
+  let cfg =
+    {
+      Zkqac_server.Server.host;
+      port;
+      metrics_port;
+      threads;
+      max_in_flight;
+      read_deadline = read_dl;
+      write_deadline = write_dl;
+      query_deadline = query_dl;
+      drain_deadline = drain_dl;
+    }
+  in
+  match Server.start cfg ~ads with
+  | Error e -> die "%s" e
+  | Ok t ->
+    Printf.printf "serving %s on %s:%d (pool=%d, max_in_flight=%d)\n%!" ads host
+      (Server.port t) threads max_in_flight;
+    (match Server.metrics_port t with
+    | Some p -> Printf.printf "metrics on http://%s:%d/metrics\n%!" host p
+    | None -> ());
+    (* First SIGTERM/SIGINT: graceful drain — stop accepting, finish
+       in-flight queries within their deadlines, flush audit + flight.
+       A second signal falls back to the flush-and-exit default. *)
+    graceful_terminate :=
+      Some
+        (fun name ->
+          Printf.eprintf "zkqac: %s received, draining\n%!" name;
+          Server.begin_drain t);
+    Server.wait t;
+    Printf.printf "drained: %d quer(ies) served over %d connection(s)\n"
+      (Server.served t) (Server.connections t)
+
+let host_arg =
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR"
+         ~doc:"Address to bind or connect to.")
+
+let port_arg ~doc default = Arg.(value & opt int default & info [ "port" ] ~docv:"PORT" ~doc)
+
+let serve_cmd =
+  let ads = Arg.(required & pos 0 (some file) None & info [] ~docv:"ADS") in
+  let metrics_port =
+    Arg.(value & opt (some int) None & info [ "metrics-port" ] ~docv:"PORT"
+           ~doc:"Also expose GET /metrics (Prometheus text) on $(docv).")
+  in
+  let threads =
+    Arg.(value & opt int Zkqac_server.Server.default_config.Zkqac_server.Server.threads
+         & info [ "threads" ] ~docv:"N" ~doc:"Worker domains in the persistent query pool.")
+  in
+  let max_in_flight =
+    Arg.(value & opt int Zkqac_server.Server.default_config.Zkqac_server.Server.max_in_flight
+         & info [ "max-in-flight" ] ~docv:"N"
+             ~doc:"Concurrent connections before load shedding answers \
+                   Overloaded instead of queueing without bound.")
+  in
+  let deadline names default doc =
+    Arg.(value & opt float default & info names ~docv:"SECONDS" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Service-provider daemon: answer range queries over TCP with \
+             per-connection deadlines, bounded in-flight load shedding, a \
+             persistent worker-domain pool, and graceful drain on SIGTERM.")
+    Term.(const (fun stats trace trace_tree audit ads host port metrics_port
+                     threads max_in_flight read_dl write_dl query_dl drain_dl ->
+              with_obs { stats; trace; trace_tree; audit } (fun () ->
+                  serve ads host port metrics_port threads max_in_flight
+                    read_dl write_dl query_dl drain_dl))
+          $ stats_arg $ trace_arg $ trace_tree_arg $ audit_arg $ ads $ host_arg
+          $ port_arg ~doc:"Port to listen on (0 picks one)." 7499
+          $ metrics_port $ threads $ max_in_flight
+          $ deadline [ "read-deadline" ] 5.0 "Budget for reading one request frame."
+          $ deadline [ "write-deadline" ] 5.0 "Budget for writing one response frame."
+          $ deadline [ "query-deadline" ] 30.0 "Budget for executing one query."
+          $ deadline [ "drain-deadline" ] 45.0 "Budget for the whole graceful drain.")
+
+let client ads host port roles range retries batch =
+  match Ads_io.load ~path:ads with
+  | Error e -> die "%s" e
+  | Ok (mvk, tree) ->
+    let user = Attr.set_of_list (parse_roles roles) in
+    let space = Ap2g.space tree in
+    let box = parse_range ~dims:(Keyspace.dims space) range in
+    let cfg = { Client.default_config with Client.host; port; retries; batch } in
+    (match
+       Cl.query cfg ~mvk ~universe:(Ap2g.universe tree)
+         ?hierarchy:(Ap2g.hierarchy tree) ~user ~query:box ()
+     with
+    | Ok s ->
+      Printf.printf
+        "verification OK: %d accessible record(s), %d VO bytes, %d attempt(s)\n"
+        (List.length s.Cl.records) s.Cl.vo_bytes s.Cl.attempts;
+      List.iter
+        (fun (r : Record.t) ->
+          Printf.printf "  %s | %s | %s\n"
+            (String.concat ","
+               (Array.to_list (Array.map string_of_int r.Record.key)))
+            r.Record.value
+            (Expr.to_string r.Record.policy))
+        s.Cl.records
+    | Error (Client.Rejected e) -> die_verify e
+    | Error f -> die "%s" (Client.failure_to_string f))
+
+let client_cmd =
+  let ads =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"ADS"
+           ~doc:"The client's trusted copy of the ADS checkpoint (public key \
+                 and role universe); the VO is verified against it locally.")
+  in
+  let roles = Arg.(required & opt (some string) None & info [ "user" ] ~docv:"R1,R2") in
+  let range = Arg.(required & opt (some string) None & info [ "range" ] ~docv:"a1,a2:b1,b2") in
+  let retries =
+    Arg.(value & opt int Client.default_config.Client.retries
+         & info [ "retries" ] ~docv:"N"
+             ~doc:"Retry budget for transient faults (transport errors, \
+                   Overloaded, Deadline). Typed verification rejections are \
+                   never retried.")
+  in
+  let batch =
+    Arg.(value & vflag true
+           [ (true, info [ "batch" ] ~doc:"Batch signature verification (default).");
+             (false, info [ "no-batch" ] ~doc:"Verify signatures individually.") ])
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Query a running server and verify the returned VO locally, \
+             retrying transient faults with full-jitter backoff. Exits with \
+             the typed verification code on rejection.")
+    Term.(const (fun stats trace trace_tree audit ads host port roles range
+                     retries batch ->
+              with_obs { stats; trace; trace_tree; audit } (fun () ->
+                  client ads host port roles range retries batch))
+          $ stats_arg $ trace_arg $ trace_tree_arg $ audit_arg $ ads $ host_arg
+          $ port_arg ~doc:"Server port." 7499 $ roles $ range $ retries $ batch)
+
+let chaos listen_port upstream_host upstream_port scenario faults stall
+    trickle_delay cut_after seed =
+  let cfg =
+    {
+      Chaos.listen_host = "127.0.0.1";
+      listen_port;
+      upstream_host;
+      upstream_port;
+      scenario;
+      faults;
+      stall;
+      trickle_delay;
+      cut_after;
+      seed;
+    }
+  in
+  match Chaos.start cfg with
+  | Error e -> die "%s" e
+  | Ok t ->
+    Printf.printf "chaos proxy on 127.0.0.1:%d -> %s:%d, scenario %s, first %d connection(s)\n%!"
+      (Chaos.port t) upstream_host upstream_port scenario faults;
+    let stop = Atomic.make false in
+    graceful_terminate := Some (fun _ -> Atomic.set stop true);
+    while not (Atomic.get stop) do
+      (try Thread.delay 0.2 with Unix.Unix_error (Unix.EINTR, _, _) -> ())
+    done;
+    Chaos.stop t;
+    Printf.printf "chaos proxy stopped: %d connection(s), %d fault(s) injected\n"
+      (Chaos.connections t) (Chaos.injected t)
+
+let chaos_cmd =
+  let scenario =
+    Arg.(value & opt string "net-corrupt" & info [ "scenario" ] ~docv:"NAME"
+           ~doc:"Network fault to inject: net-stall, net-slowloris, \
+                 net-truncate, net-disconnect, net-corrupt or net-refuse.")
+  in
+  let upstream_host =
+    Arg.(value & opt string "127.0.0.1" & info [ "upstream-host" ] ~docv:"ADDR")
+  in
+  let upstream_port =
+    Arg.(value & opt int 7499 & info [ "upstream-port" ] ~docv:"PORT")
+  in
+  let faults =
+    Arg.(value & opt int 1 & info [ "faults" ] ~docv:"N"
+           ~doc:"Fault the first $(docv) connections, then forward clean — \
+                 so a client with enough retry budget always recovers.")
+  in
+  let stall = Arg.(value & opt float 30.0 & info [ "stall" ] ~docv:"SECONDS") in
+  let trickle =
+    Arg.(value & opt float 0.25 & info [ "trickle-delay" ] ~docv:"SECONDS")
+  in
+  let cut = Arg.(value & opt int 12 & info [ "cut-after" ] ~docv:"BYTES") in
+  let seed = Arg.(value & opt int 7 & info [ "seed" ] ~docv:"N") in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Socket-level fault-injection proxy: the adversary registry \
+             extended to the network boundary. Every injected fault must \
+             surface as a typed client error or a successful retry.")
+    Term.(const chaos
+          $ port_arg ~doc:"Port to listen on (0 picks one)." 0
+          $ upstream_host $ upstream_port $ scenario $ faults $ stall $ trickle
+          $ cut $ seed)
+
+let loadgen ads host port users qps duration max_queries frac roles
+    metrics_port seed json_out =
+  let cfg =
+    {
+      Loadgen.client = { Client.default_config with Client.host; port };
+      users;
+      qps;
+      duration;
+      max_queries;
+      frac;
+      roles = (match roles with None -> [] | Some r -> parse_roles r);
+      seed;
+    }
+  in
+  let mh =
+    match metrics_port with
+    | None -> None
+    | Some p -> (
+      match Metrics_http.start ~host:"127.0.0.1" ~port:p () with
+      | Error e -> die "%s" e
+      | Ok t ->
+        Printf.printf "metrics on http://127.0.0.1:%d/metrics\n%!"
+          (Metrics_http.port t);
+        Some t)
+  in
+  let finish () = Option.iter Metrics_http.stop mh in
+  Fun.protect ~finally:finish @@ fun () ->
+  match Lg.run cfg ~ads with
+  | Error e -> die "%s" e
+  | Ok r ->
+    let module H = Zkqac_telemetry.Histogram in
+    let q p = H.quantile r.Loadgen.latency p /. 1e6 in
+    Printf.printf
+      "loadgen: %d sent in %.1fs (%.1f qps) | ok %d, rejected %d, \
+       bad-request %d, exhausted %d | %d retr%s, %d record(s)\n"
+      r.Loadgen.sent r.Loadgen.wall
+      (float_of_int r.Loadgen.sent /. Float.max 1e-9 r.Loadgen.wall)
+      r.Loadgen.ok r.Loadgen.rejected r.Loadgen.bad_request r.Loadgen.exhausted
+      r.Loadgen.retries
+      (if r.Loadgen.retries = 1 then "y" else "ies")
+      r.Loadgen.records;
+    Printf.printf "latency ms: p50 %.2f  p95 %.2f  p99 %.2f  max %.2f\n"
+      (q 0.5) (q 0.95) (q 0.99)
+      (H.max_ns r.Loadgen.latency /. 1e6);
+    (match json_out with
+    | Some path ->
+      Json.to_file path (Loadgen.report_to_json r);
+      Printf.printf "report written to %s\n" path
+    | None -> ());
+    (* Rejections against an honest server mean an accepted-tamper class
+       bug somewhere; make the run fail loudly. *)
+    if r.Loadgen.rejected > 0 then exit 1
+
+let loadgen_cmd =
+  let ads =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"ADS"
+           ~doc:"Trusted ADS checkpoint used to verify every response.")
+  in
+  let users =
+    Arg.(value & opt int 4 & info [ "users" ] ~docv:"N" ~doc:"Concurrent simulated users.")
+  in
+  let qps =
+    Arg.(value & opt (some float) None & info [ "qps" ] ~docv:"Q"
+           ~doc:"Total offered rate (open loop, exponential interarrivals). \
+                 Omit for closed loop: each user fires as soon as the \
+                 previous query completes.")
+  in
+  let duration =
+    Arg.(value & opt float 10.0 & info [ "duration" ] ~docv:"SECONDS")
+  in
+  let max_queries =
+    Arg.(value & opt int 0 & info [ "queries" ] ~docv:"N"
+           ~doc:"Stop after $(docv) queries (0 = duration only).")
+  in
+  let frac =
+    Arg.(value & opt float 0.001 & info [ "frac" ] ~docv:"F"
+           ~doc:"Query box covers about this fraction of the keyspace.")
+  in
+  let roles =
+    Arg.(value & opt (some string) None & info [ "user" ] ~docv:"R1,R2"
+           ~doc:"Claimed roles (default: every role in the universe).")
+  in
+  let metrics_port =
+    Arg.(value & opt (some int) None & info [ "metrics-port" ] ~docv:"PORT"
+           ~doc:"Expose GET /metrics live during the run.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N") in
+  let json_out =
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
+           ~doc:"Also write the report (counters + latency histogram) as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:"Replay the TPC-H range-query mix against a running server \
+             through the retrying, verifying client; report latency \
+             quantiles and shed/timeout/retry accounting. Exits 1 if any \
+             response fails verification.")
+    Term.(const loadgen $ ads $ host_arg
+          $ port_arg ~doc:"Server port." 7499
+          $ users $ qps $ duration $ max_queries $ frac $ roles $ metrics_port
+          $ seed $ json_out)
+
 (* --- demo --- *)
 
 let demo () =
@@ -650,4 +987,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ setup_cmd; inspect_cmd; query_cmd; verify_cmd; attack_cmd;
-            audit_cmd; metrics_cmd; bench_cmd; demo_cmd ]))
+            audit_cmd; metrics_cmd; bench_cmd; serve_cmd; client_cmd;
+            chaos_cmd; loadgen_cmd; demo_cmd ]))

@@ -734,6 +734,9 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
               in
               let tampered =
                 match sc.Scenario.category with
+                (* Transport faults live on the socket, not in VO bytes; the
+                   chaos proxy injects them against a live daemon. *)
+                | Scenario.Transport -> None
                 | Scenario.Format -> format_tamper prng sc.Scenario.name tgt.bytes
                 | Scenario.Soundness | Scenario.Completeness ->
                   tgt.tamper prng sc.Scenario.name

@@ -1,9 +1,10 @@
-type category = Soundness | Completeness | Format
+type category = Soundness | Completeness | Format | Transport
 
 let category_name = function
   | Soundness -> "soundness"
   | Completeness -> "completeness"
   | Format -> "format"
+  | Transport -> "transport"
 
 type t = { name : string; category : category; description : string }
 
@@ -70,8 +71,40 @@ let all =
       description = "append random bytes after a valid encoding" };
   ]
 
-let find name = List.find_opt (fun s -> String.equal s.name name) all
+(* Network-boundary faults, injected by the chaos proxy ([zkqac chaos])
+   between a client and a live SP daemon rather than on decoded VOs. They
+   attack availability and framing, not signatures, so the acceptable
+   outcomes differ in kind: a fault must end in a typed transport error or a
+   successful retry, and must never yield an accepted tamper, a crash, or a
+   hang past the client's deadline. Kept out of {!all} because the VO-level
+   harness has no socket to cut. *)
+let network =
+  [
+    { name = "net-stall";
+      category = Transport;
+      description = "accept the connection, read the request, never respond" };
+    { name = "net-slowloris";
+      category = Transport;
+      description = "dribble the response out slower than the read deadline" };
+    { name = "net-truncate";
+      category = Transport;
+      description = "forward the response but close mid-VO after N bytes" };
+    { name = "net-disconnect";
+      category = Transport;
+      description = "close the connection after N bytes of the request" };
+    { name = "net-corrupt";
+      category = Transport;
+      description = "flip bytes of the forwarded response frame" };
+    { name = "net-refuse";
+      category = Transport;
+      description = "refuse to accept connections for a burst" };
+  ]
+
+let find name =
+  List.find_opt (fun s -> String.equal s.name name) (all @ network)
+
 let names = List.map (fun s -> s.name) all
+let network_names = List.map (fun s -> s.name) network
 
 (* Which error classes count as the *right* rejection: a tamper that is
    refused for an unrelated reason (a "generic catch-all") would not witness

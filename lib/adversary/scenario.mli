@@ -6,15 +6,27 @@
     results (Theorem 7.2), and format tampers attack the wire decoder
     directly. *)
 
-type category = Soundness | Completeness | Format
+type category = Soundness | Completeness | Format | Transport
 
 val category_name : category -> string
 
 type t = { name : string; category : category; description : string }
 
 val all : t list
+(** The VO-level registry driven by the fault-injection harness. *)
+
+val network : t list
+(** Network-boundary faults ([Transport] category) injected by the chaos
+    proxy ([zkqac chaos]) on live connections: stall, slowloris, mid-VO
+    truncation, early disconnect, byte corruption, connection refusal.
+    Every one must end in a typed error or a successful retry at the
+    client — never an accepted tamper, a crash, or an unbounded hang. *)
+
 val names : string list
+val network_names : string list
+
 val find : string -> t option
+(** Look up a scenario in {!all} or {!network}. *)
 
 val expected : string -> Zkqac_util.Verify_error.t -> bool
 (** [expected name e] is whether rejecting scenario [name] with error [e]

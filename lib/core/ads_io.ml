@@ -22,37 +22,54 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
       ~finally:(fun () -> close_out oc)
       (fun () -> output_string oc (Wire.contents w))
 
-  let load ~path =
+  (* Decode a checkpoint's bytes with every failure mode mapped to a typed
+     [Verify_error]: a truncated or bit-flipped file on disk is exactly the
+     hostile-input case the wire layer guards against, and a raw exception
+     escaping here would crash a server that restarts from checkpoints. The
+     final catch-all covers parsers embedded in [mvk_of_bytes]/[Ap2g.decode]
+     whose exceptions are not already translated. *)
+  let decode_typed data : (_, Zkqac_util.Verify_error.t) result =
+    let module E = Zkqac_util.Verify_error in
     match
-      let ic = open_in_bin path in
-      let data =
-        Fun.protect
-          ~finally:(fun () -> close_in ic)
-          (fun () -> really_input_string ic (in_channel_length ic))
-      in
       let r = Wire.reader data in
-      if not (String.equal (Wire.rbytes r) file_magic) then Error "not a zkqac ADS file"
+      if not (String.equal (Wire.rbytes r) file_magic) then
+        Error (E.Invalid_shape "not a zkqac ADS file")
       else begin
         match Abs.mvk_of_bytes (Wire.rbytes r) with
-        | None -> Error "corrupt verification key"
+        | None -> Error (E.Malformed { offset = Wire.pos r })
         | Some mvk ->
           let checksum = Wire.rbytes r in
           let body = Wire.rbytes r in
-          if not (Wire.at_end r) then Error "trailing bytes in ADS file"
+          if not (Wire.at_end r) then Error (E.Malformed { offset = Wire.pos r })
           else if not (String.equal checksum (Sha256.digest body)) then
-            Error "checksum mismatch"
-          else begin
-            match Ap2g.decode body with
-            | Error e ->
-              Error
-                ("corrupt ADS body: " ^ Zkqac_util.Verify_error.to_string e)
-            | Ok tree -> Ok (mvk, tree)
-          end
+            Error (E.Digest_mismatch "ADS body checksum")
+          else
+            Result.map (fun tree -> (mvk, tree)) (Ap2g.decode body)
       end
     with
     | result -> result
-    | exception Sys_error e -> Error e
-    | exception (Wire.Malformed | End_of_file) -> Error "truncated ADS file"
-    | exception Wire.Limit { what; limit } ->
-      Error (Printf.sprintf "ADS file exceeds reader limit (%s > %d)" what limit)
+    | exception (Wire.Malformed | End_of_file) -> Error (E.Malformed { offset = -1 })
+    | exception Wire.Limit { what; limit } -> Error (E.Limit_exceeded { what; limit })
+    | exception _ -> Error (E.Malformed { offset = -1 })
+
+  let load_typed ~path =
+    match
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with
+    | data -> Result.map_error (fun e -> `Bad e) (decode_typed data)
+    | exception Sys_error e -> Error (`Io e)
+    | exception End_of_file -> Error (`Io "unexpected end of file")
+
+  let load ~path =
+    match load_typed ~path with
+    | Ok v -> Ok v
+    | Error (`Io msg) -> Error (Printf.sprintf "ADS checkpoint %s: %s" path msg)
+    | Error (`Bad e) ->
+      Error
+        (Printf.sprintf "ADS checkpoint %s: %s [%s]" path
+           (Zkqac_util.Verify_error.to_string e)
+           (Zkqac_util.Verify_error.code e))
 end

@@ -16,6 +16,23 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) : sig
   val save : path:string -> mvk:Abs.mvk -> Ap2g.t -> unit
   (** Write the tree and the public verification key. *)
 
+  val decode_typed :
+    string -> (Abs.mvk * Ap2g.t, Zkqac_util.Verify_error.t) result
+  (** Decode a checkpoint's bytes, treating them as hostile: truncation and
+      bit flips map to typed errors ([Malformed], [Digest_mismatch],
+      [Limit_exceeded], [Invalid_shape] for a wrong magic) and no exception
+      escapes — including from parsers embedded in the key and tree
+      decoders. *)
+
+  val load_typed :
+    path:string ->
+    ( Abs.mvk * Ap2g.t,
+      [ `Io of string | `Bad of Zkqac_util.Verify_error.t ] )
+    result
+  (** {!decode_typed} over a file's contents; [`Io] is an OS-level read
+      failure (missing file, permissions), [`Bad] a corrupt checkpoint. *)
+
   val load : path:string -> (Abs.mvk * Ap2g.t, string) result
-  (** Read back; fails with a message on version/checksum/shape mismatch. *)
+  (** Read back; fails with a message on version/checksum/shape mismatch.
+      The message names the offending path and the typed error code. *)
 end

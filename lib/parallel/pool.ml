@@ -100,3 +100,193 @@ let time f =
   let t0 = Monotonic_clock.now_ns () in
   let v = f () in
   (v, Monotonic_clock.elapsed_since t0)
+
+(* --- persistent pool ---
+
+   [map] spawns fresh domains per call, which is fine for a one-shot CLI but
+   not for a long-lived server answering queries for hours: domain spawn is
+   microseconds of setup plus fresh DLS state per call. The persistent pool
+   keeps [threads] worker domains alive, feeding them through a bounded-by-
+   caller queue; a job whose thunk raises has its failure delivered to the
+   waiting future AND retires the worker domain that ran it — a raised
+   exception may have left domain-local state (DLS caches, allocation
+   buffers) mid-update, so the conservative recovery is a fresh domain. Every
+   retirement is counted in [zkqac_pool_respawns_total]. *)
+
+let respawns_family =
+  Zkqac_telemetry.Metrics.counter ~name:"zkqac_pool_respawns_total"
+    ~help:"Persistent-pool worker domains retired after a job exception and replaced with a fresh domain."
+
+type 'a outcome = ('a, exn * Printexc.raw_backtrace) result
+
+type 'a fstate = Pending | Done of 'a outcome
+
+type 'a future = {
+  fm : Mutex.t;
+  fc : Condition.t;
+  mutable state : 'a fstate;
+}
+
+let fulfill fut r =
+  Mutex.lock fut.fm;
+  fut.state <- Done r;
+  Condition.broadcast fut.fc;
+  Mutex.unlock fut.fm
+
+let await fut =
+  Mutex.lock fut.fm;
+  let rec wait () =
+    match fut.state with
+    | Done r -> r
+    | Pending ->
+      Condition.wait fut.fc fut.fm;
+      wait ()
+  in
+  let r = wait () in
+  Mutex.unlock fut.fm;
+  r
+
+(* OCaml's [Condition] has no timed wait, so the deadline path polls the
+   future state at millisecond granularity — coarse next to a query that
+   takes tens of milliseconds, and only connection-handler threads (of which
+   there is a bounded number) ever sit in this loop. *)
+let await_timeout fut seconds =
+  let t0 = Monotonic_clock.now_ns () in
+  let rec poll () =
+    Mutex.lock fut.fm;
+    let st = fut.state in
+    Mutex.unlock fut.fm;
+    match st with
+    | Done r -> Some r
+    | Pending ->
+      if Monotonic_clock.elapsed_since t0 >= seconds then None
+      else begin
+        Unix.sleepf 0.001;
+        poll ()
+      end
+  in
+  poll ()
+
+let peek fut =
+  Mutex.lock fut.fm;
+  let st = fut.state in
+  Mutex.unlock fut.fm;
+  match st with Done r -> Some r | Pending -> None
+
+type pool = {
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  queue : (unit -> bool) Queue.t; (* a task returns false iff its job raised *)
+  threads : int;
+  mutable workers : unit Domain.t list; (* every domain ever spawned, joined at shutdown *)
+  mutable shutting_down : bool;
+  mutable respawned : int;
+}
+
+let rec worker_loop p =
+  Mutex.lock p.lock;
+  let rec next () =
+    if not (Queue.is_empty p.queue) then Some (Queue.pop p.queue)
+    else if p.shutting_down then None
+    else begin
+      Condition.wait p.nonempty p.lock;
+      next ()
+    end
+  in
+  let task = next () in
+  Mutex.unlock p.lock;
+  match task with
+  | None -> ()
+  | Some task ->
+    if task () then worker_loop p
+    else begin
+      (* The job raised: its future already holds the failure; retire this
+         domain and hand its slot to a fresh one so a crash storm cannot
+         bleed the pool dry. During shutdown a replacement is only spawned
+         if work is still queued (shutdown runs any leftovers inline). *)
+      Mutex.lock p.lock;
+      p.respawned <- p.respawned + 1;
+      Zkqac_telemetry.Metrics.inc respawns_family [];
+      Zkqac_telemetry.Flight.record ~cat:"pool" ~v:p.respawned
+        "pool.worker_respawned";
+      if (not p.shutting_down) || not (Queue.is_empty p.queue) then
+        p.workers <- Domain.spawn (spawn_worker p) :: p.workers;
+      Mutex.unlock p.lock
+    end
+
+and spawn_worker p () =
+  Zkqac_telemetry.Rte.announce ();
+  worker_loop p
+
+let create ?threads () =
+  let threads = match threads with Some n -> n | None -> size () in
+  if threads < 1 then invalid_arg "Pool.create: threads < 1";
+  let p =
+    {
+      lock = Mutex.create ();
+      nonempty = Condition.create ();
+      queue = Queue.create ();
+      threads;
+      workers = [];
+      shutting_down = false;
+      respawned = 0;
+    }
+  in
+  p.workers <- List.init threads (fun _ -> Domain.spawn (spawn_worker p));
+  p
+
+let pool_size p = p.threads
+let respawns p = p.respawned
+
+let submit p f =
+  let fut = { fm = Mutex.create (); fc = Condition.create (); state = Pending } in
+  let task () =
+    match f () with
+    | v ->
+      fulfill fut (Ok v);
+      true
+    | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      Zkqac_telemetry.Flight.record ~cat:"pool" ~detail:(Printexc.to_string e)
+        "pool.job_failed";
+      fulfill fut (Error (e, bt));
+      false
+  in
+  Mutex.lock p.lock;
+  if p.shutting_down then begin
+    Mutex.unlock p.lock;
+    invalid_arg "Pool.submit: pool is shut down"
+  end;
+  Queue.push task p.queue;
+  Condition.signal p.nonempty;
+  Mutex.unlock p.lock;
+  fut
+
+let run p f = await (submit p f)
+
+let shutdown p =
+  Mutex.lock p.lock;
+  if p.shutting_down then Mutex.unlock p.lock
+  else begin
+    p.shutting_down <- true;
+    Condition.broadcast p.nonempty;
+    (* Workers retiring mid-shutdown may still add replacements, so drain
+       the handle list until it stays empty. *)
+    let rec drain () =
+      match p.workers with
+      | [] -> ()
+      | ds ->
+        p.workers <- [];
+        Mutex.unlock p.lock;
+        List.iter Domain.join ds;
+        Mutex.lock p.lock;
+        drain ()
+    in
+    drain ();
+    (* If the last workers retired with work still queued, run the leftovers
+       inline: every submitted future must be fulfilled. *)
+    let leftovers = Queue.fold (fun acc t -> t :: acc) [] p.queue in
+    Queue.clear p.queue;
+    Mutex.unlock p.lock;
+    List.iter (fun t -> ignore (t () : bool)) (List.rev leftovers)
+  end

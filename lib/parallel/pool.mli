@@ -42,3 +42,58 @@ val map : threads:int -> (unit -> 'a) list -> 'a list
 val time : (unit -> 'a) -> 'a * float
 (** Timing helper for benches. Durations come from {!Monotonic_clock}, so
     they are immune to wall-clock adjustments. *)
+
+(** {1 Persistent pool}
+
+    {!map} spawns fresh domains per call — fine for a one-shot CLI, wrong
+    for a server answering queries for hours. A persistent pool keeps its
+    worker domains alive across queries; jobs are submitted individually
+    and awaited through futures, optionally with a deadline. A job whose
+    thunk raises delivers the failure to its future {e and} retires the
+    worker domain that ran it (a fresh domain replaces it, counted in
+    {!respawns} and [zkqac_pool_respawns_total]): an escaped exception may
+    have left domain-local state mid-update, and domains are cheap relative
+    to serving a wrong answer. *)
+
+type pool
+
+type 'a outcome = ('a, exn * Printexc.raw_backtrace) result
+
+type 'a future
+
+val create : ?threads:int -> unit -> pool
+(** Spawn a pool of [threads] worker domains (default {!size}).
+    @raise Invalid_argument if [threads < 1]. *)
+
+val pool_size : pool -> int
+(** The configured worker count (live workers, once retirements are
+    replaced, always converge back to this). *)
+
+val respawns : pool -> int
+(** Worker domains retired after a job exception and replaced so far. *)
+
+val submit : pool -> (unit -> 'a) -> 'a future
+(** Enqueue a job; it runs on the first free worker.
+    @raise Invalid_argument after {!shutdown}. *)
+
+val await : 'a future -> 'a outcome
+(** Block until the job finishes. A raising job yields [Error (e, bt)]
+    with the worker's backtrace. *)
+
+val await_timeout : 'a future -> float -> 'a outcome option
+(** [await_timeout fut seconds] waits up to [seconds] (monotonic clock) and
+    returns [None] on deadline expiry. The job itself is {e not} cancelled
+    — OCaml domains cannot be killed — so an expired job still occupies its
+    worker until it returns; callers account for that in their sizing. *)
+
+val peek : 'a future -> 'a outcome option
+(** Non-blocking probe. *)
+
+val run : pool -> (unit -> 'a) -> 'a outcome
+(** [submit] then [await]. *)
+
+val shutdown : pool -> unit
+(** Stop accepting jobs, let workers drain the queue, and join every domain
+    the pool ever spawned. Any job still queued when the last worker exits
+    is run inline, so every future submitted before shutdown is fulfilled.
+    Idempotent; concurrent {!submit}s during shutdown raise. *)

@@ -1,0 +1,249 @@
+(* The fault-injection proxy behind `zkqac chaos`.
+
+   PR 3's adversary registry enumerated what a malicious SP can do to a VO;
+   this module extends the same registry to the network boundary: what a
+   malicious (or merely broken) network can do to the bytes in flight. The
+   proxy sits between client and server, forwards frames, and injects one
+   named fault from Scenario.network into the first [faults] connections —
+   deterministically, so a retrying client that outlives the burst reaches
+   the clean upstream and the whole exchange still verifies.
+
+   The contract under test is the resilience layer's: every injected fault
+   must surface as a typed client error or a successful retry — never a
+   crash, never an accepted tamper, never a hang past the deadlines. *)
+
+module Scenario = Zkqac_adversary.Scenario
+module Prng = Zkqac_rng.Prng
+module Flight = Zkqac_telemetry.Flight
+module Metrics = Zkqac_telemetry.Metrics
+
+let m_injected =
+  Metrics.counter ~name:"zkqac_chaos_injected_total"
+    ~help:"Connections faulted by the chaos proxy, by scenario."
+
+type config = {
+  listen_host : string;
+  listen_port : int;  (** 0 picks an ephemeral port *)
+  upstream_host : string;
+  upstream_port : int;
+  scenario : string;  (** a {!Scenario.network} name *)
+  faults : int;  (** fault the first [faults] connections, then run clean *)
+  stall : float;  (** hold duration for net-stall / slowloris budget *)
+  trickle_delay : float;  (** per-byte delay for net-slowloris *)
+  cut_after : int;  (** bytes forwarded before net-disconnect cuts *)
+  seed : int;  (** drives net-corrupt byte flips *)
+}
+
+let default_config =
+  {
+    listen_host = "127.0.0.1";
+    listen_port = 0;
+    upstream_host = "127.0.0.1";
+    upstream_port = 7499;
+    scenario = "net-corrupt";
+    faults = 1;
+    stall = 30.0;
+    trickle_delay = 0.25;
+    cut_after = 12;
+    seed = 7;
+  }
+
+type t = {
+  cfg : config;
+  listen_fd : Unix.file_descr;
+  mutable acceptor : Thread.t option;
+  stopping : bool Atomic.t;
+  conn_seq : int Atomic.t;
+  injected_n : int Atomic.t;
+  handlers : Thread.t list ref;
+  handlers_lock : Mutex.t;
+}
+
+(* Generous internal budgets: the proxy must never fault on its own account,
+   only by design. *)
+let proxy_deadline () = Sockio.deadline_after 60.0
+
+let frame_bytes payload =
+  let n = String.length payload in
+  let b = Bytes.create (4 + n) in
+  Bytes.set_int32_be b 0 (Int32.of_int n);
+  Bytes.blit_string payload 0 b 4 n;
+  Bytes.to_string b
+
+let inject t name =
+  Atomic.incr t.injected_n;
+  Metrics.inc m_injected [ ("scenario", name) ];
+  Flight.record ~cat:"chaos" ~detail:name "chaos.injected"
+
+(* Read the request frame from the client, relay it upstream, return the
+   upstream's response payload. Raises Sockio.Fault on any leg. *)
+let relay_request t client_fd =
+  let request =
+    Sockio.read_frame client_fd ~deadline:(proxy_deadline ())
+      ~max_bytes:Proto.max_request_bytes
+  in
+  let up =
+    Sockio.connect ~host:t.cfg.upstream_host ~port:t.cfg.upstream_port
+      ~timeout:10.0
+  in
+  Fun.protect
+    ~finally:(fun () -> Sockio.close_noerr up)
+    (fun () ->
+      Sockio.write_frame up ~deadline:(proxy_deadline ()) request;
+      Sockio.read_frame up ~deadline:(proxy_deadline ())
+        ~max_bytes:Zkqac_util.Wire.default_limits.Zkqac_util.Wire.max_bytes)
+
+let handle t conn_id client_fd =
+  let faulty = conn_id < t.cfg.faults in
+  let scenario = t.cfg.scenario in
+  let finish () = Sockio.close_noerr client_fd in
+  Fun.protect ~finally:finish @@ fun () ->
+  match (faulty, scenario) with
+  | true, "net-refuse" ->
+    (* A refusal burst: the connection dies before a single byte. *)
+    inject t scenario
+  | true, "net-stall" ->
+    (* Accept, then say nothing at all: the peer's read deadline is the
+       only thing that ends this. *)
+    inject t scenario;
+    Unix.sleepf t.cfg.stall
+  | _ -> (
+    match relay_request t client_fd with
+    | exception Sockio.Fault f ->
+      (* Upstream trouble on a clean connection is just passed on as a
+         dead client connection; the client classifies it as transport. *)
+      Flight.record ~cat:"chaos" ~detail:(Sockio.fault_code f)
+        "chaos.relay_fault"
+    | response ->
+      if not faulty then
+        Sockio.write_frame client_fd ~deadline:(proxy_deadline ()) response
+      else begin
+        inject t scenario;
+        let raw = frame_bytes response in
+        match scenario with
+        | "net-truncate" ->
+          (* A complete length prefix promising more than arrives: the
+             classic mid-VO cut. *)
+          let keep = 4 + (String.length response / 2) in
+          Sockio.write_all client_fd ~deadline:(proxy_deadline ())
+            (String.sub raw 0 keep)
+        | "net-disconnect" ->
+          let keep = min t.cfg.cut_after (String.length raw) in
+          Sockio.write_all client_fd ~deadline:(proxy_deadline ())
+            (String.sub raw 0 keep)
+        | "net-corrupt" ->
+          (* Flip a few payload bytes but keep the framing honest: the
+             client receives a complete frame whose contents lie. *)
+          let prng = Prng.create (t.cfg.seed + conn_id) in
+          let b = Bytes.of_string raw in
+          let n = Bytes.length b in
+          if n > 4 then
+            for _ = 1 to 3 do
+              let i = 4 + Prng.int prng (n - 4) in
+              Bytes.set b i
+                (Char.chr (Char.code (Bytes.get b i) lxor (1 + Prng.int prng 255)))
+            done;
+          Sockio.write_all client_fd ~deadline:(proxy_deadline ())
+            (Bytes.to_string b)
+        | "net-slowloris" ->
+          (* Trickle the response a byte at a time within a total budget:
+             enough progress to defeat naive per-read timeouts, never
+             enough to finish before an absolute deadline. *)
+          let budget = Sockio.deadline_after t.cfg.stall in
+          let n = String.length raw in
+          (try
+             for i = 0 to n - 1 do
+               if Sockio.remaining_s budget <= 0.0 then raise Exit;
+               Sockio.write_all client_fd ~deadline:budget
+                 (String.sub raw i 1);
+               Unix.sleepf t.cfg.trickle_delay
+             done
+           with Exit | Sockio.Fault _ -> ())
+        | other ->
+          (* Unknown scenario on a faulty connection: forward clean rather
+             than invent behaviour (start has already validated, so this
+             is unreachable in practice). *)
+          Flight.record ~cat:"chaos" ~detail:other "chaos.unknown_scenario";
+          Sockio.write_frame client_fd ~deadline:(proxy_deadline ()) response
+      end)
+
+let accept_loop t =
+  while not (Atomic.get t.stopping) do
+    match Unix.select [ t.listen_fd ] [] [] 0.05 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | [], _, _ -> ()
+    | _ :: _, _, _ -> (
+      match Unix.accept t.listen_fd with
+      | exception Unix.Unix_error _ -> ()
+      | fd, _ ->
+        let conn_id = Atomic.fetch_and_add t.conn_seq 1 in
+        let th =
+          Thread.create
+            (fun () ->
+              try handle t conn_id fd
+              with exn ->
+                Sockio.close_noerr fd;
+                Flight.record ~cat:"chaos"
+                  ~detail:(Printexc.to_string exn)
+                  "chaos.handler_exn")
+            ()
+        in
+        Mutex.lock t.handlers_lock;
+        t.handlers := th :: !(t.handlers);
+        Mutex.unlock t.handlers_lock)
+  done;
+  Unix.close t.listen_fd
+
+let start cfg =
+  if not (List.mem cfg.scenario Scenario.network_names) then
+    Error
+      (Printf.sprintf "unknown network scenario %S (expected one of: %s)"
+         cfg.scenario
+         (String.concat ", " Scenario.network_names))
+  else
+    match
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      Unix.bind fd
+        (Unix.ADDR_INET (Unix.inet_addr_of_string cfg.listen_host, cfg.listen_port));
+      Unix.listen fd 128;
+      fd
+    with
+    | exception Unix.Unix_error (e, fn, _) ->
+      Error (Printf.sprintf "chaos listen: %s: %s" fn (Unix.error_message e))
+    | listen_fd ->
+      let t =
+        {
+          cfg;
+          listen_fd;
+          acceptor = None;
+          stopping = Atomic.make false;
+          conn_seq = Atomic.make 0;
+          injected_n = Atomic.make 0;
+          handlers = ref [];
+          handlers_lock = Mutex.create ();
+        }
+      in
+      t.acceptor <- Some (Thread.create accept_loop t);
+      Ok t
+
+let port t =
+  match Unix.getsockname t.listen_fd with
+  | Unix.ADDR_INET (_, p) -> p
+  | _ -> t.cfg.listen_port
+
+let injected t = Atomic.get t.injected_n
+let connections t = Atomic.get t.conn_seq
+
+let stop t =
+  if not (Atomic.exchange t.stopping true) then begin
+    (match t.acceptor with Some th -> Thread.join th | None -> ());
+    let hs =
+      Mutex.lock t.handlers_lock;
+      let hs = !(t.handlers) in
+      t.handlers := [];
+      Mutex.unlock t.handlers_lock;
+      hs
+    in
+    List.iter Thread.join hs
+  end

@@ -1,0 +1,45 @@
+(** The socket-level fault-injection proxy behind [zkqac chaos].
+
+    Extends the PR 3 adversary registry to the network boundary: the proxy
+    forwards {!Proto} frames between client and server and injects one
+    named {!Zkqac_adversary.Scenario.network} fault into the first
+    [faults] connections — deterministically, so a retrying client that
+    outlives the burst reaches the clean upstream.
+
+    Scenarios: [net-stall] (accept, then silence), [net-slowloris]
+    (byte-at-a-time trickle within a budget), [net-truncate] (honest
+    length prefix, half the payload), [net-disconnect] (cut after
+    [cut_after] raw bytes), [net-corrupt] (complete frame, flipped
+    payload bytes), [net-refuse] (close on accept). *)
+
+type config = {
+  listen_host : string;
+  listen_port : int;  (** 0 picks an ephemeral port *)
+  upstream_host : string;
+  upstream_port : int;
+  scenario : string;  (** a {!Zkqac_adversary.Scenario.network} name *)
+  faults : int;  (** fault the first [faults] connections, then run clean *)
+  stall : float;  (** hold duration for net-stall / slowloris budget *)
+  trickle_delay : float;  (** per-byte delay for net-slowloris *)
+  cut_after : int;  (** bytes forwarded before net-disconnect cuts *)
+  seed : int;  (** drives net-corrupt byte flips *)
+}
+
+val default_config : config
+
+type t
+
+val start : config -> (t, string) result
+(** Validate the scenario name, bind the listener, spawn the acceptor.
+    Returns without blocking. *)
+
+val port : t -> int
+(** The bound listen port (useful with [listen_port = 0]). *)
+
+val injected : t -> int
+(** Connections that received an injected fault so far. *)
+
+val connections : t -> int
+
+val stop : t -> unit
+(** Close the listener and join all handler threads; idempotent. *)

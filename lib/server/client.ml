@@ -1,0 +1,171 @@
+(* The verifying client behind `zkqac client`.
+
+   Completeness survives transient failures; soundness never does. The two
+   halves of that sentence are the whole design:
+
+   - transport faults (refused, timeout, reset, short read, a garbled
+     protocol envelope) and typed transient server statuses (Overloaded,
+     Deadline) are retried with full-jitter exponential backoff under a
+     bounded retry budget — a flaky network costs attempts, not answers;
+   - a typed verification rejection of a complete, decoded response is
+     TERMINAL. A VO that fails ABS verification, a completeness gap, a
+     digest mismatch — retrying those could only help an adversary probe
+     for an accepting run, so the rejection is surfaced immediately. *)
+
+module Wire = Zkqac_util.Wire
+module VE = Zkqac_util.Verify_error
+module Attr = Zkqac_policy.Attr
+module Universe = Zkqac_policy.Universe
+module Hierarchy = Zkqac_policy.Hierarchy
+module Drbg = Zkqac_hashing.Drbg
+module Prng = Zkqac_rng.Prng
+module Flight = Zkqac_telemetry.Flight
+module Metrics = Zkqac_telemetry.Metrics
+module Box = Zkqac_core.Box
+module Record = Zkqac_core.Record
+
+let m_attempts =
+  Metrics.counter ~name:"zkqac_client_attempts_total"
+    ~help:"Query attempts made by the retrying client, by final-attempt flag."
+
+let m_retries =
+  Metrics.counter ~name:"zkqac_client_retries_total"
+    ~help:"Retries performed by the client, by the transient fault that caused them."
+
+type config = {
+  host : string;
+  port : int;
+  connect_timeout : float;
+  read_deadline : float;  (** budget for reading the whole response frame *)
+  write_deadline : float;
+  retries : int;  (** retry budget: attempts beyond the first *)
+  base_backoff : float;  (** first backoff cap, seconds *)
+  max_backoff : float;
+  batch : bool;  (** batch the signature verification (CLI default) *)
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 7499;
+    connect_timeout = 2.0;
+    read_deadline = 10.0;
+    write_deadline = 5.0;
+    retries = 4;
+    base_backoff = 0.05;
+    max_backoff = 2.0;
+    batch = true;
+  }
+
+type failure =
+  | Rejected of VE.t
+      (** typed verification rejection of a complete response — never
+          retried *)
+  | Bad_request of string  (** the server refused the request — never retried *)
+  | Exhausted of { attempts : int; last : string }
+      (** only transient faults occurred, but the retry budget ran out *)
+
+let failure_to_string = function
+  | Rejected e -> Printf.sprintf "verification FAILED [%s]: %s" (VE.code e) (VE.to_string e)
+  | Bad_request d -> "server refused the request: " ^ d
+  | Exhausted { attempts; last } ->
+    Printf.sprintf "no complete response after %d attempt(s); last fault: %s"
+      attempts last
+
+module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
+  module Ap2g = Zkqac_core.Ap2g.Make (P)
+  module Vo = Zkqac_core.Vo.Make (P)
+  module Abs = Zkqac_abs.Abs.Make (P)
+
+  type success = {
+    records : Record.t list;
+    vo_bytes : int;
+    attempts : int;  (** total attempts, 1 = no retry was needed *)
+  }
+
+  (* One attempt: connect, send the request, read and decode one response
+     frame. [`Transient] faults feed the retry loop; everything else is a
+     final outcome. *)
+  let attempt cfg request =
+    match
+      Sockio.connect ~host:cfg.host ~port:cfg.port ~timeout:cfg.connect_timeout
+    with
+    | exception Sockio.Fault f -> `Transient ("connect-" ^ Sockio.fault_code f)
+    | fd ->
+      Fun.protect
+        ~finally:(fun () -> Sockio.close_noerr fd)
+        (fun () ->
+          match
+            let wdl = Sockio.deadline_after cfg.write_deadline in
+            Sockio.write_frame fd ~deadline:wdl request;
+            let rdl = Sockio.deadline_after cfg.read_deadline in
+            Sockio.read_frame fd ~deadline:rdl
+              ~max_bytes:Wire.default_limits.Wire.max_bytes
+          with
+          | exception Sockio.Fault f -> `Transient (Sockio.fault_code f)
+          | frame -> (
+            match Proto.decode_response ~limits:Wire.default_limits frame with
+            | Error _ ->
+              (* A complete frame that is not even a protocol envelope is
+                 line noise or a mid-frame cut dressed as one; retrying is
+                 sound because acceptance still requires full VO
+                 verification. *)
+              `Transient "garbled-response"
+            | Ok (Proto.Vo vo) -> `Vo vo
+            | Ok Proto.Overloaded -> `Transient "overloaded"
+            | Ok Proto.Deadline -> `Transient "server-deadline"
+            | Ok (Proto.Bad_request d) -> `Bad_request d
+            | Ok (Proto.Server_error _) -> `Transient "server-error"))
+
+  let verify cfg ~mvk ~universe ?hierarchy ~user ~query vo_payload =
+    let batch =
+      if cfg.batch then
+        (* Weights derived from the received bytes: the producer committed
+           to the VO before the weights existed. *)
+        Some (Drbg.create ~seed:("zkqac-client-batch:" ^ vo_payload))
+      else None
+    in
+    match Vo.decode vo_payload with
+    | Error e -> Error e
+    | Ok vo ->
+      Ap2g.verify ?batch:batch ~mvk ~t_universe:universe ?hierarchy ~user ~query
+        vo
+
+  let query ?(prng = Prng.create 1) cfg ~mvk ~universe ?hierarchy ~user
+      ~query:box () =
+    let request =
+      Proto.encode_request
+        { Proto.roles = Attr.Set.elements user; query = box }
+    in
+    let max_attempts = 1 + max 0 cfg.retries in
+    let rec go k last =
+      if k >= max_attempts then Error (Exhausted { attempts = k; last })
+      else begin
+        if k > 0 then begin
+          (* Full jitter: uniform in [0, min(max, base·2^(k-1))]. Decorrelates
+             a thundering herd of retrying clients after a shed burst. *)
+          let cap =
+            Float.min cfg.max_backoff
+              (cfg.base_backoff *. Float.pow 2.0 (float_of_int (k - 1)))
+          in
+          Metrics.inc m_retries [ ("reason", last) ];
+          Flight.record ~cat:"client" ~detail:last ~v:k "client.retry";
+          Unix.sleepf (Prng.float prng cap)
+        end;
+        Metrics.inc m_attempts [];
+        match attempt cfg request with
+        | `Transient fault -> go (k + 1) fault
+        | `Bad_request d -> Error (Bad_request d)
+        | `Vo vo_payload -> (
+          match verify cfg ~mvk ~universe ?hierarchy ~user ~query:box vo_payload with
+          | Ok records ->
+            Ok { records; vo_bytes = String.length vo_payload; attempts = k + 1 }
+          | Error e ->
+            (* Soundness: a typed rejection is terminal, whatever the retry
+               budget has left. *)
+            Flight.record ~cat:"client" ~detail:(VE.code e) "client.rejected";
+            Error (Rejected e))
+      end
+    in
+    go 0 "none"
+end

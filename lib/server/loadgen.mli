@@ -1,0 +1,46 @@
+(** The load generator behind [zkqac loadgen].
+
+    N simulated users replay the TPC-H Q6-style range-query mix against a
+    running server through the retrying {!Client}, so every response is
+    verified, not just received. Closed loop (no [qps]: next query starts
+    when the previous completes) or open loop ([qps]: exponential
+    interarrival at the offered rate, the mode that exercises shedding).
+    Latency lands in per-user histograms merged into the {!report};
+    outcomes also feed the process-wide {!Zkqac_telemetry.Metrics}
+    registry for a live [/metrics] endpoint ({!Metrics_http}). *)
+
+type config = {
+  client : Client.config;
+  users : int;
+  qps : float option;  (** [None] = closed loop; total offered rate otherwise *)
+  duration : float;  (** wall-clock budget, seconds *)
+  max_queries : int;  (** stop earlier after this many sends (0 = no cap) *)
+  frac : float;  (** query box covers ~[frac] of the keyspace *)
+  roles : string list;  (** claimed roles; [[]] = every role in the universe *)
+  seed : int;
+}
+
+val default_config : config
+
+type report = {
+  wall : float;  (** seconds the run actually took *)
+  sent : int;
+  ok : int;
+  rejected : int;
+      (** typed verification rejections — must be 0 against an honest server *)
+  bad_request : int;
+  exhausted : int;  (** retry budget ran out on transients *)
+  retries : int;
+  records : int;  (** result records returned across all verified responses *)
+  latency : Zkqac_telemetry.Histogram.t;
+      (** per-query wall latency, retries included *)
+}
+
+val report_to_json : report -> Zkqac_telemetry.Json.t
+
+module Make (P : Zkqac_group.Pairing_intf.PAIRING) : sig
+  val run : config -> ads:string -> (report, string) result
+  (** Load the ADS checkpoint at [ads] (for the public key and universe the
+      client verifies against), run the configured users to completion, and
+      merge their tallies. *)
+end

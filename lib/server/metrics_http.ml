@@ -1,0 +1,93 @@
+(* A minimal HTTP/1.0 responder exposing the process-wide Metrics registry
+   at GET /metrics — enough for `curl` and a Prometheus scrape, nothing
+   more. Used by `zkqac loadgen` (and mirroring the endpoint the server
+   daemon embeds) so a live run can be watched from outside. *)
+
+module Metrics = Zkqac_telemetry.Metrics
+
+type t = {
+  listen_fd : Unix.file_descr;
+  mutable acceptor : Thread.t option;
+  stopping : bool Atomic.t;
+}
+
+let respond fd =
+  let deadline = Sockio.deadline_after 2.0 in
+  match
+    (* Read until the blank line; cap the header block so a hostile peer
+       cannot feed us forever. *)
+    let buf = Buffer.create 256 in
+    let chunk = Bytes.create 256 in
+    let rec slurp () =
+      let left = Sockio.remaining_s deadline in
+      if Buffer.length buf > 4096 || left <= 0.0 then Buffer.contents buf
+      else begin
+        match Unix.select [ fd ] [] [] left with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> slurp ()
+        | [], _, _ -> Buffer.contents buf
+        | _ -> (
+          match Unix.read fd chunk 0 (Bytes.length chunk) with
+          | 0 -> Buffer.contents buf
+          | n ->
+            Buffer.add_subbytes buf chunk 0 n;
+            let s = Buffer.contents buf in
+            if
+              String.length s >= 4
+              && String.sub s (String.length s - 4) 4 = "\r\n\r\n"
+            then s
+            else slurp ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> slurp ())
+      end
+    in
+    slurp ()
+  with
+  | exception _ -> ()
+  | request ->
+    let ok = String.length request >= 12 && String.sub request 0 12 = "GET /metrics" in
+    let body = if ok then Metrics.to_prometheus () else "not found\n" in
+    let head =
+      Printf.sprintf
+        "HTTP/1.0 %s\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: %d\r\n\r\n"
+        (if ok then "200 OK" else "404 Not Found")
+        (String.length body)
+    in
+    (try Sockio.write_all fd ~deadline (head ^ body) with _ -> ())
+
+let accept_loop t =
+  while not (Atomic.get t.stopping) do
+    match Unix.select [ t.listen_fd ] [] [] 0.05 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | [], _, _ -> ()
+    | _ :: _, _, _ -> (
+      match Unix.accept t.listen_fd with
+      | exception Unix.Unix_error _ -> ()
+      | fd, _ ->
+        (* Serial service is plenty: a scrape is one small read + write. *)
+        Fun.protect ~finally:(fun () -> Sockio.close_noerr fd) (fun () ->
+            respond fd))
+  done;
+  Unix.close t.listen_fd
+
+let start ?(host = "127.0.0.1") ~port () =
+  match
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+    Unix.listen fd 16;
+    fd
+  with
+  | exception Unix.Unix_error (e, fn, _) ->
+    Error (Printf.sprintf "metrics listen: %s: %s" fn (Unix.error_message e))
+  | listen_fd ->
+    let t = { listen_fd; acceptor = None; stopping = Atomic.make false } in
+    t.acceptor <- Some (Thread.create accept_loop t);
+    Ok t
+
+let port t =
+  match Unix.getsockname t.listen_fd with
+  | Unix.ADDR_INET (_, p) -> p
+  | _ -> 0
+
+let stop t =
+  if not (Atomic.exchange t.stopping true) then
+    match t.acceptor with Some th -> Thread.join th | None -> ()

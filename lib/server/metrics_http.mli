@@ -1,0 +1,12 @@
+(** A minimal [GET /metrics] HTTP/1.0 endpoint over the process-wide
+    {!Zkqac_telemetry.Metrics} registry, for watching a live [zkqac
+    loadgen] (or any long-running subcommand) from outside. *)
+
+type t
+
+val start : ?host:string -> port:int -> unit -> (t, string) result
+(** Bind and spawn the acceptor; [port = 0] picks an ephemeral port.
+    Returns without blocking. *)
+
+val port : t -> int
+val stop : t -> unit

@@ -1,0 +1,94 @@
+(* The query protocol spoken between `zkqac client` and `zkqac serve`.
+
+   One exchange per connection: the client sends a single request frame
+   (claimed roles + query box), the server answers with a single response
+   frame, both length-prefixed by Sockio and encoded with the
+   resource-bounded Wire readers. Responses are typed: besides the VO
+   payload there are explicit Overloaded / Deadline statuses, so shedding
+   and expiry are protocol outcomes the client can act on (retry with
+   backoff) — never a silent hang. *)
+
+module Wire = Zkqac_util.Wire
+module Box = Zkqac_core.Box
+
+let request_magic = "ZKQAC-REQ-1"
+let response_magic = "ZKQAC-RSP-1"
+
+(* A request is small: role names and 2·dims u32 corners. Anything bigger
+   than this bound is hostile and is refused before allocation. *)
+let max_request_bytes = 1 lsl 16
+
+type request = { roles : string list; query : Box.t }
+
+let encode_box w (b : Box.t) =
+  let dims = Array.length b.Box.lo in
+  Wire.u8 w dims;
+  Array.iter (fun v -> Wire.u32 w v) b.Box.lo;
+  Array.iter (fun v -> Wire.u32 w v) b.Box.hi
+
+let decode_box r =
+  let dims = Wire.ru8 r in
+  let corner () = Array.init dims (fun _ -> Wire.ru32 r) in
+  let lo = corner () in
+  let hi = corner () in
+  (* Box.make re-checks the invariants; Invalid_argument becomes Malformed
+     through Wire.decode. *)
+  Box.make ~lo ~hi
+
+let encode_request { roles; query } =
+  let w = Wire.writer () in
+  Wire.bytes w request_magic;
+  Wire.u32 w (List.length roles);
+  List.iter (fun role -> Wire.bytes w role) roles;
+  encode_box w query;
+  Wire.contents w
+
+let decode_request ?limits data =
+  Wire.decode ?limits data @@ fun r ->
+  if not (String.equal (Wire.rbytes r) request_magic) then raise Wire.Malformed;
+  let n = Wire.rcount r in
+  let roles = List.init n (fun _ -> Wire.rbytes r) in
+  let query = decode_box r in
+  { roles; query }
+
+type response =
+  | Vo of string  (** the encoded VO — the client verifies it locally *)
+  | Overloaded  (** load-shed: the in-flight bound was hit; retry later *)
+  | Deadline  (** the server's query deadline expired; retry later *)
+  | Bad_request of string  (** the request failed to decode; never retried *)
+  | Server_error of string  (** query execution failed on the server *)
+
+let response_code = function
+  | Vo _ -> "ok"
+  | Overloaded -> "overloaded"
+  | Deadline -> "deadline"
+  | Bad_request _ -> "bad-request"
+  | Server_error _ -> "server-error"
+
+let encode_response resp =
+  let w = Wire.writer () in
+  Wire.bytes w response_magic;
+  (match resp with
+  | Vo vo ->
+    Wire.u8 w 0;
+    Wire.bytes w vo
+  | Overloaded -> Wire.u8 w 1
+  | Deadline -> Wire.u8 w 2
+  | Bad_request detail ->
+    Wire.u8 w 3;
+    Wire.bytes w detail
+  | Server_error detail ->
+    Wire.u8 w 4;
+    Wire.bytes w detail);
+  Wire.contents w
+
+let decode_response ?limits data =
+  Wire.decode ?limits data @@ fun r ->
+  if not (String.equal (Wire.rbytes r) response_magic) then raise Wire.Malformed;
+  match Wire.ru8 r with
+  | 0 -> Vo (Wire.rbytes r)
+  | 1 -> Overloaded
+  | 2 -> Deadline
+  | 3 -> Bad_request (Wire.rbytes r)
+  | 4 -> Server_error (Wire.rbytes r)
+  | _ -> raise Wire.Malformed

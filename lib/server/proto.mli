@@ -1,0 +1,43 @@
+(** The query protocol between [zkqac client] and [zkqac serve].
+
+    One exchange per connection: a single request frame (claimed roles +
+    query box), a single typed response frame. Load shedding and deadline
+    expiry are explicit response statuses — transient conditions a client
+    retries with backoff — while [Bad_request] is terminal. The VO payload
+    travels opaque; the client verifies it locally against its own copy of
+    the public key, so a compromised server or network can only produce
+    typed verification failures, never accepted forgeries. *)
+
+module Box = Zkqac_core.Box
+
+val request_magic : string
+val response_magic : string
+
+val max_request_bytes : int
+(** Upper bound on an encoded request; bigger frames are refused before
+    allocation. *)
+
+type request = { roles : string list; query : Box.t }
+
+val encode_request : request -> string
+
+val decode_request :
+  ?limits:Zkqac_util.Wire.limits ->
+  string ->
+  (request, Zkqac_util.Verify_error.t) result
+
+type response =
+  | Vo of string  (** the encoded VO — the client verifies it locally *)
+  | Overloaded  (** load-shed: the in-flight bound was hit; retry later *)
+  | Deadline  (** the server's query deadline expired; retry later *)
+  | Bad_request of string  (** the request failed to decode; never retried *)
+  | Server_error of string  (** query execution failed on the server *)
+
+val response_code : response -> string
+
+val encode_response : response -> string
+
+val decode_response :
+  ?limits:Zkqac_util.Wire.limits ->
+  string ->
+  (response, Zkqac_util.Verify_error.t) result

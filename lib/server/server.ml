@@ -1,0 +1,396 @@
+(* The long-lived SP daemon behind `zkqac serve`.
+
+   Robustness-first serving of the existing query pipeline:
+
+   - every connection carries absolute read/write deadlines (Sockio), so a
+     stalled or dribbling peer is bounded by its budget, never by patience;
+   - at most [max_in_flight] connections are served concurrently; beyond
+     that the acceptor sheds load with a typed Overloaded response (counted
+     in zkqac_server_shed_total) instead of queueing without bound or
+     hanging the client;
+   - query execution runs on a persistent worker-domain Pool; a query that
+     exceeds its deadline yields a typed Deadline response while the worker
+     finishes in the background (domains cannot be cancelled; the in-flight
+     bound already limits how much abandoned work can pile up);
+   - SIGTERM/SIGINT initiate a graceful drain: stop accepting, let in-flight
+     requests finish inside their own deadlines, shut the pool down when
+     safe, flush the audit tail, dump the flight recorder, return so the
+     CLI can exit 0. *)
+
+module Wire = Zkqac_util.Wire
+module VE = Zkqac_util.Verify_error
+module Attr = Zkqac_policy.Attr
+module Drbg = Zkqac_hashing.Drbg
+module Pool = Zkqac_parallel.Pool
+module Flight = Zkqac_telemetry.Flight
+module Metrics = Zkqac_telemetry.Metrics
+module Json = Zkqac_telemetry.Json
+module Audit = Zkqac_audit.Audit
+module Box = Zkqac_core.Box
+module Keyspace = Zkqac_core.Keyspace
+
+(* Registered once at module init, not per functor application: a process
+   instantiates the server for one backend but may do so more than once. *)
+let m_connections =
+  Metrics.counter ~name:"zkqac_server_connections_total"
+    ~help:"TCP connections accepted by zkqac serve."
+
+let m_shed =
+  Metrics.counter ~name:"zkqac_server_shed_total"
+    ~help:
+      "Connections answered with a typed Overloaded response because the in-flight bound was reached."
+
+let m_requests =
+  Metrics.counter ~name:"zkqac_server_requests_total"
+    ~help:"Requests answered by zkqac serve, by typed outcome."
+
+let m_faults =
+  Metrics.counter ~name:"zkqac_server_faults_total"
+    ~help:"Connection-level transport faults observed by zkqac serve, by kind."
+
+type config = {
+  host : string;
+  port : int;  (** 0 picks an ephemeral port (tests); see {!port} *)
+  metrics_port : int option;  (** [Some 0] likewise *)
+  threads : int;  (** worker domains in the persistent pool *)
+  max_in_flight : int;  (** concurrent connections before shedding *)
+  read_deadline : float;  (** budget for reading one request frame *)
+  write_deadline : float;  (** budget for writing one response frame *)
+  query_deadline : float;  (** budget for executing one query *)
+  drain_deadline : float;  (** budget for the whole graceful drain *)
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 7499;
+    metrics_port = None;
+    threads = 2;
+    max_in_flight = 16;
+    read_deadline = 5.0;
+    write_deadline = 5.0;
+    query_deadline = 30.0;
+    drain_deadline = 45.0;
+  }
+
+module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
+  module Ap2g = Zkqac_core.Ap2g.Make (P)
+  module Vo = Zkqac_core.Vo.Make (P)
+  module Abs = Zkqac_abs.Abs.Make (P)
+  module Ads_io = Zkqac_core.Ads_io.Make (P)
+
+  type t = {
+    cfg : config;
+    listen_fd : Unix.file_descr;
+    metrics_fd : Unix.file_descr option;
+    pool : Pool.pool;
+    tree : Ap2g.t;
+    mvk : Abs.mvk;
+    space : Keyspace.t;
+    in_flight : int Atomic.t;
+    running_queries : int Atomic.t;
+    conn_seq : int Atomic.t;
+    served : int Atomic.t;
+    draining : bool Atomic.t;
+    mutable acceptor : Thread.t option;
+    mutable metrics_thread : Thread.t option;
+    mutable handlers : Thread.t list;
+    handlers_lock : Mutex.t;
+  }
+
+  let port t =
+    match Unix.getsockname t.listen_fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> t.cfg.port
+
+  let metrics_port t =
+    Option.map
+      (fun fd ->
+        match Unix.getsockname fd with
+        | Unix.ADDR_INET (_, p) -> p
+        | _ -> 0)
+      t.metrics_fd
+
+  let listen_on host port =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+    Unix.listen fd 128;
+    fd
+
+  let respond t fd resp =
+    let deadline = Sockio.deadline_after t.cfg.write_deadline in
+    Sockio.write_frame fd ~deadline (Proto.encode_response resp)
+
+  let audit_request ~conn ~roles ~query ~outcome ~vo_bytes ~ms =
+    if Audit.enabled () then
+      Audit.record ~kind:"serve"
+        (Json.Obj
+           [ ("conn", Json.Int conn);
+             ("roles", Json.Arr (List.map (fun r -> Json.Str r) roles));
+             ("query", Json.Str (Box.to_string query));
+             ("outcome", Json.Str outcome);
+             ("vo_bytes", Json.Int vo_bytes);
+             ("ms", Json.Float ms) ])
+
+  (* One request per connection: read, decode, execute on the pool with a
+     deadline, respond with a typed status. Transport faults are counted
+     and recorded but never propagate — a hostile peer can cost this
+     handler its deadline budget, nothing more. *)
+  let handle_conn t fd conn_id =
+    let t0 = Zkqac_parallel.Monotonic_clock.now_ns () in
+    let finish ?(roles = []) ?query resp =
+      let outcome = Proto.response_code resp in
+      Metrics.inc m_requests [ ("outcome", outcome) ];
+      let vo_bytes = match resp with Proto.Vo vo -> String.length vo | _ -> 0 in
+      (match query with
+      | Some query ->
+        audit_request ~conn:conn_id ~roles ~query ~outcome ~vo_bytes
+          ~ms:(Zkqac_parallel.Monotonic_clock.elapsed_since t0 *. 1000.0)
+      | None -> ());
+      Flight.record ~cat:"server" ~detail:outcome ~v:vo_bytes "server.request";
+      respond t fd resp
+    in
+    match
+      let deadline = Sockio.deadline_after t.cfg.read_deadline in
+      Sockio.read_frame fd ~deadline ~max_bytes:Proto.max_request_bytes
+    with
+    | exception Sockio.Fault f ->
+      Metrics.inc m_faults [ ("kind", "read-" ^ Sockio.fault_code f) ];
+      Flight.record ~cat:"server"
+        ~detail:(Printf.sprintf "conn=%d %s" conn_id (Sockio.fault_code f))
+        "server.read_fault";
+      (* An oversized frame header is a protocol violation worth a typed
+         per-connection limit record and answer; pure transport faults get
+         nothing (the peer is gone or stalled). *)
+      (match f with
+      | Sockio.Too_large { length; limit } ->
+        Flight.record ~cat:"server"
+          ~detail:(Printf.sprintf "conn=%d frame bytes %d" conn_id length)
+          ~v:limit "server.wire_limit";
+        finish (Proto.Bad_request "limit-exceeded")
+      | _ -> ())
+    | frame -> (
+      match Proto.decode_request ~limits:Wire.default_limits frame with
+      | Error e ->
+        (* Per-connection record of reader-limit hits: the wire layer logs
+           the limit itself; this names the connection that tripped it. *)
+        (match e with
+        | VE.Limit_exceeded { what; limit } ->
+          Flight.record ~cat:"server"
+            ~detail:(Printf.sprintf "conn=%d %s" conn_id what)
+            ~v:limit "server.wire_limit"
+        | _ -> ());
+        finish (Proto.Bad_request (VE.code e))
+      | Ok { Proto.roles; query } ->
+        if not (Box.contains_box (Keyspace.whole t.space) query) then
+          finish ~roles ~query (Proto.Bad_request "query-outside-space")
+        else begin
+          let fut =
+            Pool.submit t.pool (fun () ->
+                Atomic.incr t.running_queries;
+                Fun.protect
+                  ~finally:(fun () -> Atomic.decr t.running_queries)
+                  (fun () ->
+                    let drbg =
+                      Drbg.create
+                        ~seed:(Printf.sprintf "zkqac-serve:%d" conn_id)
+                    in
+                    let user = Attr.set_of_list roles in
+                    let vo, _stats =
+                      Ap2g.range_vo drbg ~mvk:t.mvk t.tree ~user query
+                    in
+                    Vo.to_bytes vo))
+          in
+          match Pool.await_timeout fut t.cfg.query_deadline with
+          | None ->
+            Flight.record ~cat:"server"
+              ~detail:(Printf.sprintf "conn=%d" conn_id)
+              "server.query_deadline";
+            finish ~roles ~query Proto.Deadline
+          | Some (Error (e, _bt)) ->
+            finish ~roles ~query (Proto.Server_error (Printexc.to_string e))
+          | Some (Ok vo_bytes) ->
+            Atomic.incr t.served;
+            finish ~roles ~query (Proto.Vo vo_bytes)
+        end)
+
+  let guarded_handle t fd conn_id =
+    (match handle_conn t fd conn_id with
+    | () -> ()
+    | exception Sockio.Fault f ->
+      (* A fault while writing the response: the peer vanished or stalled
+         mid-VO. Typed, counted, and over. *)
+      Metrics.inc m_faults [ ("kind", "write-" ^ Sockio.fault_code f) ];
+      Flight.record ~cat:"server"
+        ~detail:(Printf.sprintf "conn=%d %s" conn_id (Sockio.fault_code f))
+        "server.write_fault"
+    | exception e ->
+      Metrics.inc m_faults [ ("kind", "handler-exception") ];
+      Flight.trip ~reason:("server-handler:" ^ Printexc.to_string e));
+    Sockio.close_noerr fd;
+    Atomic.decr t.in_flight
+
+  let shed _t fd =
+    Metrics.inc m_shed [];
+    Flight.record ~cat:"server" "server.shed";
+    (* Best-effort typed refusal with a tight budget: a peer that will not
+       read its Overloaded frame forfeits it. *)
+    (try
+       let deadline = Sockio.deadline_after 1.0 in
+       Sockio.write_frame fd ~deadline (Proto.encode_response Proto.Overloaded)
+     with Sockio.Fault _ -> ());
+    Sockio.close_noerr fd
+
+  let accept_loop t =
+    while not (Atomic.get t.draining) do
+      match Unix.select [ t.listen_fd ] [] [] 0.05 with
+      | [], _, _ -> ()
+      | _ -> (
+        match Unix.accept t.listen_fd with
+        | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) ->
+          ()
+        | exception Unix.Unix_error _ -> Thread.delay 0.01
+        | fd, _ ->
+          let conn_id = Atomic.fetch_and_add t.conn_seq 1 in
+          Metrics.inc m_connections [];
+          if Atomic.get t.in_flight >= t.cfg.max_in_flight then shed t fd
+          else begin
+            Atomic.incr t.in_flight;
+            let th = Thread.create (fun () -> guarded_handle t fd conn_id) () in
+            Mutex.lock t.handlers_lock;
+            t.handlers <- th :: t.handlers;
+            Mutex.unlock t.handlers_lock
+          end)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    done;
+    (* Drain: stop accepting, give in-flight requests their own deadlines
+       to finish, then stop the pool once no query is still running. *)
+    Sockio.close_noerr t.listen_fd;
+    let deadline = Sockio.deadline_after t.cfg.drain_deadline in
+    while Atomic.get t.in_flight > 0 && Sockio.remaining_s deadline > 0.0 do
+      Thread.delay 0.01
+    done;
+    Mutex.lock t.handlers_lock;
+    let handlers = t.handlers in
+    t.handlers <- [];
+    Mutex.unlock t.handlers_lock;
+    if Atomic.get t.in_flight = 0 then List.iter Thread.join handlers;
+    (* Abandoned (deadline-expired) queries may still hold worker domains;
+       Pool.shutdown joins them, so it only runs when none is left. The
+       drain must exit within its deadline even if a worker is stuck. *)
+    while Atomic.get t.running_queries > 0 && Sockio.remaining_s deadline > 0.0 do
+      Thread.delay 0.01
+    done;
+    if Atomic.get t.running_queries = 0 then Pool.shutdown t.pool
+    else
+      Flight.record ~cat:"server" ~v:(Atomic.get t.running_queries)
+        "server.drain_stragglers";
+    if Audit.enabled () then
+      Audit.record ~kind:"drain"
+        (Json.Obj
+           [ ("served", Json.Int (Atomic.get t.served));
+             ("connections", Json.Int (Atomic.get t.conn_seq));
+             ("clean", Json.Bool (Atomic.get t.running_queries = 0)) ]);
+    Flight.record ~cat:"server" ~v:(Atomic.get t.served) "server.drained"
+
+  (* Minimal HTTP/1.0 responder for GET /metrics: the pull side of the
+     Metrics registry, live while the daemon serves. *)
+  let metrics_loop t fd =
+    while not (Atomic.get t.draining) do
+      match Unix.select [ fd ] [] [] 0.05 with
+      | [], _, _ -> ()
+      | _ -> (
+        match Unix.accept fd with
+        | exception Unix.Unix_error _ -> ()
+        | client, _ ->
+          (try
+             let deadline = Sockio.deadline_after 2.0 in
+             let buf = Buffer.create 256 in
+             (* Read until the header terminator or a small cap. *)
+             (try
+                while
+                  Buffer.length buf < 4096
+                  && not
+                       (Buffer.length buf >= 4
+                       && String.sub (Buffer.contents buf)
+                            (Buffer.length buf - 4) 4
+                          = "\r\n\r\n")
+                do
+                  Buffer.add_string buf (Sockio.read_exact client ~deadline 1)
+                done
+              with Sockio.Fault _ -> ());
+             let request = Buffer.contents buf in
+             let ok =
+               match String.index_opt request ' ' with
+               | Some i ->
+                 let rest = String.sub request (i + 1) (String.length request - i - 1) in
+                 String.length rest >= 8 && String.sub rest 0 8 = "/metrics"
+               | None -> false
+             in
+             let body, status =
+               if ok then (Metrics.to_prometheus (), "200 OK")
+               else ("not found\n", "404 Not Found")
+             in
+             Sockio.write_all client ~deadline
+               (Printf.sprintf
+                  "HTTP/1.0 %s\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
+                  status (String.length body) body)
+           with Sockio.Fault _ | Unix.Unix_error _ -> ());
+          Sockio.close_noerr client)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    done;
+    Sockio.close_noerr fd
+
+  let start cfg ~ads =
+    match Ads_io.load ~path:ads with
+    | Error e -> Error e
+    | Ok (mvk, tree) -> (
+      match listen_on cfg.host cfg.port with
+      | exception Unix.Unix_error (e, _, _) ->
+        Error
+          (Printf.sprintf "cannot listen on %s:%d: %s" cfg.host cfg.port
+             (Unix.error_message e))
+      | listen_fd ->
+        let metrics_fd =
+          match cfg.metrics_port with
+          | None -> None
+          | Some p -> Some (listen_on cfg.host p)
+        in
+        let t =
+          {
+            cfg;
+            listen_fd;
+            metrics_fd;
+            pool = Pool.create ~threads:cfg.threads ();
+            tree;
+            mvk;
+            space = Ap2g.space tree;
+            in_flight = Atomic.make 0;
+            running_queries = Atomic.make 0;
+            conn_seq = Atomic.make 0;
+            served = Atomic.make 0;
+            draining = Atomic.make false;
+            acceptor = None;
+            metrics_thread = None;
+            handlers = [];
+            handlers_lock = Mutex.create ();
+          }
+        in
+        t.acceptor <- Some (Thread.create (fun () -> accept_loop t) ());
+        t.metrics_thread <-
+          Option.map
+            (fun fd -> Thread.create (fun () -> metrics_loop t fd) ())
+            metrics_fd;
+        Ok t)
+
+  let begin_drain t = Atomic.set t.draining true
+
+  let wait t =
+    Option.iter Thread.join t.acceptor;
+    Option.iter Thread.join t.metrics_thread
+
+  let served t = Atomic.get t.served
+  let connections t = Atomic.get t.conn_seq
+  let pool t = t.pool
+end

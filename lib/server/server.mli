@@ -1,0 +1,63 @@
+(** The long-lived SP daemon behind [zkqac serve].
+
+    Serves range queries over a loaded ADS checkpoint, speaking {!Proto}
+    over TCP, robustness-first:
+
+    - per-connection absolute read/write deadlines ({!Sockio});
+    - a bounded in-flight set with typed load shedding
+      ([zkqac_server_shed_total]) — overload answers [Overloaded], never
+      queues without bound, never hangs;
+    - query execution on a persistent worker-domain pool
+      ({!Zkqac_parallel.Pool}) with a per-query deadline — expiry answers
+      [Deadline] while the abandoned worker finishes in the background;
+    - graceful drain ({!begin_drain}, wired to SIGTERM by the CLI): stop
+      accepting, let in-flight requests finish within their own deadlines,
+      shut the pool down when no query is left running, append a [drain]
+      audit entry, and return within [drain_deadline] even if a worker is
+      stuck;
+    - an optional live [GET /metrics] HTTP endpoint fed by the
+      {!Zkqac_telemetry.Metrics} registry. *)
+
+type config = {
+  host : string;
+  port : int;  (** 0 picks an ephemeral port (tests); see {!Make.port} *)
+  metrics_port : int option;  (** [Some 0] likewise *)
+  threads : int;  (** worker domains in the persistent pool *)
+  max_in_flight : int;  (** concurrent connections before shedding *)
+  read_deadline : float;  (** budget for reading one request frame *)
+  write_deadline : float;  (** budget for writing one response frame *)
+  query_deadline : float;  (** budget for executing one query *)
+  drain_deadline : float;  (** budget for the whole graceful drain *)
+}
+
+val default_config : config
+
+module Make (P : Zkqac_group.Pairing_intf.PAIRING) : sig
+  module Ap2g : module type of Zkqac_core.Ap2g.Make (P)
+  module Abs : module type of Zkqac_abs.Abs.Make (P)
+
+  type t
+
+  val start : config -> ads:string -> (t, string) result
+  (** Load the ADS checkpoint, bind the listener(s), spawn the persistent
+      pool and the acceptor/metrics threads. Returns without blocking. *)
+
+  val port : t -> int
+  (** The bound query port (useful with [port = 0]). *)
+
+  val metrics_port : t -> int option
+
+  val begin_drain : t -> unit
+  (** Initiate graceful drain; idempotent, callable from a signal handler. *)
+
+  val wait : t -> unit
+  (** Block until the drain completes (acceptor and metrics threads done). *)
+
+  val served : t -> int
+  (** Queries answered with a VO so far. *)
+
+  val connections : t -> int
+  (** Connections accepted (including shed ones). *)
+
+  val pool : t -> Zkqac_parallel.Pool.pool
+end

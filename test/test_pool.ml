@@ -55,10 +55,100 @@ let test_success_order () =
     (List.init 17 (fun i -> i * i))
     (Pool.map ~threads:4 jobs)
 
+(* --- persistent pool: futures, respawn-on-exception, shutdown --- *)
+
+let test_persistent_basic () =
+  let pool = Pool.create ~threads:2 () in
+  Alcotest.(check int) "size" 2 (Pool.pool_size pool);
+  (match Pool.run pool (fun () -> 21 * 2) with
+  | Ok 42 -> ()
+  | Ok v -> Alcotest.failf "got %d" v
+  | Error (e, _) -> Alcotest.failf "job failed: %s" (Printexc.to_string e));
+  Alcotest.(check int) "no respawns" 0 (Pool.respawns pool);
+  Pool.shutdown pool
+
+let test_persistent_storm () =
+  (* A worker-exception storm across >= 2 domains: every raising job must
+     retire its worker (counted), every future must be fulfilled with a
+     deterministic result, and the pool must still answer afterwards. *)
+  let pool = Pool.create ~threads:3 () in
+  let futs =
+    List.init 24 (fun i ->
+        ( i,
+          Pool.submit pool (fun () ->
+              if i mod 2 = 1 then failwith (Printf.sprintf "storm-%d" i)
+              else i * 10) ))
+  in
+  List.iter
+    (fun (i, fut) ->
+      match Pool.await fut with
+      | Ok v ->
+        if i mod 2 = 1 then Alcotest.failf "job %d should have failed" i;
+        Alcotest.(check int) (Printf.sprintf "job %d value" i) (i * 10) v
+      | Error (Failure msg, _) ->
+        if i mod 2 = 0 then Alcotest.failf "job %d should have succeeded" i;
+        Alcotest.(check string)
+          (Printf.sprintf "job %d message" i)
+          (Printf.sprintf "storm-%d" i)
+          msg
+      | Error (e, _) ->
+        Alcotest.failf "job %d: unexpected %s" i (Printexc.to_string e))
+    futs;
+  (* The pool survived the storm at full strength. *)
+  (match Pool.run pool (fun () -> "alive") with
+  | Ok "alive" -> ()
+  | _ -> Alcotest.fail "pool dead after storm");
+  (* A retirement is counted by the dying worker after it fulfills the
+     job's future, so only the post-shutdown count (every domain joined)
+     is exact. *)
+  Pool.shutdown pool;
+  Alcotest.(check int) "one respawn per raising job" 12 (Pool.respawns pool)
+
+let test_persistent_await_timeout () =
+  let pool = Pool.create ~threads:1 () in
+  let slow = Pool.submit pool (fun () -> Thread.delay 0.4; 7) in
+  (match Pool.await_timeout slow 0.02 with
+  | None -> ()
+  | Some _ -> Alcotest.fail "expected deadline expiry");
+  (* The job was not cancelled; it still completes. *)
+  (match Pool.await slow with
+  | Ok 7 -> ()
+  | _ -> Alcotest.fail "slow job lost after timeout");
+  Pool.shutdown pool
+
+let test_persistent_shutdown () =
+  let pool = Pool.create ~threads:1 () in
+  let futs =
+    List.init 8 (fun i -> Pool.submit pool (fun () -> Thread.delay 0.005; i))
+  in
+  Pool.shutdown pool;
+  (* Every future submitted before shutdown is fulfilled... *)
+  List.iteri
+    (fun i fut ->
+      match Pool.peek fut with
+      | Some (Ok v) -> Alcotest.(check int) "queued job ran" i v
+      | Some (Error (e, _)) ->
+        Alcotest.failf "queued job failed: %s" (Printexc.to_string e)
+      | None -> Alcotest.fail "future unfulfilled after shutdown")
+    futs;
+  (* ...and later submits are refused, not silently dropped. *)
+  (match Pool.submit pool (fun () -> 0) with
+  | _ -> Alcotest.fail "submit after shutdown should raise"
+  | exception Invalid_argument _ -> ());
+  (* Idempotent. *)
+  Pool.shutdown pool
+
 let suite =
   [ ( "pool",
       [ Alcotest.test_case "single failure" `Quick test_single_failure;
         Alcotest.test_case "multi failure deterministic" `Quick
           test_multi_failure_deterministic;
         Alcotest.test_case "Not_found wrapped" `Quick test_not_found_is_wrapped;
-        Alcotest.test_case "success order" `Quick test_success_order ] ) ]
+        Alcotest.test_case "success order" `Quick test_success_order;
+        Alcotest.test_case "persistent basic" `Quick test_persistent_basic;
+        Alcotest.test_case "persistent exception storm" `Quick
+          test_persistent_storm;
+        Alcotest.test_case "persistent await timeout" `Quick
+          test_persistent_await_timeout;
+        Alcotest.test_case "persistent shutdown fulfills queue" `Quick
+          test_persistent_shutdown ] ) ]

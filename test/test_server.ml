@@ -1,0 +1,439 @@
+(* The serving stack end to end: protocol round-trips, the daemon's typed
+   failure modes (shed, deadline, bad request, drain), the full network
+   chaos sweep through the fault-injection proxy, and the checkpoint
+   loader's behaviour on truncated and bit-flipped ADS files.
+
+   Everything runs in-process against ephemeral ports: Server.Make and the
+   chaos proxy are plain values here, so the tests assert on typed results
+   rather than parsing CLI output. *)
+
+module Expr = Zkqac_policy.Expr
+module Attr = Zkqac_policy.Attr
+module Universe = Zkqac_policy.Universe
+module Drbg = Zkqac_hashing.Drbg
+module Box = Zkqac_core.Box
+module Keyspace = Zkqac_core.Keyspace
+module Record = Zkqac_core.Record
+module Scenario = Zkqac_adversary.Scenario
+module VE = Zkqac_util.Verify_error
+
+module Backend = (val Zkqac_group.Backend.instantiate Zkqac_group.Backend.Mock)
+module Abs = Zkqac_abs.Abs.Make (Backend)
+module Ap2g = Zkqac_core.Ap2g.Make (Backend)
+module Ads_io = Zkqac_core.Ads_io.Make (Backend)
+module S = Zkqac_server.Server
+module Server = Zkqac_server.Server.Make (Backend)
+module Proto = Zkqac_server.Proto
+module Sockio = Zkqac_server.Sockio
+module Client = Zkqac_server.Client
+module Cl = Zkqac_server.Client.Make (Backend)
+module Chaos = Zkqac_server.Chaos
+
+(* --- fixture: a small signed database saved to a temp checkpoint --- *)
+
+let fixture =
+  lazy
+    (let drbg = Drbg.create ~seed:"test-server" in
+     let msk, mvk = Abs.setup drbg in
+     let universe = Universe.create [ "RoleA"; "RoleB" ] in
+     let sk = Abs.keygen drbg msk (Universe.attrs universe) in
+     let space = Keyspace.create ~dims:2 ~depth:2 in
+     let records =
+       [
+         Record.make ~key:[| 0; 1 |] ~value:"a" ~policy:(Expr.of_string "RoleA");
+         Record.make ~key:[| 2; 3 |] ~value:"b" ~policy:(Expr.of_string "RoleB");
+         Record.make ~key:[| 3; 0 |] ~value:"c"
+           ~policy:(Expr.of_string "RoleA & RoleB");
+       ]
+     in
+     let tree =
+       Ap2g.build drbg ~mvk ~sk ~space ~universe ~pseudo_seed:"test" records
+     in
+     let path = Filename.temp_file "zkqac-test-ads" ".zkqac" in
+     Ads_io.save ~path ~mvk tree;
+     (path, mvk, tree))
+
+let ads_path () =
+  let p, _, _ = Lazy.force fixture in
+  p
+
+let whole_box = Box.make ~lo:[| 0; 0 |] ~hi:[| 3; 3 |]
+let user_a = Attr.set_of_list [ "RoleA" ]
+
+let base_server_cfg =
+  {
+    S.default_config with
+    S.port = 0;
+    metrics_port = None;
+    threads = 2;
+    max_in_flight = 8;
+    read_deadline = 1.0;
+    write_deadline = 2.0;
+    query_deadline = 10.0;
+    drain_deadline = 10.0;
+  }
+
+let with_server cfg f =
+  match Server.start cfg ~ads:(ads_path ()) with
+  | Error e -> Alcotest.failf "server start: %s" e
+  | Ok t ->
+    Fun.protect
+      ~finally:(fun () ->
+        Server.begin_drain t;
+        Server.wait t)
+      (fun () -> f t)
+
+let client_cfg port =
+  {
+    Client.default_config with
+    Client.port;
+    connect_timeout = 2.0;
+    read_deadline = 1.0;
+    write_deadline = 2.0;
+    retries = 5;
+    base_backoff = 0.01;
+    max_backoff = 0.05;
+  }
+
+let query_server ?(cfg_of = client_cfg) port =
+  let _, mvk, tree = Lazy.force fixture in
+  Cl.query (cfg_of port) ~mvk ~universe:(Ap2g.universe tree)
+    ?hierarchy:(Ap2g.hierarchy tree) ~user:user_a ~query:whole_box ()
+
+(* --- protocol round-trips --- *)
+
+let test_proto_roundtrip () =
+  let req = { Proto.roles = [ "RoleA"; "RoleB" ]; query = whole_box } in
+  (match Proto.decode_request (Proto.encode_request req) with
+  | Ok r ->
+    Alcotest.(check (list string)) "roles" req.Proto.roles r.Proto.roles;
+    Alcotest.(check bool) "query" true (Box.equal req.Proto.query r.Proto.query)
+  | Error e -> Alcotest.failf "request decode: %s" (VE.to_string e));
+  let responses =
+    [
+      Proto.Vo "some vo bytes";
+      Proto.Overloaded;
+      Proto.Deadline;
+      Proto.Bad_request "nope";
+      Proto.Server_error "kaput";
+    ]
+  in
+  List.iter
+    (fun resp ->
+      match Proto.decode_response (Proto.encode_response resp) with
+      | Ok r ->
+        Alcotest.(check string)
+          ("round-trip " ^ Proto.response_code resp)
+          (Proto.response_code resp) (Proto.response_code r)
+      | Error e ->
+        Alcotest.failf "response decode [%s]: %s" (Proto.response_code resp)
+          (VE.to_string e))
+    responses;
+  (* Garbage and truncations decode to typed errors, never exceptions. *)
+  List.iter
+    (fun junk ->
+      match Proto.decode_request junk with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "junk request %S decoded" junk)
+    [ ""; "x"; "ZKQAC-RSP-1"; String.make 64 '\xff' ];
+  List.iter
+    (fun junk ->
+      match Proto.decode_response junk with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "junk response %S decoded" junk)
+    [ ""; "x"; "ZKQAC-REQ-1"; String.make 64 '\x00' ]
+
+(* --- serve round-trip and typed failure modes --- *)
+
+let test_serve_roundtrip () =
+  with_server base_server_cfg @@ fun t ->
+  (match query_server (Server.port t) with
+  | Ok s ->
+    Alcotest.(check int) "one attempt" 1 s.Cl.attempts;
+    Alcotest.(check int) "RoleA records" 1 (List.length s.Cl.records)
+  | Error f -> Alcotest.failf "round-trip: %s" (Client.failure_to_string f));
+  Alcotest.(check int) "served" 1 (Server.served t)
+
+let test_serve_shed () =
+  (* max_in_flight = 0 sheds every connection: the client must see typed
+     Overloaded transients and exhaust its budget — never a hang. *)
+  with_server { base_server_cfg with S.max_in_flight = 0 } @@ fun t ->
+  match query_server (Server.port t) with
+  | Error (Client.Exhausted { last = "overloaded"; attempts }) ->
+    Alcotest.(check int) "budget spent" 6 attempts
+  | Error f -> Alcotest.failf "expected overloaded, got %s" (Client.failure_to_string f)
+  | Ok _ -> Alcotest.fail "query succeeded through a zero-capacity server"
+
+let test_serve_query_deadline () =
+  (* A zero query deadline expires before any worker can answer: typed
+     Deadline response, and the client treats it as transient. *)
+  with_server { base_server_cfg with S.query_deadline = 0.0 } @@ fun t ->
+  match query_server (Server.port t) with
+  | Error (Client.Exhausted { last = "server-deadline"; _ }) -> ()
+  | Error f ->
+    Alcotest.failf "expected server-deadline, got %s" (Client.failure_to_string f)
+  | Ok _ -> Alcotest.fail "query beat a zero deadline"
+
+let test_serve_read_deadline () =
+  (* A mute client is disconnected once the read deadline passes — the
+     server never waits forever on a stalled request. *)
+  with_server base_server_cfg @@ fun t ->
+  let fd =
+    Sockio.connect ~host:"127.0.0.1" ~port:(Server.port t) ~timeout:2.0
+  in
+  Fun.protect
+    ~finally:(fun () -> Sockio.close_noerr fd)
+    (fun () ->
+      let t0 = Unix.gettimeofday () in
+      (match Sockio.read_frame fd ~deadline:(Sockio.deadline_after 5.0)
+               ~max_bytes:1024 with
+      | _ -> Alcotest.fail "server answered an empty request"
+      | exception Sockio.Fault _ -> ());
+      Alcotest.(check bool) "dropped within ~read_deadline" true
+        (Unix.gettimeofday () -. t0 < 4.0))
+
+let test_serve_bad_request () =
+  with_server base_server_cfg @@ fun t ->
+  let exchange payload =
+    let fd =
+      Sockio.connect ~host:"127.0.0.1" ~port:(Server.port t) ~timeout:2.0
+    in
+    Fun.protect
+      ~finally:(fun () -> Sockio.close_noerr fd)
+      (fun () ->
+        match
+          let dl = Sockio.deadline_after 5.0 in
+          Sockio.write_frame fd ~deadline:dl payload;
+          Sockio.read_frame fd ~deadline:dl ~max_bytes:(1 lsl 20)
+        with
+        | frame -> (
+          match Proto.decode_response frame with
+          | Ok r -> `Resp r
+          | Error e -> Alcotest.failf "undecodable response: %s" (VE.to_string e))
+        | exception Sockio.Fault f -> `Fault f)
+  in
+  (* Undecodable request: typed Bad_request, connection still served. *)
+  (match exchange "complete garbage" with
+  | `Resp (Proto.Bad_request _) -> ()
+  | `Resp r -> Alcotest.failf "garbage got %s" (Proto.response_code r)
+  | `Fault f -> Alcotest.failf "garbage: %s" (Sockio.fault_to_string f));
+  (* Oversized frame: refused before the payload is even read. The refusal
+     may close the connection while we are still writing our 64K, so a
+     typed transport fault is as acceptable as reading the Bad_request. *)
+  (match exchange (String.make (Proto.max_request_bytes + 1) 'x') with
+  | `Resp (Proto.Bad_request _) | `Fault _ -> ()
+  | `Resp r -> Alcotest.failf "oversized got %s" (Proto.response_code r));
+  (* A query outside the keyspace is terminal, not a retry loop. *)
+  let outside = Box.make ~lo:[| 10; 10 |] ~hi:[| 11; 11 |] in
+  match
+    exchange
+      (Proto.encode_request { Proto.roles = [ "RoleA" ]; query = outside })
+  with
+  | `Resp (Proto.Bad_request d) ->
+    Alcotest.(check string) "reason" "query-outside-space" d
+  | `Resp r -> Alcotest.failf "outside-space got %s" (Proto.response_code r)
+  | `Fault f -> Alcotest.failf "outside-space: %s" (Sockio.fault_to_string f)
+
+let test_serve_drain () =
+  let cfg = base_server_cfg in
+  match Server.start cfg ~ads:(ads_path ()) with
+  | Error e -> Alcotest.failf "server start: %s" e
+  | Ok t ->
+    (match query_server (Server.port t) with
+    | Ok _ -> ()
+    | Error f -> Alcotest.failf "pre-drain query: %s" (Client.failure_to_string f));
+    let port = Server.port t in
+    Server.begin_drain t;
+    Server.wait t;
+    Alcotest.(check int) "served across drain" 1 (Server.served t);
+    (* The listener is gone: a new connection must fail fast. *)
+    (match Sockio.connect ~host:"127.0.0.1" ~port ~timeout:1.0 with
+    | fd ->
+      (* Accepted by a lingering backlog at worst — it must still be dead. *)
+      Fun.protect
+        ~finally:(fun () -> Sockio.close_noerr fd)
+        (fun () ->
+          match
+            Sockio.read_frame fd ~deadline:(Sockio.deadline_after 1.0)
+              ~max_bytes:1024
+          with
+          | _ -> Alcotest.fail "drained server answered"
+          | exception Sockio.Fault _ -> ())
+    | exception Sockio.Fault _ -> ())
+
+(* --- the chaos sweep: every network scenario, typed error or retry --- *)
+
+let run_chaos_scenario (sc : Scenario.t) =
+  with_server base_server_cfg @@ fun t ->
+  let chaos_cfg =
+    {
+      Chaos.default_config with
+      Chaos.listen_port = 0;
+      upstream_port = Server.port t;
+      scenario = sc.Scenario.name;
+      faults = 1;
+      (* Short enough to keep the sweep fast, long enough to overrun the
+         client's 1s read deadline. *)
+      stall = 2.0;
+      trickle_delay = 0.3;
+      cut_after = 10;
+      seed = 99;
+    }
+  in
+  match Chaos.start chaos_cfg with
+  | Error e -> Alcotest.failf "%s: chaos start: %s" sc.Scenario.name e
+  | Ok proxy ->
+    Fun.protect
+      ~finally:(fun () -> Chaos.stop proxy)
+      (fun () ->
+        let outcome = query_server (Chaos.port proxy) in
+        Alcotest.(check int)
+          (sc.Scenario.name ^ " injected once")
+          1 (Chaos.injected proxy);
+        match (sc.Scenario.name, outcome) with
+        | "net-corrupt", Error (Client.Rejected _) ->
+          (* A complete-but-lying frame must die as a typed verification
+             rejection — and must never be retried. *)
+          ()
+        | "net-corrupt", Ok s ->
+          (* Corruption that garbles the envelope itself is transport: the
+             retry reached the clean upstream and verified. *)
+          Alcotest.(check bool)
+            "corrupt retried" true (s.Cl.attempts > 1)
+        | _, Ok s ->
+          (* Every pure-transport fault: first attempt burned by the
+             injector, retry reaches the clean upstream, VO verifies. *)
+          Alcotest.(check bool)
+            (sc.Scenario.name ^ " retried")
+            true (s.Cl.attempts > 1)
+        | name, Error f ->
+          Alcotest.failf "%s: %s" name (Client.failure_to_string f))
+
+let test_chaos_sweep () =
+  Alcotest.(check bool)
+    "network scenarios registered" true
+    (List.length Scenario.network >= 6);
+  List.iter run_chaos_scenario Scenario.network
+
+let test_chaos_registry () =
+  (* Transport scenarios are findable but stay out of the VO-tamper list:
+     the attack matrix over VO fixtures is unchanged. *)
+  List.iter
+    (fun name ->
+      match Scenario.find name with
+      | Some sc ->
+        Alcotest.(check string)
+          (name ^ " category") "transport"
+          (Scenario.category_name sc.Scenario.category)
+      | None -> Alcotest.failf "%s not found" name)
+    Scenario.network_names;
+  List.iter
+    (fun (sc : Scenario.t) ->
+      Alcotest.(check bool)
+        (sc.Scenario.name ^ " not in VO list")
+        false
+        (List.mem sc.Scenario.name Scenario.names))
+    Scenario.network
+
+(* --- checkpoint robustness: truncation and byte flips --- *)
+
+let contains_sub hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let read_file path =
+  let ic = open_in_bin path in
+  let data = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  data
+
+let write_file path data =
+  let oc = open_out_bin path in
+  output_string oc data;
+  close_out oc
+
+let load_mutant data =
+  let path = Filename.temp_file "zkqac-test-mutant" ".zkqac" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      write_file path data;
+      Ads_io.load ~path)
+
+let test_ads_truncation () =
+  let whole = read_file (ads_path ()) in
+  let n = String.length whole in
+  List.iter
+    (fun keep ->
+      match load_mutant (String.sub whole 0 keep) with
+      | Error msg ->
+        Alcotest.(check bool)
+          (Printf.sprintf "truncation at %d names the file" keep)
+          true
+          (contains_sub msg "zkqac-test-mutant")
+      | Ok _ -> Alcotest.failf "truncation at %d bytes loaded" keep)
+    [ 0; 1; 4; n / 4; n / 2; n - 1 ]
+
+let test_ads_byte_flips () =
+  let whole = read_file (ads_path ()) in
+  let n = String.length whole in
+  (* A flip anywhere must surface as a typed error with a stable code —
+     never an escaped exception, and never a silently-accepted checkpoint
+     (the body checksum covers every byte after the header). *)
+  List.iter
+    (fun off ->
+      let b = Bytes.of_string whole in
+      Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor 0x41));
+      match load_mutant (Bytes.to_string b) with
+      | Error msg ->
+        Alcotest.(check bool)
+          (Printf.sprintf "flip at %d carries a typed code" off)
+          true
+          (contains_sub msg "[")
+      | Ok _ -> Alcotest.failf "flip at %d accepted" off)
+    [ 0; 1; 7; 16; n / 3; n / 2; (2 * n) / 3; n - 2; n - 1 ]
+
+let test_ads_typed_decode () =
+  (* Raw garbage never parses a length-prefixed field: the Wire reader
+     raises before the magic comparison, and the catch-all types it. *)
+  (match Ads_io.decode_typed "not an ads file at all" with
+  | Error e -> Alcotest.(check string) "raw garbage" "malformed" (VE.code e)
+  | Ok _ -> Alcotest.fail "garbage decoded");
+  (* A well-formed bytes field holding the wrong magic reaches the explicit
+     not-an-ADS-file branch. *)
+  let wrong_magic =
+    let w = Zkqac_util.Wire.writer () in
+    Zkqac_util.Wire.bytes w "NOT-A-ZKQAC-FILE";
+    Zkqac_util.Wire.contents w
+  in
+  (match Ads_io.decode_typed wrong_magic with
+  | Error e -> Alcotest.(check string) "wrong magic" "invalid-shape" (VE.code e)
+  | Ok _ -> Alcotest.fail "wrong magic decoded");
+  let whole = read_file (ads_path ()) in
+  match Ads_io.decode_typed (String.sub whole 0 (String.length whole / 2)) with
+  | Error e ->
+    Alcotest.(check bool)
+      "truncation is typed" true
+      (List.mem (VE.code e)
+         [ "malformed"; "malformed-vo"; "digest-mismatch"; "limit-exceeded" ])
+  | Ok _ -> Alcotest.fail "truncated body decoded"
+
+let suite =
+  [
+    ( "server",
+      [
+        Alcotest.test_case "proto round-trip" `Quick test_proto_roundtrip;
+        Alcotest.test_case "serve round-trip" `Quick test_serve_roundtrip;
+        Alcotest.test_case "shed under zero capacity" `Quick test_serve_shed;
+        Alcotest.test_case "query deadline" `Quick test_serve_query_deadline;
+        Alcotest.test_case "read deadline" `Quick test_serve_read_deadline;
+        Alcotest.test_case "bad request" `Quick test_serve_bad_request;
+        Alcotest.test_case "graceful drain" `Quick test_serve_drain;
+        Alcotest.test_case "chaos registry" `Quick test_chaos_registry;
+        Alcotest.test_case "chaos sweep" `Slow test_chaos_sweep;
+        Alcotest.test_case "ads truncation" `Quick test_ads_truncation;
+        Alcotest.test_case "ads byte flips" `Quick test_ads_byte_flips;
+        Alcotest.test_case "ads typed decode" `Quick test_ads_typed_decode;
+      ] );
+  ]
