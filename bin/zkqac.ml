@@ -118,14 +118,38 @@ let audit_arg =
                  re-verified and extended). Check it later with $(b,zkqac \
                  audit verify).")
 
+let durability_conv =
+  let parse s = Result.map_error (fun e -> `Msg e) (Audit.durability_of_string s) in
+  let print ppf d = Format.pp_print_string ppf (Audit.durability_to_string d) in
+  Arg.conv (parse, print)
+
+let audit_durability_arg =
+  Arg.(value & opt durability_conv Audit.Always
+       & info [ "audit-durability" ] ~docv:"MODE"
+           ~doc:"fsync policy for the audit log: $(b,always) (fsync each \
+                 append, the default), $(b,interval)[:SECONDS] (group \
+                 commit, bounding how much acknowledged history a power cut \
+                 can drop), or $(b,never) (flush only). The mode is recorded \
+                 in every entry.")
+
+let audit_recover_arg =
+  Arg.(value & flag
+       & info [ "audit-recover" ]
+           ~doc:"Before opening the audit log, truncate a torn tail line \
+                 left by a crash (at most one line; damage anywhere earlier \
+                 still refuses). What a restarting server wants; off by \
+                 default so an unexpected torn log is loud.")
+
 type obs = {
   stats : bool;
   trace : string option;
   trace_tree : bool;
   audit : string option;
+  audit_durability : Audit.durability;
+  audit_recover : bool;
 }
 
-let with_obs { stats; trace; trace_tree; audit } f =
+let with_obs { stats; trace; trace_tree; audit; audit_durability; audit_recover } f =
   let module T = Zkqac_telemetry.Telemetry in
   if stats then T.enable ();
   if trace <> None || trace_tree then Trace.enable ();
@@ -133,7 +157,21 @@ let with_obs { stats; trace; trace_tree; audit } f =
      when some observer (stats, trace) will report what it collects. *)
   if stats || trace <> None || trace_tree then Rte.start ();
   (match audit with
-  | Some path -> (match Audit.enable ~path with Ok () -> () | Error e -> die "%s" e)
+  | Some path ->
+    if audit_recover then begin
+      match Audit.recover ~path with
+      | Ok { Audit.kept; dropped = Some line } ->
+        Printf.eprintf
+          "zkqac: audit recover: dropped torn tail line (%d bytes), %d \
+           entr%s kept\n%!"
+          (String.length line) kept
+          (if kept = 1 then "y" else "ies")
+      | Ok _ -> ()
+      | Error b -> die "audit recover: entry %d: %s" b.Audit.entry b.Audit.reason
+    end;
+    (match Audit.enable ~durability:audit_durability ~path () with
+    | Ok () -> ()
+    | Error e -> die "%s" e)
   | None -> ());
   let before = if stats then Some (T.snapshot ()) else None in
   Fun.protect
@@ -159,6 +197,12 @@ let with_obs { stats; trace; trace_tree; audit } f =
           "flight recorder: %d event(s) recorded, %d dropped, %d trip(s)\n"
           (Flight.recorded ()) (Flight.dropped ()) (Flight.trips ()))
     f
+
+let obs_term =
+  Term.(const (fun stats trace trace_tree audit audit_durability audit_recover ->
+            { stats; trace; trace_tree; audit; audit_durability; audit_recover })
+        $ stats_arg $ trace_arg $ trace_tree_arg $ audit_arg
+        $ audit_durability_arg $ audit_recover_arg)
 
 let parse_record line =
   (* Split on the first two '|' only: the policy itself may contain '|'. *)
@@ -254,10 +298,10 @@ let setup_cmd =
   let out = Arg.(value & opt string "ads.zkqac" & info [ "o"; "out" ] ~doc:"Output ADS file.") in
   Cmd.v
     (Cmd.info "setup" ~doc:"Data-owner setup: sign a database into an ADS file.")
-    Term.(const (fun stats trace trace_tree audit records roles dims depth seed out ->
-              with_obs { stats; trace; trace_tree; audit } (fun () ->
+    Term.(const (fun obs records roles dims depth seed out ->
+              with_obs obs (fun () ->
                   setup records roles dims depth seed out))
-          $ stats_arg $ trace_arg $ trace_tree_arg $ audit_arg
+          $ obs_term
           $ records $ roles $ dims $ depth $ seed $ out)
 
 (* --- inspect --- *)
@@ -280,9 +324,9 @@ let inspect path =
 let inspect_cmd =
   let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"ADS") in
   Cmd.v (Cmd.info "inspect" ~doc:"Describe an ADS file.")
-    Term.(const (fun stats trace trace_tree audit path ->
-              with_obs { stats; trace; trace_tree; audit } (fun () -> inspect path))
-          $ stats_arg $ trace_arg $ trace_tree_arg $ audit_arg $ path)
+    Term.(const (fun obs path ->
+              with_obs obs (fun () -> inspect path))
+          $ obs_term $ path)
 
 (* --- query (SP side) --- *)
 
@@ -315,10 +359,10 @@ let query_cmd =
   let out = Arg.(value & opt string "vo.zkqac" & info [ "o"; "out" ] ~doc:"Output VO file.") in
   Cmd.v
     (Cmd.info "query" ~doc:"Service-provider side: answer a range query with a VO.")
-    Term.(const (fun stats trace trace_tree audit path roles range out ->
-              with_obs { stats; trace; trace_tree; audit } (fun () ->
+    Term.(const (fun obs path roles range out ->
+              with_obs obs (fun () ->
                   query path roles range out))
-          $ stats_arg $ trace_arg $ trace_tree_arg $ audit_arg $ path $ roles
+          $ obs_term $ path $ roles
           $ range $ out)
 
 (* --- verify (user side) --- *)
@@ -398,10 +442,10 @@ let verify_cmd =
   in
   Cmd.v
     (Cmd.info "verify" ~doc:"User side: check a VO for soundness and completeness.")
-    Term.(const (fun stats trace trace_tree audit batch path vo roles range ->
-              with_obs { stats; trace; trace_tree; audit } (fun () ->
+    Term.(const (fun obs batch path vo roles range ->
+              with_obs obs (fun () ->
                   verify ~batch path vo roles range))
-          $ stats_arg $ trace_arg $ trace_tree_arg $ audit_arg $ batch $ path
+          $ obs_term $ batch $ path
           $ vo $ roles $ range)
 
 (* --- attack (fault-injection harness) --- *)
@@ -443,10 +487,10 @@ let attack_cmd =
              tamper scenario to equality, range, kd and join query responses \
              and assert the client rejects each with the expected typed \
              error. Exits non-zero if any attack survives.")
-    Term.(const (fun stats trace trace_tree audit seed scenario out ->
-              with_obs { stats; trace; trace_tree; audit } (fun () ->
+    Term.(const (fun obs seed scenario out ->
+              with_obs obs (fun () ->
                   attack seed scenario out))
-          $ stats_arg $ trace_arg $ trace_tree_arg $ audit_arg $ seed $ scenario
+          $ obs_term $ seed $ scenario
           $ out)
 
 (* --- metrics --- *)
@@ -501,7 +545,20 @@ let metrics_cmd =
 
 (* --- audit (hash-chained log tooling) --- *)
 
-let audit_verify path quiet =
+let audit_verify path quiet repair =
+  if repair then begin
+    match Audit.recover ~path with
+    | Ok { Audit.kept = _; dropped = Some line } ->
+      Printf.printf "repaired: dropped torn tail line (%d bytes): %s\n"
+        (String.length line) line
+    | Ok _ -> ()
+    | Error b ->
+      prerr_endline
+        (Printf.sprintf
+           "zkqac: audit repair refused at entry %d: %s" b.Audit.entry
+           b.Audit.reason);
+      exit 1
+  end;
   match Audit.verify_file path with
   | Error b ->
     prerr_endline
@@ -553,12 +610,20 @@ let audit_verify_cmd =
   let quiet =
     Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Only print the verdict line.")
   in
+  let repair =
+    Arg.(value & flag
+         & info [ "repair" ]
+             ~doc:"First truncate a torn tail line left by a crash, printing \
+                   what was dropped. At most the final line is ever removed; \
+                   a chain broken anywhere earlier is tampering and the \
+                   repair is refused.")
+  in
   Cmd.v
     (Cmd.info "verify"
        ~doc:"Re-derive every hash link of an audit log from the bytes on \
              disk. Exits 1 naming the first broken entry if any byte of the \
              log was altered.")
-    Term.(const audit_verify $ audit_path_arg $ quiet)
+    Term.(const audit_verify $ audit_path_arg $ quiet $ repair)
 
 let audit_show_cmd =
   Cmd.v
@@ -654,7 +719,7 @@ module Lg = Zkqac_server.Loadgen.Make (Backend)
 module Metrics_http = Zkqac_server.Metrics_http
 
 let serve ads host port metrics_port threads max_in_flight read_dl write_dl
-    query_dl drain_dl =
+    query_dl drain_dl checkpoint_every =
   let cfg =
     {
       Zkqac_server.Server.host;
@@ -666,13 +731,14 @@ let serve ads host port metrics_port threads max_in_flight read_dl write_dl
       write_deadline = write_dl;
       query_deadline = query_dl;
       drain_deadline = drain_dl;
+      checkpoint_every;
     }
   in
   match Server.start cfg ~ads with
   | Error e -> die "%s" e
   | Ok t ->
-    Printf.printf "serving %s on %s:%d (pool=%d, max_in_flight=%d)\n%!" ads host
-      (Server.port t) threads max_in_flight;
+    Printf.printf "serving %s on %s:%d (pool=%d, max_in_flight=%d, epoch=%d)\n%!"
+      ads host (Server.port t) threads max_in_flight (Server.recovered_epoch t);
     (match Server.metrics_port t with
     | Some p -> Printf.printf "metrics on http://%s:%d/metrics\n%!" host p
     | None -> ());
@@ -718,18 +784,84 @@ let serve_cmd =
        ~doc:"Service-provider daemon: answer range queries over TCP with \
              per-connection deadlines, bounded in-flight load shedding, a \
              persistent worker-domain pool, and graceful drain on SIGTERM.")
-    Term.(const (fun stats trace trace_tree audit ads host port metrics_port
-                     threads max_in_flight read_dl write_dl query_dl drain_dl ->
-              with_obs { stats; trace; trace_tree; audit } (fun () ->
+    Term.(const (fun obs ads host port metrics_port
+                     threads max_in_flight read_dl write_dl query_dl drain_dl
+                     checkpoint_every ->
+              with_obs obs (fun () ->
                   serve ads host port metrics_port threads max_in_flight
-                    read_dl write_dl query_dl drain_dl))
-          $ stats_arg $ trace_arg $ trace_tree_arg $ audit_arg $ ads $ host_arg
+                    read_dl write_dl query_dl drain_dl checkpoint_every))
+          $ obs_term $ ads $ host_arg
           $ port_arg ~doc:"Port to listen on (0 picks one)." 7499
           $ metrics_port $ threads $ max_in_flight
           $ deadline [ "read-deadline" ] 5.0 "Budget for reading one request frame."
           $ deadline [ "write-deadline" ] 5.0 "Budget for writing one response frame."
           $ deadline [ "query-deadline" ] 30.0 "Budget for executing one query."
-          $ deadline [ "drain-deadline" ] 45.0 "Budget for the whole graceful drain.")
+          $ deadline [ "drain-deadline" ] 45.0 "Budget for the whole graceful drain."
+          $ deadline [ "checkpoint-every" ] 0.0
+              "Write an epoch-stamped checkpoint sibling of the ADS file \
+               every $(docv) seconds (atomic replace; the newest two epochs \
+               are kept). 0 disables.")
+
+(* --- supervise (restart loop around serve) --- *)
+
+module Supervise = Zkqac_server.Supervise
+
+let supervise max_restarts base_backoff max_backoff pid_file serve_args =
+  let argv =
+    Array.of_list (Sys.executable_name :: "serve" :: serve_args)
+  in
+  let sup =
+    Supervise.create
+      { Supervise.max_restarts; base_backoff; max_backoff; pid_file }
+  in
+  (* First SIGTERM/SIGINT forwards to the child so it drains; the
+     supervisor then ends with the child's clean exit. *)
+  graceful_terminate :=
+    Some
+      (fun name ->
+        Printf.eprintf "zkqac: %s received, stopping supervised child\n%!" name;
+        Supervise.stop sup);
+  let code = Supervise.run sup ~argv in
+  Printf.printf "supervise: done after %d restart(s)\n" (Supervise.restarts sup);
+  exit code
+
+let supervise_cmd =
+  let max_restarts =
+    Arg.(value & opt int Supervise.default_config.Supervise.max_restarts
+         & info [ "max-restarts" ] ~docv:"N"
+             ~doc:"Give up (exit non-zero) after $(docv) restarts.")
+  in
+  let base_backoff =
+    Arg.(value & opt float Supervise.default_config.Supervise.base_backoff
+         & info [ "base-backoff" ] ~docv:"SECONDS"
+             ~doc:"Delay before the first restart; doubles each crash.")
+  in
+  let max_backoff =
+    Arg.(value & opt float Supervise.default_config.Supervise.max_backoff
+         & info [ "max-backoff" ] ~docv:"SECONDS" ~doc:"Backoff ceiling.")
+  in
+  let pid_file =
+    Arg.(value & opt (some string) None & info [ "pid-file" ] ~docv:"FILE"
+           ~doc:"Publish the child server pid to $(docv) (written \
+                 atomically) after each (re)start, so a harness can kill \
+                 the server rather than the supervisor.")
+  in
+  let serve_args =
+    Arg.(value & pos_all string [] & info [] ~docv:"SERVE_ARG"
+           ~doc:"Arguments passed to $(b,zkqac serve), after $(b,--).")
+  in
+  Cmd.v
+    (Cmd.info "supervise"
+       ~doc:"Run $(b,zkqac serve) under a restart loop: when the server \
+             dies without being asked to (crash, SIGKILL), restart it with \
+             exponential backoff and count it in \
+             zkqac_supervisor_restarts_total. The restarted server recovers \
+             its newest valid checkpoint epoch and repairs the audit tail \
+             before flipping /readyz. Example: $(b,zkqac supervise \
+             --pid-file srv.pid -- ads.zkqac --port 7499 --audit a.log \
+             --audit-recover).")
+    Term.(const supervise $ max_restarts $ base_backoff $ max_backoff
+          $ pid_file $ serve_args)
 
 let client ads host port roles range retries batch =
   match Ads_io.load ~path:ads with
@@ -783,11 +915,11 @@ let client_cmd =
        ~doc:"Query a running server and verify the returned VO locally, \
              retrying transient faults with full-jitter backoff. Exits with \
              the typed verification code on rejection.")
-    Term.(const (fun stats trace trace_tree audit ads host port roles range
+    Term.(const (fun obs ads host port roles range
                      retries batch ->
-              with_obs { stats; trace; trace_tree; audit } (fun () ->
+              with_obs obs (fun () ->
                   client ads host port roles range retries batch))
-          $ stats_arg $ trace_arg $ trace_tree_arg $ audit_arg $ ads $ host_arg
+          $ obs_term $ ads $ host_arg
           $ port_arg ~doc:"Server port." 7499 $ roles $ range $ retries $ batch)
 
 let chaos listen_port upstream_host upstream_port scenario faults stall
@@ -974,9 +1106,9 @@ let demo () =
 
 let demo_cmd =
   Cmd.v (Cmd.info "demo" ~doc:"Self-contained end-to-end demonstration.")
-    Term.(const (fun stats trace trace_tree audit ->
-              with_obs { stats; trace; trace_tree; audit } demo)
-          $ stats_arg $ trace_arg $ trace_tree_arg $ audit_arg)
+    Term.(const (fun obs ->
+              with_obs obs demo)
+          $ obs_term)
 
 let () =
   let info =
@@ -987,5 +1119,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ setup_cmd; inspect_cmd; query_cmd; verify_cmd; attack_cmd;
-            audit_cmd; metrics_cmd; bench_cmd; serve_cmd; client_cmd;
-            chaos_cmd; loadgen_cmd; demo_cmd ]))
+            audit_cmd; metrics_cmd; bench_cmd; serve_cmd; supervise_cmd;
+            client_cmd; chaos_cmd; loadgen_cmd; demo_cmd ]))

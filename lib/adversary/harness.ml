@@ -734,9 +734,10 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
               in
               let tampered =
                 match sc.Scenario.category with
-                (* Transport faults live on the socket, not in VO bytes; the
-                   chaos proxy injects them against a live daemon. *)
-                | Scenario.Transport -> None
+                (* Transport faults live on the socket and crash faults on
+                   the process, not in VO bytes; the chaos proxy and the
+                   crash harness inject them against a live daemon. *)
+                | Scenario.Transport | Scenario.Crash -> None
                 | Scenario.Format -> format_tamper prng sc.Scenario.name tgt.bytes
                 | Scenario.Soundness | Scenario.Completeness ->
                   tgt.tamper prng sc.Scenario.name

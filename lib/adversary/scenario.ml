@@ -1,10 +1,11 @@
-type category = Soundness | Completeness | Format | Transport
+type category = Soundness | Completeness | Format | Transport | Crash
 
 let category_name = function
   | Soundness -> "soundness"
   | Completeness -> "completeness"
   | Format -> "format"
   | Transport -> "transport"
+  | Crash -> "crash"
 
 type t = { name : string; category : category; description : string }
 
@@ -100,11 +101,42 @@ let network =
       description = "refuse to accept connections for a burst" };
   ]
 
+(* Process-death faults, injected by the crash harness: a real server is
+   SIGKILLed at a randomized point and restarted. They attack durability,
+   not signatures — the acceptable outcome is that the restarted server
+   recovers a valid checkpoint epoch and an intact (or tail-truncated)
+   audit chain, and that every client either got a correct VO, a typed
+   fault, or a successful retry. Never an accepted tamper, never a
+   half-written state file taken for the truth. Kept out of {!all} because
+   the VO-level harness has no process to kill. *)
+let crash =
+  [
+    { name = "crash-mid-checkpoint";
+      category = Crash;
+      description =
+        "SIGKILL the server while it is writing an epoch checkpoint (before \
+         the atomic rename commits it)" };
+    { name = "crash-torn-audit";
+      category = Crash;
+      description =
+        "SIGKILL the server after it wrote half of an audit line, leaving a \
+         torn tail" };
+    { name = "crash-mid-request";
+      category = Crash;
+      description = "SIGKILL the server between decoding a request and answering" };
+    { name = "crash-random";
+      category = Crash;
+      description =
+        "SIGKILL the server from outside at a uniformly random moment under \
+         load" };
+  ]
+
 let find name =
-  List.find_opt (fun s -> String.equal s.name name) (all @ network)
+  List.find_opt (fun s -> String.equal s.name name) (all @ network @ crash)
 
 let names = List.map (fun s -> s.name) all
 let network_names = List.map (fun s -> s.name) network
+let crash_names = List.map (fun s -> s.name) crash
 
 (* Which error classes count as the *right* rejection: a tamper that is
    refused for an unrelated reason (a "generic catch-all") would not witness

@@ -6,7 +6,7 @@
     results (Theorem 7.2), and format tampers attack the wire decoder
     directly. *)
 
-type category = Soundness | Completeness | Format | Transport
+type category = Soundness | Completeness | Format | Transport | Crash
 
 val category_name : category -> string
 
@@ -22,11 +22,22 @@ val network : t list
     Every one must end in a typed error or a successful retry at the
     client — never an accepted tamper, a crash, or an unbounded hang. *)
 
+val crash : t list
+(** Process-death faults ([Crash] category) injected by the crash harness:
+    a real server is SIGKILLed mid-checkpoint-write, mid-audit-append,
+    mid-request, or at a random moment under load, then restarted. Each
+    must end with the restart recovering a valid checkpoint epoch and an
+    intact (at worst tail-truncated) audit chain, and with every client
+    holding a correct VO, a typed fault, or a retried success — never an
+    accepted tamper. Kept out of {!all} because the VO-level harness has
+    no process to kill. *)
+
 val names : string list
 val network_names : string list
+val crash_names : string list
 
 val find : string -> t option
-(** Look up a scenario in {!all} or {!network}. *)
+(** Look up a scenario in {!all}, {!network} or {!crash}. *)
 
 val expected : string -> Zkqac_util.Verify_error.t -> bool
 (** [expected name e] is whether rejecting scenario [name] with error [e]

@@ -1,17 +1,20 @@
 (* A minimal HTTP/1.0 responder exposing the process-wide Metrics registry
-   at GET /metrics — enough for `curl` and a Prometheus scrape, nothing
-   more. Used by `zkqac loadgen` (and mirroring the endpoint the server
-   daemon embeds) so a live run can be watched from outside. *)
+   at GET /metrics, liveness at GET /healthz, and readiness at GET /readyz —
+   enough for `curl`, a Prometheus scrape, and a supervisor's wait loop,
+   nothing more. Used by `zkqac loadgen` and embedded by the server daemon;
+   the daemon's readiness callback flips only after crash recovery
+   completes, so harnesses can wait on /readyz instead of sleeping. *)
 
 module Metrics = Zkqac_telemetry.Metrics
 
 type t = {
   listen_fd : Unix.file_descr;
+  ready : unit -> bool;
   mutable acceptor : Thread.t option;
   stopping : bool Atomic.t;
 }
 
-let respond fd =
+let respond t fd =
   let deadline = Sockio.deadline_after 2.0 in
   match
     (* Read until the blank line; cap the header block so a hostile peer
@@ -43,13 +46,23 @@ let respond fd =
   with
   | exception _ -> ()
   | request ->
-    let ok = String.length request >= 12 && String.sub request 0 12 = "GET /metrics" in
-    let body = if ok then Metrics.to_prometheus () else "not found\n" in
+    let has_path p =
+      let probe = "GET " ^ p in
+      let pl = String.length probe in
+      String.length request >= pl && String.equal (String.sub request 0 pl) probe
+    in
+    let status, body =
+      if has_path "/metrics" then ("200 OK", Metrics.to_prometheus ())
+      else if has_path "/healthz" then ("200 OK", "ok\n")
+      else if has_path "/readyz" then
+        if t.ready () then ("200 OK", "ready\n")
+        else ("503 Service Unavailable", "starting\n")
+      else ("404 Not Found", "not found\n")
+    in
     let head =
       Printf.sprintf
         "HTTP/1.0 %s\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: %d\r\n\r\n"
-        (if ok then "200 OK" else "404 Not Found")
-        (String.length body)
+        status (String.length body)
     in
     (try Sockio.write_all fd ~deadline (head ^ body) with _ -> ())
 
@@ -64,11 +77,11 @@ let accept_loop t =
       | fd, _ ->
         (* Serial service is plenty: a scrape is one small read + write. *)
         Fun.protect ~finally:(fun () -> Sockio.close_noerr fd) (fun () ->
-            respond fd))
+            respond t fd))
   done;
   Unix.close t.listen_fd
 
-let start ?(host = "127.0.0.1") ~port () =
+let start ?(host = "127.0.0.1") ?(ready = fun () -> true) ~port () =
   match
     let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
     Unix.setsockopt fd Unix.SO_REUSEADDR true;
@@ -79,7 +92,7 @@ let start ?(host = "127.0.0.1") ~port () =
   | exception Unix.Unix_error (e, fn, _) ->
     Error (Printf.sprintf "metrics listen: %s: %s" fn (Unix.error_message e))
   | listen_fd ->
-    let t = { listen_fd; acceptor = None; stopping = Atomic.make false } in
+    let t = { listen_fd; ready; acceptor = None; stopping = Atomic.make false } in
     t.acceptor <- Some (Thread.create accept_loop t);
     Ok t
 

@@ -1,12 +1,17 @@
-(** A minimal [GET /metrics] HTTP/1.0 endpoint over the process-wide
-    {!Zkqac_telemetry.Metrics} registry, for watching a live [zkqac
-    loadgen] (or any long-running subcommand) from outside. *)
+(** A minimal HTTP/1.0 health-and-metrics endpoint: [GET /metrics] over the
+    process-wide {!Zkqac_telemetry.Metrics} registry, [GET /healthz]
+    liveness (always 200 while the process runs), and [GET /readyz]
+    readiness (200 once the [ready] callback returns true, 503 before —
+    the server daemon flips it only after crash recovery completes, so
+    harnesses wait on it instead of sleeping). *)
 
 type t
 
-val start : ?host:string -> port:int -> unit -> (t, string) result
+val start :
+  ?host:string -> ?ready:(unit -> bool) -> port:int -> unit -> (t, string) result
 (** Bind and spawn the acceptor; [port = 0] picks an ephemeral port.
-    Returns without blocking. *)
+    [ready] backs [/readyz] and defaults to always-ready. Returns without
+    blocking. *)
 
 val port : t -> int
 val stop : t -> unit

@@ -28,6 +28,7 @@ module Json = Zkqac_telemetry.Json
 module Audit = Zkqac_audit.Audit
 module Box = Zkqac_core.Box
 module Keyspace = Zkqac_core.Keyspace
+module Crashpoint = Zkqac_durable.Crashpoint
 
 (* Registered once at module init, not per functor application: a process
    instantiates the server for one backend but may do so more than once. *)
@@ -58,6 +59,8 @@ type config = {
   write_deadline : float;  (** budget for writing one response frame *)
   query_deadline : float;  (** budget for executing one query *)
   drain_deadline : float;  (** budget for the whole graceful drain *)
+  checkpoint_every : float;
+      (** seconds between epoch checkpoints of the served tree; 0 disables *)
 }
 
 let default_config =
@@ -71,6 +74,7 @@ let default_config =
     write_deadline = 5.0;
     query_deadline = 30.0;
     drain_deadline = 45.0;
+    checkpoint_every = 0.0;
   }
 
 module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
@@ -81,19 +85,22 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
 
   type t = {
     cfg : config;
+    ads_path : string;
     listen_fd : Unix.file_descr;
-    metrics_fd : Unix.file_descr option;
+    mh : Metrics_http.t option;
     pool : Pool.pool;
     tree : Ap2g.t;
     mvk : Abs.mvk;
     space : Keyspace.t;
+    recovered_epoch : int;
+    ready : bool Atomic.t;
     in_flight : int Atomic.t;
     running_queries : int Atomic.t;
     conn_seq : int Atomic.t;
     served : int Atomic.t;
     draining : bool Atomic.t;
     mutable acceptor : Thread.t option;
-    mutable metrics_thread : Thread.t option;
+    mutable checkpointer : Thread.t option;
     mutable handlers : Thread.t list;
     handlers_lock : Mutex.t;
   }
@@ -103,13 +110,9 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
     | Unix.ADDR_INET (_, p) -> p
     | _ -> t.cfg.port
 
-  let metrics_port t =
-    Option.map
-      (fun fd ->
-        match Unix.getsockname fd with
-        | Unix.ADDR_INET (_, p) -> p
-        | _ -> 0)
-      t.metrics_fd
+  let metrics_port t = Option.map Metrics_http.port t.mh
+  let ready t = Atomic.get t.ready
+  let recovered_epoch t = t.recovered_epoch
 
   let listen_on host port =
     let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
@@ -183,6 +186,9 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
         | _ -> ());
         finish (Proto.Bad_request (VE.code e))
       | Ok { Proto.roles; query } ->
+        (* Crash-harness hook: die with a decoded request in hand, after the
+           client committed to the exchange but before any response bytes. *)
+        Crashpoint.maybe "serve-request";
         if not (Box.contains_box (Keyspace.whole t.space) query) then
           finish ~roles ~query (Proto.Bad_request "query-outside-space")
         else begin
@@ -294,101 +300,107 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
              ("clean", Json.Bool (Atomic.get t.running_queries = 0)) ]);
     Flight.record ~cat:"server" ~v:(Atomic.get t.served) "server.drained"
 
-  (* Minimal HTTP/1.0 responder for GET /metrics: the pull side of the
-     Metrics registry, live while the daemon serves. *)
-  let metrics_loop t fd =
+  (* Periodic epoch checkpoints of the served tree: each one is an atomic,
+     footer-committed sibling file, so the next restart resumes from the
+     newest epoch that fully reached the disk. Sleeps in small steps so the
+     drain is prompt. *)
+  let checkpoint_loop t =
+    let next = ref (t.recovered_epoch + 1) in
+    let rec nap left =
+      if left > 0.0 && not (Atomic.get t.draining) then begin
+        Thread.delay (Float.min left 0.05);
+        nap (left -. 0.05)
+      end
+    in
     while not (Atomic.get t.draining) do
-      match Unix.select [ fd ] [] [] 0.05 with
-      | [], _, _ -> ()
-      | _ -> (
-        match Unix.accept fd with
-        | exception Unix.Unix_error _ -> ()
-        | client, _ ->
-          (try
-             let deadline = Sockio.deadline_after 2.0 in
-             let buf = Buffer.create 256 in
-             (* Read until the header terminator or a small cap. *)
-             (try
-                while
-                  Buffer.length buf < 4096
-                  && not
-                       (Buffer.length buf >= 4
-                       && String.sub (Buffer.contents buf)
-                            (Buffer.length buf - 4) 4
-                          = "\r\n\r\n")
-                do
-                  Buffer.add_string buf (Sockio.read_exact client ~deadline 1)
-                done
-              with Sockio.Fault _ -> ());
-             let request = Buffer.contents buf in
-             let ok =
-               match String.index_opt request ' ' with
-               | Some i ->
-                 let rest = String.sub request (i + 1) (String.length request - i - 1) in
-                 String.length rest >= 8 && String.sub rest 0 8 = "/metrics"
-               | None -> false
-             in
-             let body, status =
-               if ok then (Metrics.to_prometheus (), "200 OK")
-               else ("not found\n", "404 Not Found")
-             in
-             Sockio.write_all client ~deadline
-               (Printf.sprintf
-                  "HTTP/1.0 %s\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
-                  status (String.length body) body)
-           with Sockio.Fault _ | Unix.Unix_error _ -> ());
-          Sockio.close_noerr client)
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-    done;
-    Sockio.close_noerr fd
+      nap t.cfg.checkpoint_every;
+      if not (Atomic.get t.draining) then begin
+        match Ads_io.save_epoch ~path:t.ads_path ~mvk:t.mvk ~epoch:!next t.tree with
+        | () ->
+          Flight.record ~cat:"server" ~v:!next "server.checkpoint";
+          if Audit.enabled () then
+            Audit.record ~kind:"checkpoint" (Json.Obj [ ("epoch", Json.Int !next) ]);
+          incr next
+        | exception Sys_error m ->
+          Flight.record ~cat:"server" ~detail:m ~v:!next "server.checkpoint_failed"
+      end
+    done
 
   let start cfg ~ads =
-    match Ads_io.load ~path:ads with
+    (* Health plane first: /healthz answers and /readyz reports "starting"
+       while checkpoint recovery below runs, so a supervisor can tell a
+       recovering server from a dead one. *)
+    let ready = Atomic.make false in
+    let mh =
+      match cfg.metrics_port with
+      | None -> Ok None
+      | Some p -> (
+        match
+          Metrics_http.start ~host:cfg.host ~ready:(fun () -> Atomic.get ready) ~port:p ()
+        with
+        | Ok m -> Ok (Some m)
+        | Error e -> Error e)
+    in
+    match mh with
     | Error e -> Error e
-    | Ok (mvk, tree) -> (
-      match listen_on cfg.host cfg.port with
-      | exception Unix.Unix_error (e, _, _) ->
-        Error
-          (Printf.sprintf "cannot listen on %s:%d: %s" cfg.host cfg.port
-             (Unix.error_message e))
-      | listen_fd ->
-        let metrics_fd =
-          match cfg.metrics_port with
-          | None -> None
-          | Some p -> Some (listen_on cfg.host p)
-        in
-        let t =
-          {
-            cfg;
-            listen_fd;
-            metrics_fd;
-            pool = Pool.create ~threads:cfg.threads ();
-            tree;
-            mvk;
-            space = Ap2g.space tree;
-            in_flight = Atomic.make 0;
-            running_queries = Atomic.make 0;
-            conn_seq = Atomic.make 0;
-            served = Atomic.make 0;
-            draining = Atomic.make false;
-            acceptor = None;
-            metrics_thread = None;
-            handlers = [];
-            handlers_lock = Mutex.create ();
-          }
-        in
-        t.acceptor <- Some (Thread.create (fun () -> accept_loop t) ());
-        t.metrics_thread <-
-          Option.map
-            (fun fd -> Thread.create (fun () -> metrics_loop t fd) ())
-            metrics_fd;
-        Ok t)
+    | Ok mh -> (
+      let fail e =
+        Option.iter Metrics_http.stop mh;
+        Error e
+      in
+      match Ads_io.load_recover ~path:ads with
+      | Error e -> fail e
+      | Ok rc -> (
+        match listen_on cfg.host cfg.port with
+        | exception Unix.Unix_error (e, _, _) ->
+          fail
+            (Printf.sprintf "cannot listen on %s:%d: %s" cfg.host cfg.port
+               (Unix.error_message e))
+        | listen_fd ->
+          let t =
+            {
+              cfg;
+              ads_path = ads;
+              listen_fd;
+              mh;
+              pool = Pool.create ~threads:cfg.threads ();
+              tree = rc.Ads_io.r_tree;
+              mvk = rc.Ads_io.r_mvk;
+              space = Ap2g.space rc.Ads_io.r_tree;
+              recovered_epoch = rc.Ads_io.r_epoch;
+              ready;
+              in_flight = Atomic.make 0;
+              running_queries = Atomic.make 0;
+              conn_seq = Atomic.make 0;
+              served = Atomic.make 0;
+              draining = Atomic.make false;
+              acceptor = None;
+              checkpointer = None;
+              handlers = [];
+              handlers_lock = Mutex.create ();
+            }
+          in
+          (* The recovered entry makes every (re)start part of the audited
+             record: which epoch resumed, from which file, and whether any
+             newer checkpoint had to be skipped as unreadable. *)
+          if Audit.enabled () then
+            Audit.record ~kind:"recovered"
+              (Json.Obj
+                 [ ("epoch", Json.Int rc.Ads_io.r_epoch);
+                   ("source", Json.Str rc.Ads_io.r_source);
+                   ("skipped", Json.Int (List.length rc.Ads_io.r_skipped)) ]);
+          t.acceptor <- Some (Thread.create (fun () -> accept_loop t) ());
+          if cfg.checkpoint_every > 0.0 then
+            t.checkpointer <- Some (Thread.create (fun () -> checkpoint_loop t) ());
+          Atomic.set ready true;
+          Ok t))
 
   let begin_drain t = Atomic.set t.draining true
 
   let wait t =
     Option.iter Thread.join t.acceptor;
-    Option.iter Thread.join t.metrics_thread
+    Option.iter Thread.join t.checkpointer;
+    Option.iter Metrics_http.stop t.mh
 
   let served t = Atomic.get t.served
   let connections t = Atomic.get t.conn_seq

@@ -28,6 +28,8 @@ type config = {
   write_deadline : float;  (** budget for writing one response frame *)
   query_deadline : float;  (** budget for executing one query *)
   drain_deadline : float;  (** budget for the whole graceful drain *)
+  checkpoint_every : float;
+      (** seconds between epoch checkpoints of the served tree; 0 disables *)
 }
 
 val default_config : config
@@ -39,13 +41,24 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) : sig
   type t
 
   val start : config -> ads:string -> (t, string) result
-  (** Load the ADS checkpoint, bind the listener(s), spawn the persistent
-      pool and the acceptor/metrics threads. Returns without blocking. *)
+  (** Recover the newest valid ADS checkpoint epoch
+      ({!Zkqac_core.Ads_io.Make.load_recover}), bind the listener(s), spawn
+      the persistent pool and the acceptor (and, when [checkpoint_every] is
+      positive, a periodic epoch checkpointer), emit a [recovered] audit
+      entry, and flip [/readyz] to ready. The health endpoint comes up
+      {e before} recovery so a supervisor can watch it. Returns without
+      blocking. *)
 
   val port : t -> int
   (** The bound query port (useful with [port = 0]). *)
 
   val metrics_port : t -> int option
+
+  val ready : t -> bool
+  (** True once startup recovery completed (what [/readyz] reports). *)
+
+  val recovered_epoch : t -> int
+  (** The checkpoint epoch this server resumed from. *)
 
   val begin_drain : t -> unit
   (** Initiate graceful drain; idempotent, callable from a signal handler. *)

@@ -1,0 +1,132 @@
+(* Restart-loop supervision for the serve daemon (`zkqac supervise`).
+
+   The supervisor is deliberately dumb: fork+exec the child command, write
+   its pid where a harness can SIGKILL it, wait, and — when the child dies
+   without being asked to — restart it after an exponential backoff. All
+   recovery intelligence lives in the child (checkpoint epoch selection,
+   Audit.recover, /readyz); the supervisor only guarantees there is always
+   a child trying. A child that exits 0 ended a graceful drain, and the
+   supervisor ends with it. *)
+
+module Flight = Zkqac_telemetry.Flight
+module Metrics = Zkqac_telemetry.Metrics
+module Durable = Zkqac_durable.Durable
+
+let m_restarts =
+  Metrics.counter ~name:"zkqac_supervisor_restarts_total"
+    ~help:"Child restarts performed by zkqac supervise, by exit cause."
+
+type config = {
+  max_restarts : int;  (** give up (exit nonzero) after this many restarts *)
+  base_backoff : float;  (** first restart delay, seconds *)
+  max_backoff : float;  (** backoff ceiling, seconds *)
+  pid_file : string option;  (** where to publish the child pid *)
+}
+
+let default_config =
+  { max_restarts = 1000; base_backoff = 0.1; max_backoff = 5.0; pid_file = None }
+
+type t = {
+  cfg : config;
+  stopping : bool Atomic.t;
+  child : int Atomic.t;  (** 0 when no child is alive *)
+  restarts : int Atomic.t;
+}
+
+let create cfg =
+  { cfg; stopping = Atomic.make false; child = Atomic.make 0; restarts = Atomic.make 0 }
+
+let restarts t = Atomic.get t.restarts
+
+(* Forward the stop request to the live child so it can drain gracefully;
+   the wait loop then sees a clean exit. Callable from a signal handler. *)
+let stop t =
+  Atomic.set t.stopping true;
+  match Atomic.get t.child with
+  | 0 -> ()
+  | pid -> ( try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ())
+
+(* WSIGNALED carries OCaml's internal signal numbers (Sys.sigkill = -7,
+   not 9); name the common ones so logs and metric labels read as the
+   conventional signal, not a negative encoding. *)
+let signal_name s =
+  if s = Sys.sigkill then "kill"
+  else if s = Sys.sigterm then "term"
+  else if s = Sys.sigint then "int"
+  else if s = Sys.sigsegv then "segv"
+  else if s = Sys.sigabrt then "abrt"
+  else if s = Sys.sigbus then "bus"
+  else if s = Sys.sigquit then "quit"
+  else if s = Sys.sighup then "hup"
+  else Printf.sprintf "%d" s
+
+let cause_of = function
+  | Unix.WEXITED n -> Printf.sprintf "exit-%d" n
+  | Unix.WSIGNALED s -> Printf.sprintf "signal-%s" (signal_name s)
+  | Unix.WSTOPPED s -> Printf.sprintf "stopped-%s" (signal_name s)
+
+let rec wait_child pid =
+  match Unix.waitpid [] pid with
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait_child pid
+  | _, status -> status
+
+let publish_pid t pid =
+  match t.cfg.pid_file with
+  | None -> ()
+  | Some path -> (
+    (* Atomic so a harness never reads a half-written pid. *)
+    match Durable.replace ~fsync_directory:false ~path (string_of_int pid ^ "\n") with
+    | Ok () | Error _ -> ())
+
+(* Sleep in small steps so a stop request cuts the backoff short. *)
+let backoff_nap t seconds =
+  let rec go left =
+    if left > 0.0 && not (Atomic.get t.stopping) then begin
+      Thread.delay (Float.min left 0.05);
+      go (left -. 0.05)
+    end
+  in
+  go seconds
+
+let run t ~argv =
+  if Array.length argv = 0 then invalid_arg "Supervise.run: empty argv";
+  let rec loop () =
+    let pid =
+      Unix.create_process argv.(0) argv Unix.stdin Unix.stdout Unix.stderr
+    in
+    Atomic.set t.child pid;
+    publish_pid t pid;
+    (* A stop that raced the spawn must still reach the new child. *)
+    if Atomic.get t.stopping then (
+      try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+    let status = wait_child pid in
+    Atomic.set t.child 0;
+    match status with
+    | Unix.WEXITED 0 -> 0
+    | status when Atomic.get t.stopping -> (
+      (* We asked it to stop; a non-zero end under SIGTERM forwarding is
+         still a supervised shutdown, not a crash to restart. *)
+      match status with Unix.WEXITED n -> n | _ -> 0)
+    | status ->
+      let n = Atomic.get t.restarts in
+      if n >= t.cfg.max_restarts then begin
+        Printf.eprintf "supervise: child %s; restart budget (%d) exhausted\n%!"
+          (cause_of status) t.cfg.max_restarts;
+        1
+      end
+      else begin
+        Atomic.incr t.restarts;
+        Metrics.inc m_restarts [ ("cause", cause_of status) ];
+        let delay =
+          Float.min t.cfg.max_backoff
+            (t.cfg.base_backoff *. Float.pow 2.0 (float_of_int n))
+        in
+        Flight.record ~cat:"supervise" ~detail:(cause_of status) ~v:(n + 1)
+          "supervise.restart";
+        Printf.eprintf "supervise: child %s; restart #%d in %.2fs\n%!"
+          (cause_of status) (n + 1) delay;
+        backoff_nap t delay;
+        if Atomic.get t.stopping then 0 else loop ()
+      end
+  in
+  loop ()

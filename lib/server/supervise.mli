@@ -1,0 +1,37 @@
+(** Restart-loop supervision for the serve daemon ([zkqac supervise]).
+
+    Runs a child command under fork+exec, restarting it with exponential
+    backoff whenever it dies without being asked to (counted in
+    [zkqac_supervisor_restarts_total{cause}]). A child exiting 0 — a
+    completed graceful drain — ends supervision with exit 0; {!stop}
+    (wired to SIGTERM by the CLI) forwards the signal to the child so the
+    drain happens first. The child pid is published atomically to
+    [pid_file] so a crash harness can SIGKILL the server, not the
+    supervisor. *)
+
+type config = {
+  max_restarts : int;  (** give up (exit nonzero) after this many restarts *)
+  base_backoff : float;  (** first restart delay, seconds *)
+  max_backoff : float;  (** backoff ceiling, seconds *)
+  pid_file : string option;  (** where to publish the child pid *)
+}
+
+val default_config : config
+(** 1000 restarts, 0.1 s base, 5 s ceiling, no pid file. *)
+
+type t
+
+val create : config -> t
+
+val run : t -> argv:string array -> int
+(** Spawn and supervise [argv] (resolved via [argv.(0)]; use an absolute
+    path or rely on exec search). Blocks until the child exits cleanly,
+    the restart budget is exhausted, or {!stop} was requested; returns
+    the exit code the supervisor should end with. *)
+
+val stop : t -> unit
+(** Request shutdown: SIGTERM the live child and end the loop after it
+    exits. Callable from a signal handler. Idempotent. *)
+
+val restarts : t -> int
+(** Restarts performed so far. *)

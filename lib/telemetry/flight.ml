@@ -135,19 +135,23 @@ let to_json ?(reason = "") () =
       ("trips", Json.Int (trips ()));
       ("events", Json.Arr (List.map event_json (events ()))) ]
 
-let print oc =
+let to_text () =
+  let buf = Buffer.create 1024 in
   let evs = events () in
-  Printf.fprintf oc
+  Printf.bprintf buf
     "flight recorder: %d event(s) retained, %d recorded, %d dropped, %d trip(s)\n"
     (List.length evs) (recorded ()) (dropped ()) (trips ());
   List.iter
     (fun e ->
-      Printf.fprintf oc "  #%-6d %12.3f ms  d%-3d %-8s %-28s %s%s\n" e.seq
+      Printf.bprintf buf "  #%-6d %12.3f ms  d%-3d %-8s %-28s %s%s\n" e.seq
         (Int64.to_float e.t_ns /. 1e6)
         e.domain e.cat e.name
         (if e.detail = "" then "" else e.detail ^ " ")
         (if e.v = 0 then "" else Printf.sprintf "v=%d" e.v))
-    evs
+    evs;
+  Buffer.contents buf
+
+let print oc = output_string oc (to_text ())
 
 let dir = Atomic.make (Sys.getenv_opt "ZKQAC_FLIGHT_DIR")
 let set_dir d = Atomic.set dir d
@@ -163,13 +167,15 @@ let write_dump ~reason d =
         let k = Atomic.fetch_and_add dumps_ctr 1 in
         (try if not (Sys.file_exists d) then Sys.mkdir d 0o755 with Sys_error _ -> ());
         let base = Filename.concat d (Printf.sprintf "flight-%d-%d" (Unix.getpid ()) k) in
-        Json.to_file (base ^ ".json") (to_json ~reason ());
-        let oc = open_out (base ^ ".txt") in
-        Fun.protect
-          ~finally:(fun () -> close_out_noerr oc)
-          (fun () ->
-            Printf.fprintf oc "reason: %s\n" reason;
-            print oc)
+        (* Dumps are written at crash time — the one moment a half-written
+           file is most likely and least useful. Atomic replacement means a
+           dump either exists whole or not at all. *)
+        let put path data =
+          match Zkqac_durable.Durable.replace ~path data with
+          | Ok () | Error _ -> ()
+        in
+        put (base ^ ".json") (Json.to_string (to_json ~reason ()) ^ "\n");
+        put (base ^ ".txt") (Printf.sprintf "reason: %s\n%s" reason (to_text ()))
       end)
 
 let do_trip ~stderr_fallback ~reason =

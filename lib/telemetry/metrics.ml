@@ -63,6 +63,55 @@ let get f labels =
   Mutex.unlock f.lock;
   v
 
+(* Float counter families: accumulated durations (e.g. fsync seconds) where
+   an int cell would lose everything below the unit. Same shape as [family]
+   otherwise. *)
+
+type ffamily = {
+  ffname : string;
+  ffhelp : string;
+  fcells : (labels, float ref) Hashtbl.t;
+  flock : Mutex.t;
+}
+
+let ffamilies : ffamily list ref = ref []
+
+let fcounter ~name ~help =
+  let f =
+    { ffname = name; ffhelp = help; fcells = Hashtbl.create 8; flock = Mutex.create () }
+  in
+  Mutex.lock registry_lock;
+  ffamilies := !ffamilies @ [ f ];
+  let collect () =
+    Mutex.lock f.flock;
+    let cells = Hashtbl.fold (fun k v acc -> (k, !v) :: acc) f.fcells [] in
+    Mutex.unlock f.flock;
+    [ {
+        name = f.ffname;
+        kind = Counter;
+        help = f.ffhelp;
+        samples = List.sort compare cells |> List.map (fun (labels, v) -> sample ~labels v);
+      } ]
+  in
+  collectors := !collectors @ [ collect ];
+  Mutex.unlock registry_lock;
+  f
+
+let finc ?(by = 1.0) f labels =
+  let labels = List.sort compare labels in
+  Mutex.lock f.flock;
+  (match Hashtbl.find_opt f.fcells labels with
+  | Some r -> r := !r +. by
+  | None -> Hashtbl.add f.fcells labels (ref by));
+  Mutex.unlock f.flock
+
+let fget f labels =
+  let labels = List.sort compare labels in
+  Mutex.lock f.flock;
+  let v = match Hashtbl.find_opt f.fcells labels with Some r -> !r | None -> 0.0 in
+  Mutex.unlock f.flock;
+  v
+
 (* --- pull collectors --- *)
 
 let register collect =
@@ -93,6 +142,14 @@ let batch_fallbacks_f =
 
 let batch_fallback () = inc batch_fallbacks_f []
 let batch_fallbacks () = get batch_fallbacks_f []
+
+let recoveries =
+  counter ~name:"zkqac_recoveries_total"
+    ~help:
+      "Crash-recovery operations by outcome (checkpoint-ok, \
+       checkpoint-fallback, audit-clean, audit-truncated)."
+
+let recovery outcome = inc recoveries [ ("outcome", outcome) ]
 
 let () =
   (* Group/scheme operation counts at the PAIRING boundary. *)
@@ -265,13 +322,20 @@ let () =
 let reset () =
   Mutex.lock registry_lock;
   let fams = !families in
+  let ffams = !ffamilies in
   Mutex.unlock registry_lock;
   List.iter
     (fun f ->
       Mutex.lock f.lock;
       Hashtbl.reset f.cells;
       Mutex.unlock f.lock)
-    fams
+    fams;
+  List.iter
+    (fun f ->
+      Mutex.lock f.flock;
+      Hashtbl.reset f.fcells;
+      Mutex.unlock f.flock)
+    ffams
 
 let collect () =
   Mutex.lock registry_lock;

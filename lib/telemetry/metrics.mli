@@ -56,6 +56,17 @@ val counter : name:string -> help:string -> family
 val inc : ?by:int -> family -> labels -> unit
 val get : family -> labels -> int
 
+type ffamily
+(** A float-valued counter family, for accumulated durations (fsync
+    seconds) where integer cells would round everything away. *)
+
+val fcounter : name:string -> help:string -> ffamily
+(** Create and register a float counter family. Call once, at module
+    init. *)
+
+val finc : ?by:float -> ffamily -> labels -> unit
+val fget : ffamily -> labels -> float
+
 (** {1 Pull collectors} *)
 
 val register : (unit -> metric list) -> unit
@@ -80,6 +91,12 @@ val batch_fallback : unit -> unit
     to tell the audit log which path produced a verdict). *)
 
 val batch_fallbacks : unit -> int
+
+val recovery : string -> unit
+(** [recovery outcome] counts one crash-recovery operation under a stable
+    outcome string — [checkpoint-ok] / [checkpoint-fallback] from
+    checkpoint selection, [audit-clean] / [audit-truncated] from
+    [Audit.recover] (feeds [zkqac_recoveries_total{outcome}]). *)
 
 (** {1 Export} *)
 

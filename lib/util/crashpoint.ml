@@ -1,0 +1,36 @@
+(* Deterministic SIGKILL injection for the crash harness.
+
+   A process started with ZKQAC_CRASH_POINT="<name>" (or "<name>:<n>") kills
+   itself with SIGKILL the n-th time execution reaches the named point — no
+   atexit handlers, no flushing, exactly the torn state a power cut or OOM
+   kill would leave behind. The variable is read once, so a point armed at
+   exec time stays armed for the life of the process; unset, every check is
+   a single branch. *)
+
+let spec =
+  lazy
+    (match Sys.getenv_opt "ZKQAC_CRASH_POINT" with
+    | None | Some "" -> None
+    | Some s -> (
+      match String.index_opt s ':' with
+      | None -> Some (s, ref 1)
+      | Some i ->
+        let name = String.sub s 0 i in
+        let count = String.sub s (i + 1) (String.length s - i - 1) in
+        (match int_of_string_opt count with
+        | Some k when k >= 1 -> Some (name, ref k)
+        | _ -> Some (name, ref 1))))
+
+let kill_now () = Unix.kill (Unix.getpid ()) Sys.sigkill
+
+(* [armed name] consumes one hit of the countdown and reports whether the
+   point should fire now. Callers that need to fabricate a torn state first
+   (e.g. write half an audit line) use this and call [kill_now] themselves. *)
+let armed name =
+  match Lazy.force spec with
+  | Some (n, count) when String.equal n name ->
+    decr count;
+    !count <= 0
+  | _ -> false
+
+let maybe name = if armed name then kill_now ()

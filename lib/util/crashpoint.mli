@@ -1,0 +1,15 @@
+(** SIGKILL self at named execution points, armed via [ZKQAC_CRASH_POINT].
+
+    The variable holds ["name"] or ["name:n"]; the n-th time the named point
+    is reached the process SIGKILLs itself, leaving exactly the on-disk state
+    a crash at that instant would leave. Unarmed, every check is one branch. *)
+
+val maybe : string -> unit
+(** [maybe name] kills the process if the named point's countdown expires. *)
+
+val armed : string -> bool
+(** [armed name] consumes one countdown hit and returns [true] when the point
+    should fire; the caller fabricates its torn state and calls [kill_now]. *)
+
+val kill_now : unit -> unit
+(** Send SIGKILL to the current process. *)

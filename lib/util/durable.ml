@@ -1,0 +1,120 @@
+(* Atomic, durable file replacement.
+
+   The only crash-safe way to replace a file on POSIX is the four-step
+   protocol: write a temporary sibling, fsync the temporary, rename it over
+   the target, fsync the directory. A crash before the rename leaves the old
+   file untouched; a crash after it leaves the new file complete; the
+   directory fsync makes the rename itself survive a power cut. At no point
+   does the final path hold a partial file.
+
+   Every syscall goes through an injectable shim so tests can simulate torn
+   writes, short writes, ENOSPC, and fsync failure and prove the protocol
+   never exposes a partial file — faults that cannot be produced on demand
+   against a real filesystem. *)
+
+type syscalls = {
+  openfile : string -> Unix.open_flag list -> Unix.file_perm -> Unix.file_descr;
+  write : Unix.file_descr -> bytes -> int -> int -> int;
+  fsync : Unix.file_descr -> unit;
+  close : Unix.file_descr -> unit;
+  rename : string -> string -> unit;
+  unlink : string -> unit;
+}
+
+let real =
+  {
+    openfile = Unix.openfile;
+    write = Unix.write;
+    fsync = Unix.fsync;
+    close = Unix.close;
+    rename = Unix.rename;
+    unlink = Unix.unlink;
+  }
+
+let shim = ref real
+
+let with_syscalls sc f =
+  let saved = !shim in
+  shim := sc;
+  Fun.protect ~finally:(fun () -> shim := saved) f
+
+type error = { op : string; path : string; message : string }
+
+let error_to_string e = Printf.sprintf "%s(%s): %s" e.op e.path e.message
+
+(* Directory fsync is what makes a completed rename durable. Failure here is
+   reported like any other step: the caller decides whether "the data is on
+   disk but the directory entry may not survive a power cut" is acceptable. *)
+let fsync_dir dir =
+  let sc = !shim in
+  match sc.openfile dir [ Unix.O_RDONLY; Unix.O_CLOEXEC ] 0 with
+  | exception Unix.Unix_error (e, _, _) ->
+    Error { op = "open-dir"; path = dir; message = Unix.error_message e }
+  | fd -> (
+    let res =
+      match sc.fsync fd with
+      | () -> Ok ()
+      | exception Unix.Unix_error (e, _, _) ->
+        Error { op = "fsync-dir"; path = dir; message = Unix.error_message e }
+    in
+    match sc.close fd with
+    | () -> res
+    | exception Unix.Unix_error (e, _, _) -> (
+      match res with
+      | Ok () -> Error { op = "close-dir"; path = dir; message = Unix.error_message e }
+      | err -> err))
+
+let replace ?(fsync_directory = true) ~path data =
+  let sc = !shim in
+  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+  let fail op message = Error { op; path; message } in
+  let cleanup_tmp () = try sc.unlink tmp with Unix.Unix_error _ | Sys_error _ -> () in
+  let write_tmp () =
+    match
+      sc.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC; Unix.O_CLOEXEC ] 0o644
+    with
+    | exception Unix.Unix_error (e, _, _) -> fail "open" (Unix.error_message e)
+    | fd ->
+      let buf = Bytes.unsafe_of_string data in
+      let n = Bytes.length buf in
+      let rec push off =
+        if off >= n then Ok ()
+        else begin
+          Crashpoint.maybe "durable-mid-write";
+          match sc.write fd buf off (n - off) with
+          | 0 -> Error "write advanced zero bytes"
+          | k -> push (off + k)
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> push off
+          | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+        end
+      in
+      let res =
+        match push 0 with
+        | Error m -> fail "write" m
+        | Ok () -> (
+          match sc.fsync fd with
+          | () -> Ok ()
+          | exception Unix.Unix_error (e, _, _) -> fail "fsync" (Unix.error_message e))
+      in
+      (* close errors after a clean fsync still mean the data may not be
+         durable (NFS reports deferred write errors here) — surface them. *)
+      (match sc.close fd with
+      | () -> res
+      | exception Unix.Unix_error (e, _, _) -> (
+        match res with
+        | Ok () -> fail "close" (Unix.error_message e)
+        | err -> err))
+  in
+  match write_tmp () with
+  | Error _ as e ->
+    cleanup_tmp ();
+    e
+  | Ok () -> (
+    Crashpoint.maybe "durable-pre-rename";
+    match sc.rename tmp path with
+    | exception Unix.Unix_error (e, _, _) ->
+      cleanup_tmp ();
+      fail "rename" (Unix.error_message e)
+    | () ->
+      Crashpoint.maybe "durable-post-rename";
+      if fsync_directory then fsync_dir (Filename.dirname path) else Ok ())

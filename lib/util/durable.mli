@@ -1,0 +1,37 @@
+(** Atomic, durable file replacement: write temp → fsync → rename → fsync dir.
+
+    [replace] never exposes a partial file at the final path: until the rename
+    the old contents are intact, and after it the new contents are complete.
+    All syscalls route through an injectable shim so tests can simulate torn
+    writes, short writes, ENOSPC, and fsync failure. *)
+
+type syscalls = {
+  openfile : string -> Unix.open_flag list -> Unix.file_perm -> Unix.file_descr;
+  write : Unix.file_descr -> bytes -> int -> int -> int;
+  fsync : Unix.file_descr -> unit;
+  close : Unix.file_descr -> unit;
+  rename : string -> string -> unit;
+  unlink : string -> unit;
+}
+
+val real : syscalls
+(** The genuine [Unix] syscalls — the default shim. *)
+
+val with_syscalls : syscalls -> (unit -> 'a) -> 'a
+(** [with_syscalls sc f] runs [f] with the shim replaced by [sc], restoring
+    the previous shim on return or exception. Test-only fault injection. *)
+
+type error = { op : string; path : string; message : string }
+
+val error_to_string : error -> string
+
+val replace :
+  ?fsync_directory:bool -> path:string -> string -> (unit, error) result
+(** [replace ~path data] atomically replaces the contents of [path] with
+    [data]. On error the temporary sibling is removed and whatever previously
+    lived at [path] is untouched. [fsync_directory] (default [true]) controls
+    the final directory fsync that makes the rename power-cut durable. *)
+
+val fsync_dir : string -> (unit, error) result
+(** fsync a directory, making previously-completed renames/creates in it
+    durable. *)

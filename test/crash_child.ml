@@ -1,0 +1,68 @@
+(* The victim process of the crash harness (test_crash.ml).
+
+   A real zkqac server in its own process: recovers the audit tail, loads
+   the newest valid checkpoint epoch, serves queries, and periodically
+   writes epoch checkpoints — exactly what `zkqac serve --audit-recover`
+   does, minus the CLI. The harness forks it, lets ZKQAC_CRASH_POINT
+   SIGKILL it from inside (or kills it from outside), restarts it, and
+   asserts that every restart recovers.
+
+   argv: ADS PORT_FILE AUDIT_LOG CHECKPOINT_EVERY *)
+
+module Backend = (val Zkqac_group.Backend.instantiate Zkqac_group.Backend.Mock)
+module Server = Zkqac_server.Server.Make (Backend)
+module S = Zkqac_server.Server
+module Audit = Zkqac_audit.Audit
+
+let () =
+  if Array.length Sys.argv <> 5 then begin
+    prerr_endline "usage: crash_child ADS PORT_FILE AUDIT_LOG CHECKPOINT_EVERY";
+    exit 2
+  end;
+  let ads = Sys.argv.(1) in
+  let port_file = Sys.argv.(2) in
+  let audit = Sys.argv.(3) in
+  let checkpoint_every = float_of_string Sys.argv.(4) in
+  (match Audit.recover ~path:audit with
+  | Ok _ -> ()
+  | Error b ->
+    Printf.eprintf "crash_child: audit recover refused at entry %d: %s\n%!"
+      b.Audit.entry b.Audit.reason;
+    exit 3);
+  (match Audit.enable ~path:audit () with
+  | Ok () -> ()
+  | Error e ->
+    Printf.eprintf "crash_child: %s\n%!" e;
+    exit 3);
+  let cfg =
+    {
+      S.default_config with
+      S.port = 0;
+      metrics_port = None;
+      threads = 2;
+      max_in_flight = 8;
+      read_deadline = 2.0;
+      write_deadline = 2.0;
+      query_deadline = 10.0;
+      drain_deadline = 10.0;
+      checkpoint_every;
+    }
+  in
+  match Server.start cfg ~ads with
+  | Error e ->
+    Printf.eprintf "crash_child: %s\n%!" e;
+    exit 4
+  | Ok t ->
+    Sys.set_signal Sys.sigterm
+      (Sys.Signal_handle (fun _ -> Server.begin_drain t));
+    (* Publish the bound port atomically, but NOT through Durable.replace:
+       the harness arms durable-* crash points that must count checkpoint
+       writes, not this write. *)
+    let tmp = port_file ^ ".tmp" in
+    let oc = open_out tmp in
+    output_string oc (string_of_int (Server.port t) ^ "\n");
+    close_out oc;
+    Sys.rename tmp port_file;
+    Server.wait t;
+    Audit.disable ();
+    exit 0

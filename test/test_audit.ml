@@ -23,7 +23,7 @@ let write_file p s =
   close_out oc
 
 let with_sink path f =
-  (match Audit.enable ~path with
+  (match Audit.enable ~path () with
    | Ok () -> ()
    | Error e -> Alcotest.fail ("enable: " ^ e));
   Fun.protect ~finally:Audit.disable f
@@ -108,7 +108,7 @@ let test_enable_refuses_corrupt () =
   let mid = Bytes.length b / 2 in
   Bytes.set b mid (Char.chr (Char.code (Bytes.get b mid) lxor 0x01));
   write_file path (Bytes.to_string b);
-  match Audit.enable ~path with
+  match Audit.enable ~path () with
   | Ok () ->
     Audit.disable ();
     Alcotest.fail "enable accepted a corrupted log"
@@ -121,6 +121,132 @@ let test_verify_missing_header () =
   | Ok _ -> Alcotest.fail "verified a non-audit file"
   | Error b -> Alcotest.(check int) "blames the header" 0 b.Audit.entry
 
+(* --- crash recovery (Audit.recover) --- *)
+
+(* A crash mid-append leaves a prefix of the final line with no newline:
+   recover must drop exactly that line, nothing else, and the repaired log
+   must verify. *)
+let test_recover_truncates_torn_tail () =
+  let path = temp_log () in
+  with_sink path (fun () -> record_all ());
+  let original = read_file path in
+  (* Tear the final line: keep everything up to its midpoint. *)
+  let last_nl = String.rindex_from original (String.length original - 2) '\n' in
+  let tail_len = String.length original - last_nl - 1 in
+  let torn = String.sub original 0 (last_nl + 1 + (tail_len / 2)) in
+  write_file path torn;
+  (match Audit.recover ~path with
+  | Error b -> Alcotest.failf "refused torn tail at %d: %s" b.Audit.entry b.Audit.reason
+  | Ok { Audit.kept; dropped } ->
+    Alcotest.(check int) "kept all complete entries" (List.length sample_entries - 1) kept;
+    Alcotest.(check bool) "reports the dropped line" true (dropped <> None));
+  match Audit.verify_file path with
+  | Error b -> Alcotest.failf "repaired log broken at %d: %s" b.Audit.entry b.Audit.reason
+  | Ok entries ->
+    Alcotest.(check int) "one entry dropped" (List.length sample_entries - 1)
+      (List.length entries)
+
+(* A final line that is complete and valid but lost only its newline is not
+   dropped: recover re-terminates it. *)
+let test_recover_reappends_missing_newline () =
+  let path = temp_log () in
+  with_sink path (fun () -> record_all ());
+  let original = read_file path in
+  write_file path (String.sub original 0 (String.length original - 1));
+  (match Audit.recover ~path with
+  | Error b -> Alcotest.failf "refused at %d: %s" b.Audit.entry b.Audit.reason
+  | Ok { Audit.kept; dropped } ->
+    Alcotest.(check int) "kept everything" (List.length sample_entries) kept;
+    Alcotest.(check (option string)) "nothing dropped" None dropped);
+  match Audit.verify_file path with
+  | Error b -> Alcotest.failf "broken at %d: %s" b.Audit.entry b.Audit.reason
+  | Ok entries ->
+    Alcotest.(check int) "all entries survive" (List.length sample_entries)
+      (List.length entries)
+
+(* Damage before the final line is tampering, not a crash artifact: recover
+   must refuse, naming the broken entry like verify_file does. *)
+let test_recover_refuses_midlog_damage () =
+  let path = temp_log () in
+  with_sink path (fun () -> record_all ());
+  let original = read_file path in
+  let b = Bytes.of_string original in
+  let mid = Bytes.length b / 2 in
+  Bytes.set b mid (Char.chr (Char.code (Bytes.get b mid) lxor 0x01));
+  write_file path (Bytes.to_string b);
+  match Audit.recover ~path with
+  | Ok _ -> Alcotest.fail "repaired mid-log damage"
+  | Error _ ->
+    (* The file must be untouched by the refused repair. *)
+    Alcotest.(check string) "log untouched" (Bytes.to_string b) (read_file path)
+
+let test_recover_missing_file () =
+  let path = temp_log () in
+  match Audit.recover ~path with
+  | Ok { Audit.kept = 0; dropped = None } -> ()
+  | Ok _ -> Alcotest.fail "phantom entries recovered from a missing file"
+  | Error b -> Alcotest.failf "refused at %d: %s" b.Audit.entry b.Audit.reason
+
+(* --- durability modes --- *)
+
+let test_durability_parse () =
+  let ok s d =
+    match Audit.durability_of_string s with
+    | Ok got ->
+      Alcotest.(check string) s (Audit.durability_to_string d)
+        (Audit.durability_to_string got)
+    | Error e -> Alcotest.failf "%s: %s" s e
+  in
+  ok "always" Audit.Always;
+  ok "never" Audit.Never;
+  ok "interval" (Audit.Interval 0.05);
+  ok "interval:0.5" (Audit.Interval 0.5);
+  (match Audit.durability_of_string "sometimes" with
+  | Ok _ -> Alcotest.fail "parsed nonsense durability"
+  | Error _ -> ());
+  match Audit.durability_of_string "interval:banana" with
+  | Ok _ -> Alcotest.fail "parsed non-numeric interval"
+  | Error _ -> ()
+
+(* The writer's durability mode lands in each entry's "dur" field, so an
+   auditor reading the log offline knows how much a power cut could have
+   dropped at each point. *)
+let test_dur_field_recorded () =
+  let path = temp_log () in
+  (match Audit.enable ~durability:Audit.Never ~path () with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check (option string)) "mode reported" (Some "never")
+    (Option.map Audit.durability_to_string (Audit.durability ()));
+  Audit.record ~time:1.0 ~kind:"verify" (Json.Obj []);
+  Audit.disable ();
+  (match Audit.enable ~durability:(Audit.Interval 0.2) ~path () with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Audit.record ~time:2.0 ~kind:"verify" (Json.Obj []);
+  Audit.disable ();
+  match Audit.verify_file path with
+  | Error b -> Alcotest.failf "broken at %d: %s" b.Audit.entry b.Audit.reason
+  | Ok entries ->
+    Alcotest.(check (list string)) "dur per entry" [ "never"; "interval" ]
+      (List.map (fun (e : Audit.entry) -> e.Audit.dur) entries)
+
+(* fsync time spent on the audit log is accounted in a float counter — an
+   int-seconds cell would round every call to zero. *)
+let test_fsync_metric () =
+  let module Metrics = Zkqac_telemetry.Metrics in
+  Metrics.reset ();
+  let path = temp_log () in
+  with_sink path (fun () -> record_all ());
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "fsync seconds exported" true
+    (contains (Metrics.to_prometheus ()) "zkqac_audit_fsync_seconds_total");
+  Metrics.reset ()
+
 let suite =
   [ ( "audit",
       [ Alcotest.test_case "roundtrip" `Quick test_roundtrip;
@@ -128,4 +254,14 @@ let suite =
         Alcotest.test_case "single-byte tamper sweep" `Quick test_tamper_sweep;
         Alcotest.test_case "enable refuses corrupt log" `Quick
           test_enable_refuses_corrupt;
-        Alcotest.test_case "missing header" `Quick test_verify_missing_header ] ) ]
+        Alcotest.test_case "missing header" `Quick test_verify_missing_header;
+        Alcotest.test_case "recover truncates torn tail" `Quick
+          test_recover_truncates_torn_tail;
+        Alcotest.test_case "recover re-appends missing newline" `Quick
+          test_recover_reappends_missing_newline;
+        Alcotest.test_case "recover refuses mid-log damage" `Quick
+          test_recover_refuses_midlog_damage;
+        Alcotest.test_case "recover missing file" `Quick test_recover_missing_file;
+        Alcotest.test_case "durability parse" `Quick test_durability_parse;
+        Alcotest.test_case "dur field recorded" `Quick test_dur_field_recorded;
+        Alcotest.test_case "fsync seconds metric" `Quick test_fsync_metric ] ) ]

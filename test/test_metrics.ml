@@ -23,6 +23,44 @@ let test_counter_family () =
   Metrics.inc g [ ("y", "2"); ("x", "1") ];
   Alcotest.(check int) "sorted key" 2 (Metrics.get g [ ("x", "1"); ("y", "2") ])
 
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+(* Float counter families (fsync seconds and friends): fractional increments
+   accumulate, and the family is exported — but only once it has cells, so
+   registering one never perturbs the golden exposition. *)
+let test_float_counter_family () =
+  let before = Metrics.to_prometheus () in
+  let f = Metrics.fcounter ~name:"test_fseconds_total" ~help:"test" in
+  Alcotest.(check bool) "empty family invisible" false
+    (contains (Metrics.to_prometheus ()) "test_fseconds_total");
+  Alcotest.(check string) "registration alone changes nothing" before
+    (Metrics.to_prometheus ());
+  Alcotest.(check (float 1e-9)) "fresh cell" 0.0 (Metrics.fget f [ ("k", "a") ]);
+  Metrics.finc f ~by:0.25 [ ("k", "a") ];
+  Metrics.finc f ~by:0.5 [ ("k", "a") ];
+  Alcotest.(check (float 1e-9)) "accumulated" 0.75 (Metrics.fget f [ ("k", "a") ]);
+  Alcotest.(check bool) "exported once non-empty" true
+    (contains (Metrics.to_prometheus ()) "test_fseconds_total{k=\"a\"} 0.75");
+  Metrics.reset ();
+  Alcotest.(check (float 1e-9)) "reset clears cells" 0.0
+    (Metrics.fget f [ ("k", "a") ])
+
+(* The recovery-outcome counter exported by the crash-recovery paths. *)
+let test_recovery_counter () =
+  Metrics.reset ();
+  Metrics.recovery "checkpoint-ok";
+  Metrics.recovery "checkpoint-ok";
+  Metrics.recovery "audit-truncated";
+  let text = Metrics.to_prometheus () in
+  Alcotest.(check bool) "checkpoint-ok cell" true
+    (contains text "zkqac_recoveries_total{outcome=\"checkpoint-ok\"} 2");
+  Alcotest.(check bool) "audit-truncated cell" true
+    (contains text "zkqac_recoveries_total{outcome=\"audit-truncated\"} 1");
+  Metrics.reset ()
+
 let golden =
   "# HELP zkqac_verify_rejections_total Client-side verification rejections \
    by typed Verify_error code.\n\
@@ -93,10 +131,12 @@ let test_prometheus_golden () =
   T.reset ();
   Metrics.reset ();
   Trace.reset ();
-  (* Earlier suites leave flight events and possibly GC-pause totals behind;
-     the golden exposition expects both at their pristine state. *)
+  (* Earlier suites leave flight events, possibly GC-pause totals, and a
+     checkpoint-epoch gauge behind; the golden exposition expects all of
+     them at their pristine state. *)
   Zkqac_telemetry.Flight.reset ();
   Zkqac_telemetry.Rte.reset ();
+  Zkqac_core.Ads_io.reset_epoch_gauge ();
   T.with_enabled (fun () ->
       T.bump_n T.Pairing 3;
       T.bump_n T.G_exp 2);
@@ -200,6 +240,8 @@ let test_alloc_diff () =
 let suite =
   [ ( "metrics",
       [ Alcotest.test_case "counter family" `Quick test_counter_family;
+        Alcotest.test_case "float counter family" `Quick test_float_counter_family;
+        Alcotest.test_case "recovery outcome counter" `Quick test_recovery_counter;
         Alcotest.test_case "prometheus golden" `Quick test_prometheus_golden;
         Alcotest.test_case "label escaping" `Quick test_label_escaping;
         Alcotest.test_case "histogram min/max" `Quick test_histogram_min_max;

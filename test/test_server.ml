@@ -419,6 +419,167 @@ let test_ads_typed_decode () =
          [ "malformed"; "malformed-vo"; "digest-mismatch"; "limit-exceeded" ])
   | Ok _ -> Alcotest.fail "truncated body decoded"
 
+(* --- already-expired Sockio deadlines (fail fast, never block) --- *)
+
+let test_sockio_expired_deadline () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      Sockio.close_noerr a;
+      Sockio.close_noerr b)
+    (fun () ->
+      List.iter
+        (fun budget ->
+          let t0 = Unix.gettimeofday () in
+          (match
+             Sockio.read_frame a
+               ~deadline:(Sockio.deadline_after budget)
+               ~max_bytes:1024
+           with
+          | _ -> Alcotest.fail "read succeeded past an expired deadline"
+          | exception Sockio.Fault Sockio.Timeout -> ()
+          | exception Sockio.Fault f ->
+            Alcotest.failf "expected Timeout, got %s" (Sockio.fault_to_string f));
+          (match
+             Sockio.write_frame a
+               ~deadline:(Sockio.deadline_after budget)
+               "payload"
+           with
+          | () -> Alcotest.fail "write succeeded past an expired deadline"
+          | exception Sockio.Fault Sockio.Timeout -> ()
+          | exception Sockio.Fault f ->
+            Alcotest.failf "expected Timeout, got %s" (Sockio.fault_to_string f));
+          Alcotest.(check bool)
+            (Printf.sprintf "budget %g fails fast" budget)
+            true
+            (Unix.gettimeofday () -. t0 < 0.5))
+        [ 0.0; -1.0; -3600.0 ])
+
+(* --- the drain audit entry survives a drain whose own budget expires --- *)
+
+module Audit = Zkqac_audit.Audit
+
+let test_drain_audit_entry () =
+  let log = Filename.temp_file "zkqac-drain-audit" ".log" in
+  Sys.remove log;
+  (match Audit.enable ~path:log () with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Fun.protect ~finally:Audit.disable (fun () ->
+      (* query_deadline 0 abandons the worker mid-query; drain_deadline 0
+         makes the drain's own Pool.await_timeout expire immediately. The
+         final [drain] audit entry must be written regardless. *)
+      match
+        Server.start
+          { base_server_cfg with S.query_deadline = 0.0; drain_deadline = 0.0 }
+          ~ads:(ads_path ())
+      with
+      | Error e -> Alcotest.failf "server start: %s" e
+      | Ok t ->
+        (match query_server (Server.port t) with
+        | Ok _ -> Alcotest.fail "query beat a zero deadline"
+        | Error _ -> ());
+        Server.begin_drain t;
+        Server.wait t);
+  match Audit.verify_file log with
+  | Error b ->
+    Alcotest.failf "audit log broken at %d: %s" b.Audit.entry b.Audit.reason
+  | Ok entries ->
+    let kinds = List.map (fun (e : Audit.entry) -> e.Audit.kind) entries in
+    Alcotest.(check bool) "recovered entry first" true
+      (List.mem "recovered" kinds);
+    Alcotest.(check bool) "drain entry written despite expired drain budget"
+      true
+      (List.mem "drain" kinds)
+
+(* --- /healthz + /readyz --- *)
+
+module Mh = Zkqac_server.Metrics_http
+
+let http_get port path =
+  let fd = Sockio.connect ~host:"127.0.0.1" ~port ~timeout:2.0 in
+  Fun.protect
+    ~finally:(fun () -> Sockio.close_noerr fd)
+    (fun () ->
+      let req = "GET " ^ path ^ " HTTP/1.0\r\n\r\n" in
+      ignore (Unix.write_substring fd req 0 (String.length req));
+      let buf = Buffer.create 256 in
+      let chunk = Bytes.create 1024 in
+      let rec go () =
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> ()
+        | n ->
+          Buffer.add_subbytes buf chunk 0 n;
+          go ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+        | exception Unix.Unix_error _ -> ()
+      in
+      go ();
+      Buffer.contents buf)
+
+let test_readyz_flip () =
+  let ready = ref false in
+  match Mh.start ~ready:(fun () -> !ready) ~port:0 () with
+  | Error e -> Alcotest.failf "endpoint start: %s" e
+  | Ok h ->
+    Fun.protect
+      ~finally:(fun () -> Mh.stop h)
+      (fun () ->
+        let p = Mh.port h in
+        Alcotest.(check bool) "503 while starting" true
+          (contains_sub (http_get p "/readyz") "503");
+        Alcotest.(check bool) "healthz alive regardless" true
+          (contains_sub (http_get p "/healthz") "200 OK");
+        ready := true;
+        Alcotest.(check bool) "200 once ready" true
+          (contains_sub (http_get p "/readyz") "ready");
+        Alcotest.(check bool) "unknown path 404" true
+          (contains_sub (http_get p "/nope") "404"))
+
+(* --- the supervisor's restart loop, with throwaway shell children --- *)
+
+module Supervise = Zkqac_server.Supervise
+
+let test_supervise_restart_loop () =
+  let pid_file = Filename.temp_file "zkqac-sup" ".pid" in
+  let cfg =
+    {
+      Supervise.max_restarts = 2;
+      base_backoff = 0.005;
+      max_backoff = 0.01;
+      pid_file = Some pid_file;
+    }
+  in
+  (* A child that always crashes: the budget is spent, the supervisor gives
+     up with exit 1, and every restart is counted and metered. *)
+  let sup = Supervise.create cfg in
+  let code = Supervise.run sup ~argv:[| "/bin/sh"; "-c"; "exit 7" |] in
+  Alcotest.(check int) "budget exhausted exits 1" 1 code;
+  Alcotest.(check int) "restarts counted" 2 (Supervise.restarts sup);
+  Alcotest.(check bool) "pid published" true
+    (String.length (String.trim (read_file pid_file)) > 0);
+  Alcotest.(check bool) "restart metric exported" true
+    (contains_sub
+       (Zkqac_telemetry.Metrics.to_prometheus ())
+       "zkqac_supervisor_restarts_total{cause=\"exit-7\"} 2");
+  (* A child that completes its drain: supervision ends quietly with it. *)
+  let clean = Supervise.create { cfg with Supervise.pid_file = None } in
+  Alcotest.(check int) "clean exit passes through" 0
+    (Supervise.run clean ~argv:[| "/bin/sh"; "-c"; "exit 0" |]);
+  Alcotest.(check int) "no restart for a clean exit" 0 (Supervise.restarts clean)
+
+let test_server_health_endpoints () =
+  with_server { base_server_cfg with S.metrics_port = Some 0 } @@ fun t ->
+  Alcotest.(check bool) "ready after start" true (Server.ready t);
+  Alcotest.(check int) "fresh checkpoint epoch" 0 (Server.recovered_epoch t);
+  match Server.metrics_port t with
+  | None -> Alcotest.fail "metrics endpoint missing"
+  | Some p ->
+    Alcotest.(check bool) "readyz after recovery" true
+      (contains_sub (http_get p "/readyz") "ready");
+    Alcotest.(check bool) "exposition served" true
+      (contains_sub (http_get p "/metrics") "zkqac_")
+
 let suite =
   [
     ( "server",
@@ -435,5 +596,14 @@ let suite =
         Alcotest.test_case "ads truncation" `Quick test_ads_truncation;
         Alcotest.test_case "ads byte flips" `Quick test_ads_byte_flips;
         Alcotest.test_case "ads typed decode" `Quick test_ads_typed_decode;
+        Alcotest.test_case "expired sockio deadlines fail fast" `Quick
+          test_sockio_expired_deadline;
+        Alcotest.test_case "drain audit entry despite expired budget" `Quick
+          test_drain_audit_entry;
+        Alcotest.test_case "readyz flips with readiness" `Quick test_readyz_flip;
+        Alcotest.test_case "supervise restart loop" `Quick
+          test_supervise_restart_loop;
+        Alcotest.test_case "server health endpoints" `Quick
+          test_server_health_endpoints;
       ] );
   ]
