@@ -719,7 +719,7 @@ module Lg = Zkqac_server.Loadgen.Make (Backend)
 module Metrics_http = Zkqac_server.Metrics_http
 
 let serve ads host port metrics_port threads max_in_flight read_dl write_dl
-    query_dl drain_dl checkpoint_every =
+    query_dl drain_dl checkpoint_every slow_threshold_ms slowlog_cap =
   let cfg =
     {
       Zkqac_server.Server.host;
@@ -732,6 +732,9 @@ let serve ads host port metrics_port threads max_in_flight read_dl write_dl
       query_deadline = query_dl;
       drain_deadline = drain_dl;
       checkpoint_every;
+      slow_threshold_ms;
+      slowlog_cap;
+      slow_inject = Zkqac_server.Server.slow_inject_of_env ();
     }
   in
   match Server.start cfg ~ads with
@@ -740,8 +743,20 @@ let serve ads host port metrics_port threads max_in_flight read_dl write_dl
     Printf.printf "serving %s on %s:%d (pool=%d, max_in_flight=%d, epoch=%d)\n%!"
       ads host (Server.port t) threads max_in_flight (Server.recovered_epoch t);
     (match Server.metrics_port t with
-    | Some p -> Printf.printf "metrics on http://%s:%d/metrics\n%!" host p
+    | Some p ->
+      Printf.printf "metrics on http://%s:%d/metrics, slowlog on http://%s:%d/slowlog\n%!"
+        host p host p
     | None -> ());
+    (* SIGUSR1 on the daemon dumps the slowlog (JSON + per-incident
+       Perfetto files) next to the flight recorder's emergency dump, into
+       ZKQAC_FLIGHT_DIR — one signal, one joined forensic snapshot. *)
+    (try
+       Sys.set_signal Sys.sigusr1
+         (Sys.Signal_handle
+            (fun _ ->
+              Flight.emergency ~reason:"sigusr1";
+              ignore (Server.dump_slowlog t : int)))
+     with Invalid_argument _ | Sys_error _ -> ());
     (* First SIGTERM/SIGINT: graceful drain — stop accepting, finish
        in-flight queries within their deadlines, flush audit + flight.
        A second signal falls back to the flush-and-exit default. *)
@@ -779,17 +794,30 @@ let serve_cmd =
   let deadline names default doc =
     Arg.(value & opt float default & info names ~docv:"SECONDS" ~doc)
   in
+  let slow_threshold_ms =
+    Arg.(value & opt float 0.0 & info [ "slow-threshold-ms" ] ~docv:"MS"
+           ~doc:"Tail-sampling slow threshold: requests slower than $(docv) \
+                 milliseconds keep their full span tree in /slowlog. 0 \
+                 (default) tracks the live p99 instead.")
+  in
+  let slowlog_cap =
+    Arg.(value & opt int 64 & info [ "slowlog-cap" ] ~docv:"N"
+           ~doc:"Incidents retained by the tail sampler (oldest evicted).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Service-provider daemon: answer range queries over TCP with \
              per-connection deadlines, bounded in-flight load shedding, a \
-             persistent worker-domain pool, and graceful drain on SIGTERM.")
+             persistent worker-domain pool, tail-sampled request tracing \
+             (GET /slowlog next to /metrics; SIGUSR1 dumps it with \
+             per-incident Perfetto files), and graceful drain on SIGTERM.")
     Term.(const (fun obs ads host port metrics_port
                      threads max_in_flight read_dl write_dl query_dl drain_dl
-                     checkpoint_every ->
+                     checkpoint_every slow_threshold_ms slowlog_cap ->
               with_obs obs (fun () ->
                   serve ads host port metrics_port threads max_in_flight
-                    read_dl write_dl query_dl drain_dl checkpoint_every))
+                    read_dl write_dl query_dl drain_dl checkpoint_every
+                    slow_threshold_ms slowlog_cap))
           $ obs_term $ ads $ host_arg
           $ port_arg ~doc:"Port to listen on (0 picks one)." 7499
           $ metrics_port $ threads $ max_in_flight
@@ -800,7 +828,8 @@ let serve_cmd =
           $ deadline [ "checkpoint-every" ] 0.0
               "Write an epoch-stamped checkpoint sibling of the ADS file \
                every $(docv) seconds (atomic replace; the newest two epochs \
-               are kept). 0 disables.")
+               are kept). 0 disables."
+          $ slow_threshold_ms $ slowlog_cap)
 
 (* --- supervise (restart loop around serve) --- *)
 
@@ -879,6 +908,27 @@ let client ads host port roles range retries batch =
       Printf.printf
         "verification OK: %d accessible record(s), %d VO bytes, %d attempt(s)\n"
         (List.length s.Cl.records) s.Cl.vo_bytes s.Cl.attempts;
+      (* The correlation line: this id greps into the server's audit log,
+         /slowlog, and flight dump. The split separates who to blame. *)
+      (match s.Cl.server with
+      | Some tm ->
+        let ms us = float_of_int us /. 1e3 in
+        let server_ms = ms tm.Zkqac_server.Proto.total_us in
+        Printf.printf
+          "req %s: server %.2f ms (queue %.2f, relax %.2f, prove %.2f, \
+           encode %.2f), network %.2f ms, verify %.2f ms\n"
+          (Zkqac_server.Proto.req_id_hex s.Cl.req_id)
+          server_ms
+          (ms tm.Zkqac_server.Proto.queue_us)
+          (ms tm.Zkqac_server.Proto.relax_us)
+          (ms tm.Zkqac_server.Proto.prove_us)
+          (ms tm.Zkqac_server.Proto.encode_us)
+          (Float.max 0.0 (s.Cl.attempt_ms -. server_ms))
+          s.Cl.verify_ms
+      | None ->
+        Printf.printf "req %s: v1 responder (no server timing), verify %.2f ms\n"
+          (Zkqac_server.Proto.req_id_hex s.Cl.req_id)
+          s.Cl.verify_ms);
       List.iter
         (fun (r : Record.t) ->
           Printf.printf "  %s | %s | %s\n"
@@ -1029,6 +1079,32 @@ let loadgen ads host port users qps duration max_queries frac roles
     Printf.printf "latency ms: p50 %.2f  p95 %.2f  p99 %.2f  max %.2f\n"
       (q 0.5) (q 0.95) (q 0.99)
       (H.max_ns r.Loadgen.latency /. 1e6);
+    (* The split only exists when the server answered v2 footers. *)
+    if H.count r.Loadgen.server_lat > 0 then begin
+      let qh h p = H.quantile h p /. 1e6 in
+      Printf.printf
+        "  server  ms: p50 %.2f  p99 %.2f | network ms: p50 %.2f  p99 %.2f \
+         | verify ms: p50 %.2f  p99 %.2f\n"
+        (qh r.Loadgen.server_lat 0.5) (qh r.Loadgen.server_lat 0.99)
+        (qh r.Loadgen.network_lat 0.5) (qh r.Loadgen.network_lat 0.99)
+        (qh r.Loadgen.verify_lat 0.5) (qh r.Loadgen.verify_lat 0.99)
+    end;
+    if r.Loadgen.slowest <> [] then begin
+      Printf.printf "worst queries (grep the req id in /slowlog and the audit log):\n";
+      List.iter
+        (fun (s : Loadgen.slow_query) ->
+          Printf.printf "  req %s  %-11s  total %8.2f ms%s%s  attempts %d\n"
+            (Zkqac_server.Proto.req_id_hex s.Loadgen.s_req_id)
+            s.Loadgen.s_outcome s.Loadgen.s_total_ms
+            (match s.Loadgen.s_server_ms with
+            | Some v -> Printf.sprintf "  server %8.2f ms" v
+            | None -> "")
+            (match s.Loadgen.s_network_ms with
+            | Some v -> Printf.sprintf "  network %8.2f ms" v
+            | None -> "")
+            s.Loadgen.s_attempts)
+        r.Loadgen.slowest
+    end;
     (match json_out with
     | Some path ->
       Json.to_file path (Loadgen.report_to_json r);

@@ -238,8 +238,18 @@ let create ?threads () =
 let pool_size p = p.threads
 let respawns p = p.respawned
 
-let submit p f =
+let submit ?ctx ?(attrs = []) p f =
   let fut = { fm = Mutex.create (); fc = Condition.create (); state = Pending } in
+  (* With a caller context, the job runs under a [pool.worker] span parented
+     on it — the same shape [map_results] produces — so per-request spans
+     recorded inside the job (sp.query, sp.relax, ...) attach to the
+     submitting request's trace even though they run on a worker domain. *)
+  let f =
+    match ctx with
+    | None -> f
+    | Some parent ->
+      fun () -> Trace.with_span "pool.worker" ~parent ~attrs (fun _ -> f ())
+  in
   let task () =
     match f () with
     | v ->

@@ -72,8 +72,17 @@ val pool_size : pool -> int
 val respawns : pool -> int
 (** Worker domains retired after a job exception and replaced so far. *)
 
-val submit : pool -> (unit -> 'a) -> 'a future
-(** Enqueue a job; it runs on the first free worker.
+val submit :
+  ?ctx:Zkqac_telemetry.Trace.ctx ->
+  ?attrs:(string * Zkqac_telemetry.Trace.value) list ->
+  pool ->
+  (unit -> 'a) ->
+  'a future
+(** Enqueue a job; it runs on the first free worker. When [ctx] is given,
+    the job runs inside a [pool.worker] span (with [attrs]) parented on it,
+    so spans the job records attach to the submitting request's trace
+    across the domain boundary — the {!map_results} behaviour for
+    individually submitted jobs.
     @raise Invalid_argument after {!shutdown}. *)
 
 val await : 'a future -> 'a outcome

@@ -19,6 +19,7 @@ module Universe = Zkqac_policy.Universe
 module Hierarchy = Zkqac_policy.Hierarchy
 module Drbg = Zkqac_hashing.Drbg
 module Prng = Zkqac_rng.Prng
+module Monotonic_clock = Zkqac_parallel.Monotonic_clock
 module Flight = Zkqac_telemetry.Flight
 module Metrics = Zkqac_telemetry.Metrics
 module Box = Zkqac_core.Box
@@ -81,12 +82,20 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
     records : Record.t list;
     vo_bytes : int;
     attempts : int;  (** total attempts, 1 = no retry was needed *)
+    req_id : int64;  (** the correlation id this query travelled under *)
+    server : Proto.timing option;
+        (** the server's timing footer (v2 responders only) *)
+    attempt_ms : float;  (** wall time of the winning attempt (network+server) *)
+    verify_ms : float;  (** local decode+verify time *)
   }
 
   (* One attempt: connect, send the request, read and decode one response
      frame. [`Transient] faults feed the retry loop; everything else is a
-     final outcome. *)
-  let attempt cfg request =
+     final outcome. [rid] is the id the request carries: a v2 footer that
+     echoes a different id is a confused or broken responder, and the
+     attempt is retried like any transport fault. *)
+  let attempt cfg ~rid request =
+    let a0 = Monotonic_clock.now_ns () in
     match
       Sockio.connect ~host:cfg.host ~port:cfg.port ~timeout:cfg.connect_timeout
     with
@@ -111,11 +120,17 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
                  sound because acceptance still requires full VO
                  verification. *)
               `Transient "garbled-response"
-            | Ok (Proto.Vo vo) -> `Vo vo
-            | Ok Proto.Overloaded -> `Transient "overloaded"
-            | Ok Proto.Deadline -> `Transient "server-deadline"
-            | Ok (Proto.Bad_request d) -> `Bad_request d
-            | Ok (Proto.Server_error _) -> `Transient "server-error"))
+            | Ok (_, Some f) when f.Proto.f_req_id <> rid ->
+              `Transient "req-id-mismatch"
+            | Ok (resp, footer) -> (
+              match resp with
+              | Proto.Vo vo ->
+                let ms = Monotonic_clock.elapsed_since a0 *. 1000.0 in
+                `Vo (vo, footer, ms)
+              | Proto.Overloaded -> `Transient "overloaded"
+              | Proto.Deadline -> `Transient "server-deadline"
+              | Proto.Bad_request d -> `Bad_request d
+              | Proto.Server_error _ -> `Transient "server-error")))
 
   let verify cfg ~mvk ~universe ?hierarchy ~user ~query vo_payload =
     let batch =
@@ -131,11 +146,19 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
       Ap2g.verify ?batch:batch ~mvk ~t_universe:universe ?hierarchy ~user ~query
         vo
 
-  let query ?(prng = Prng.create 1) cfg ~mvk ~universe ?hierarchy ~user
+  let query ?(prng = Prng.create 1) ?req_id cfg ~mvk ~universe ?hierarchy ~user
       ~query:box () =
+    (* The client mints the correlation id unless the caller (loadgen, a
+       test) supplies one; the same id rides every retry of this query, so
+       all its attempts join server-side under one grep. *)
+    let rid =
+      match req_id with
+      | Some id when id <> 0L -> id
+      | Some _ | None -> Proto.mint_req_id ()
+    in
     let request =
       Proto.encode_request
-        { Proto.roles = Attr.Set.elements user; query = box }
+        { Proto.req_id = Some rid; roles = Attr.Set.elements user; query = box }
     in
     let max_attempts = 1 + max 0 cfg.retries in
     let rec go k last =
@@ -149,21 +172,33 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
               (cfg.base_backoff *. Float.pow 2.0 (float_of_int (k - 1)))
           in
           Metrics.inc m_retries [ ("reason", last) ];
-          Flight.record ~cat:"client" ~detail:last ~v:k "client.retry";
+          Flight.record ~cat:"client" ~req_id:rid ~detail:last ~v:k
+            "client.retry";
           Unix.sleepf (Prng.float prng cap)
         end;
         Metrics.inc m_attempts [];
-        match attempt cfg request with
+        match attempt cfg ~rid request with
         | `Transient fault -> go (k + 1) fault
         | `Bad_request d -> Error (Bad_request d)
-        | `Vo vo_payload -> (
+        | `Vo (vo_payload, footer, attempt_ms) -> (
+          let v0 = Monotonic_clock.now_ns () in
           match verify cfg ~mvk ~universe ?hierarchy ~user ~query:box vo_payload with
           | Ok records ->
-            Ok { records; vo_bytes = String.length vo_payload; attempts = k + 1 }
+            Ok
+              {
+                records;
+                vo_bytes = String.length vo_payload;
+                attempts = k + 1;
+                req_id = rid;
+                server = Option.map (fun f -> f.Proto.f_timing) footer;
+                attempt_ms;
+                verify_ms = Monotonic_clock.elapsed_since v0 *. 1000.0;
+              }
           | Error e ->
             (* Soundness: a typed rejection is terminal, whatever the retry
                budget has left. *)
-            Flight.record ~cat:"client" ~detail:(VE.code e) "client.rejected";
+            Flight.record ~cat:"client" ~req_id:rid ~detail:(VE.code e)
+              "client.rejected";
             Error (Rejected e))
       end
     in

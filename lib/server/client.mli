@@ -35,10 +35,19 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) : sig
     records : Zkqac_core.Record.t list;
     vo_bytes : int;
     attempts : int;  (** total attempts, 1 = no retry was needed *)
+    req_id : int64;  (** the correlation id this query travelled under *)
+    server : Proto.timing option;
+        (** the server's timing footer (v2 responders only; [None] from an
+            old v1 responder) *)
+    attempt_ms : float;
+        (** wall time of the winning attempt: network + server. Subtracting
+            the footer's [total_us] isolates the network share. *)
+    verify_ms : float;  (** local decode+verify time *)
   }
 
   val query :
     ?prng:Zkqac_rng.Prng.t ->
+    ?req_id:int64 ->
     config ->
     mvk:Zkqac_abs.Abs.Make(P).mvk ->
     universe:Zkqac_policy.Universe.t ->
@@ -48,6 +57,8 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) : sig
     unit ->
     (success, failure) result
   (** One authenticated query: send [query] claiming [user]'s roles, read
-      the VO, verify it locally against [mvk]. [prng] drives the backoff
-      jitter only — never verification. *)
+      the VO, verify it locally against [mvk]. The request carries [req_id]
+      (minted here when absent or [0L]) across every retry; a v2 responder
+      must echo it in the footer — a mismatch is treated as a transient
+      fault. [prng] drives the backoff jitter only — never verification. *)
 end

@@ -52,6 +52,20 @@ let default_config =
     seed = 42;
   }
 
+(* The client-side half of the correlation story: each query's id plus the
+   latency split the server's timing footer makes possible. Errors rank
+   above slow successes so a storm of failures is never crowded out. *)
+type slow_query = {
+  s_req_id : int64;
+  s_outcome : string;
+  s_total_ms : float;
+  s_server_ms : float option;  (** from the v2 timing footer; [None] on v1 *)
+  s_network_ms : float option;  (** winning attempt wall minus server share *)
+  s_attempts : int;  (** 0 = unknown (the failure does not carry it) *)
+}
+
+let slowest_kept = 8
+
 type report = {
   wall : float;  (** seconds the run actually took *)
   sent : int;
@@ -62,7 +76,26 @@ type report = {
   retries : int;
   records : int;  (** result records returned across all verified responses *)
   latency : Histogram.t;  (** per-query wall latency, retries included *)
+  server_lat : Histogram.t;  (** server-reported total, v2 footers only *)
+  network_lat : Histogram.t;  (** winning-attempt wall minus server share *)
+  verify_lat : Histogram.t;  (** local decode+verify *)
+  slowest : slow_query list;  (** errors first, then slowest, bounded *)
 }
+
+let slow_query_json s =
+  Json.Obj
+    ([
+       ("req_id", Json.Str (Proto.req_id_hex s.s_req_id));
+       ("outcome", Json.Str s.s_outcome);
+       ("total_ms", Json.Float s.s_total_ms);
+     ]
+    @ (match s.s_server_ms with
+      | Some v -> [ ("server_ms", Json.Float v) ]
+      | None -> [])
+    @ (match s.s_network_ms with
+      | Some v -> [ ("network_ms", Json.Float v) ]
+      | None -> [])
+    @ [ ("attempts", Json.Int s.s_attempts) ])
 
 let report_to_json (r : report) =
   Json.Obj
@@ -76,7 +109,20 @@ let report_to_json (r : report) =
       ("retries", Json.Int r.retries);
       ("records", Json.Int r.records);
       ("latency", Histogram.to_json r.latency);
+      ("server_latency", Histogram.to_json r.server_lat);
+      ("network_latency", Histogram.to_json r.network_lat);
+      ("verify_latency", Histogram.to_json r.verify_lat);
+      ("slowest", Json.Arr (List.map slow_query_json r.slowest));
     ]
+
+(* Errors outrank slow successes; ties break toward the slower query. *)
+let slow_priority s = ((if s.s_outcome = "ok" then 0 else 1), s.s_total_ms)
+
+let top_slow l =
+  let sorted =
+    List.sort (fun a b -> compare (slow_priority b) (slow_priority a)) l
+  in
+  List.filteri (fun i _ -> i < slowest_kept) sorted
 
 module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
   module Cl = Client.Make (P)
@@ -85,6 +131,9 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
 
   type user_tally = {
     hist : Histogram.t;
+    server_hist : Histogram.t;
+    network_hist : Histogram.t;
+    verify_hist : Histogram.t;
     mutable u_sent : int;
     mutable u_ok : int;
     mutable u_rejected : int;
@@ -92,11 +141,15 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
     mutable u_exhausted : int;
     mutable u_retries : int;
     mutable u_records : int;
+    mutable u_slow : slow_query list;  (* bounded by [slowest_kept] *)
   }
 
   let fresh_tally () =
     {
       hist = Histogram.create ();
+      server_hist = Histogram.create ();
+      network_hist = Histogram.create ();
+      verify_hist = Histogram.create ();
       u_sent = 0;
       u_ok = 0;
       u_rejected = 0;
@@ -104,7 +157,10 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
       u_exhausted = 0;
       u_retries = 0;
       u_records = 0;
+      u_slow = [];
     }
+
+  let note_slow tally sq = tally.u_slow <- top_slow (sq :: tally.u_slow)
 
   let user_loop cfg ~mvk ~universe ~hierarchy ~space ~user ~stop_at ~sent_total
       ~uid tally =
@@ -135,30 +191,72 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
           let dt = -.Float.log u /. rate in
           Unix.sleepf (Float.min dt 5.0));
         let query = Workload.range_query prng ~space ~frac:cfg.frac in
+        (* The generator mints each query's correlation id itself so it can
+           name the query in the report whatever the outcome — the id the
+           server logged is the id the report prints. *)
+        let rid =
+          match Prng.int64 prng with 0L -> 1L | id -> id
+        in
         let t0 = Monotonic_clock.now_ns () in
         let outcome =
-          Cl.query ~prng:backoff_prng cfg.client ~mvk ~universe ?hierarchy
-            ~user ~query ()
+          Cl.query ~prng:backoff_prng ~req_id:rid cfg.client ~mvk ~universe
+            ?hierarchy ~user ~query ()
         in
         let ns = Int64.to_int (Int64.sub (Monotonic_clock.now_ns ()) t0) in
         Histogram.record tally.hist ns;
         tally.u_sent <- tally.u_sent + 1;
+        let total_ms = float_of_int ns /. 1e6 in
         (match outcome with
         | Ok s ->
           tally.u_ok <- tally.u_ok + 1;
           tally.u_retries <- tally.u_retries + (s.Cl.attempts - 1);
           tally.u_records <- tally.u_records + List.length s.Cl.records;
+          Histogram.record tally.verify_hist
+            (int_of_float (s.Cl.verify_ms *. 1e6));
+          let server_ms, network_ms =
+            match s.Cl.server with
+            | None -> (None, None) (* v1 responder: no split available *)
+            | Some tm ->
+              let srv = float_of_int tm.Proto.total_us /. 1e3 in
+              let net = Float.max 0.0 (s.Cl.attempt_ms -. srv) in
+              Histogram.record tally.server_hist (int_of_float (srv *. 1e6));
+              Histogram.record tally.network_hist (int_of_float (net *. 1e6));
+              (Some srv, Some net)
+          in
+          note_slow tally
+            {
+              s_req_id = rid;
+              s_outcome = "ok";
+              s_total_ms = total_ms;
+              s_server_ms = server_ms;
+              s_network_ms = network_ms;
+              s_attempts = s.Cl.attempts;
+            };
           Metrics.inc m_queries [ ("outcome", "ok") ]
-        | Error (Client.Rejected _) ->
-          tally.u_rejected <- tally.u_rejected + 1;
-          Metrics.inc m_queries [ ("outcome", "rejected") ]
-        | Error (Client.Bad_request _) ->
-          tally.u_bad_request <- tally.u_bad_request + 1;
-          Metrics.inc m_queries [ ("outcome", "bad-request") ]
-        | Error (Client.Exhausted { attempts; _ }) ->
-          tally.u_exhausted <- tally.u_exhausted + 1;
-          tally.u_retries <- tally.u_retries + (attempts - 1);
-          Metrics.inc m_queries [ ("outcome", "exhausted") ]);
+        | Error failure ->
+          let code, attempts =
+            match failure with
+            | Client.Rejected _ ->
+              tally.u_rejected <- tally.u_rejected + 1;
+              ("rejected", 0)
+            | Client.Bad_request _ ->
+              tally.u_bad_request <- tally.u_bad_request + 1;
+              ("bad-request", 0)
+            | Client.Exhausted { attempts; _ } ->
+              tally.u_exhausted <- tally.u_exhausted + 1;
+              tally.u_retries <- tally.u_retries + (attempts - 1);
+              ("exhausted", attempts)
+          in
+          note_slow tally
+            {
+              s_req_id = rid;
+              s_outcome = code;
+              s_total_ms = total_ms;
+              s_server_ms = None;
+              s_network_ms = None;
+              s_attempts = attempts;
+            };
+          Metrics.inc m_queries [ ("outcome", code) ]);
         loop ()
       end
     in
@@ -198,9 +296,9 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
       let wall =
         Int64.to_float (Int64.sub (Monotonic_clock.now_ns ()) t0) /. 1e9
       in
-      let latency =
+      let merged f =
         Array.fold_left
-          (fun acc t -> Histogram.merge acc t.hist)
+          (fun acc t -> Histogram.merge acc (f t))
           (Histogram.create ()) tallies
       in
       let sum f = Array.fold_left (fun acc t -> acc + f t) 0 tallies in
@@ -214,6 +312,12 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
           exhausted = sum (fun t -> t.u_exhausted);
           retries = sum (fun t -> t.u_retries);
           records = sum (fun t -> t.u_records);
-          latency;
+          latency = merged (fun t -> t.hist);
+          server_lat = merged (fun t -> t.server_hist);
+          network_lat = merged (fun t -> t.network_hist);
+          verify_lat = merged (fun t -> t.verify_hist);
+          slowest =
+            top_slow
+              (Array.fold_left (fun acc t -> t.u_slow @ acc) [] tallies);
         }
 end

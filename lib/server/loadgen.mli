@@ -22,6 +22,17 @@ type config = {
 
 val default_config : config
 
+type slow_query = {
+  s_req_id : int64;
+      (** loadgen-minted correlation id — greps straight into the server's
+          audit log, /slowlog, and flight dump *)
+  s_outcome : string;
+  s_total_ms : float;
+  s_server_ms : float option;  (** from the v2 timing footer; [None] on v1 *)
+  s_network_ms : float option;  (** winning attempt wall minus server share *)
+  s_attempts : int;  (** 0 = unknown (the failure does not carry it) *)
+}
+
 type report = {
   wall : float;  (** seconds the run actually took *)
   sent : int;
@@ -34,6 +45,13 @@ type report = {
   records : int;  (** result records returned across all verified responses *)
   latency : Zkqac_telemetry.Histogram.t;
       (** per-query wall latency, retries included *)
+  server_lat : Zkqac_telemetry.Histogram.t;
+      (** server-reported totals from v2 timing footers *)
+  network_lat : Zkqac_telemetry.Histogram.t;
+      (** winning-attempt wall minus the server-reported share *)
+  verify_lat : Zkqac_telemetry.Histogram.t;  (** local decode+verify *)
+  slowest : slow_query list;
+      (** worst queries of the run, errors ranked first, bounded *)
 }
 
 val report_to_json : report -> Zkqac_telemetry.Json.t

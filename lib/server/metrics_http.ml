@@ -10,6 +10,9 @@ module Metrics = Zkqac_telemetry.Metrics
 type t = {
   listen_fd : Unix.file_descr;
   ready : unit -> bool;
+  extra : (string * (unit -> string)) list;
+      (* additional GET routes (e.g. the server's /slowlog), served as
+         application/json; bodies are produced per request *)
   mutable acceptor : Thread.t option;
   stopping : bool Atomic.t;
 }
@@ -51,18 +54,26 @@ let respond t fd =
       let pl = String.length probe in
       String.length request >= pl && String.equal (String.sub request 0 pl) probe
     in
-    let status, body =
-      if has_path "/metrics" then ("200 OK", Metrics.to_prometheus ())
-      else if has_path "/healthz" then ("200 OK", "ok\n")
+    let text = "text/plain; version=0.0.4" in
+    let status, ctype, body =
+      if has_path "/metrics" then ("200 OK", text, Metrics.to_prometheus ())
+      else if has_path "/healthz" then ("200 OK", text, "ok\n")
       else if has_path "/readyz" then
-        if t.ready () then ("200 OK", "ready\n")
-        else ("503 Service Unavailable", "starting\n")
-      else ("404 Not Found", "not found\n")
+        if t.ready () then ("200 OK", text, "ready\n")
+        else ("503 Service Unavailable", text, "starting\n")
+      else
+        match List.find_opt (fun (p, _) -> has_path p) t.extra with
+        | Some (_, produce) -> (
+          (* A failing producer must not kill the endpoint thread. *)
+          match produce () with
+          | body -> ("200 OK", "application/json", body)
+          | exception _ -> ("500 Internal Server Error", text, "error\n"))
+        | None -> ("404 Not Found", text, "not found\n")
     in
     let head =
       Printf.sprintf
-        "HTTP/1.0 %s\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: %d\r\n\r\n"
-        status (String.length body)
+        "HTTP/1.0 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\n\r\n"
+        status ctype (String.length body)
     in
     (try Sockio.write_all fd ~deadline (head ^ body) with _ -> ())
 
@@ -81,7 +92,8 @@ let accept_loop t =
   done;
   Unix.close t.listen_fd
 
-let start ?(host = "127.0.0.1") ?(ready = fun () -> true) ~port () =
+let start ?(host = "127.0.0.1") ?(ready = fun () -> true) ?(extra = []) ~port
+    () =
   match
     let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
     Unix.setsockopt fd Unix.SO_REUSEADDR true;
@@ -92,7 +104,9 @@ let start ?(host = "127.0.0.1") ?(ready = fun () -> true) ~port () =
   | exception Unix.Unix_error (e, fn, _) ->
     Error (Printf.sprintf "metrics listen: %s: %s" fn (Unix.error_message e))
   | listen_fd ->
-    let t = { listen_fd; ready; acceptor = None; stopping = Atomic.make false } in
+    let t =
+      { listen_fd; ready; extra; acceptor = None; stopping = Atomic.make false }
+    in
     t.acceptor <- Some (Thread.create accept_loop t);
     Ok t
 

@@ -3,15 +3,23 @@
     liveness (always 200 while the process runs), and [GET /readyz]
     readiness (200 once the [ready] callback returns true, 503 before —
     the server daemon flips it only after crash recovery completes, so
-    harnesses wait on it instead of sleeping). *)
+    harnesses wait on it instead of sleeping). Extra GET routes can be
+    mounted alongside — the server daemon mounts [/slowlog] there. *)
 
 type t
 
 val start :
-  ?host:string -> ?ready:(unit -> bool) -> port:int -> unit -> (t, string) result
+  ?host:string ->
+  ?ready:(unit -> bool) ->
+  ?extra:(string * (unit -> string)) list ->
+  port:int ->
+  unit ->
+  (t, string) result
 (** Bind and spawn the acceptor; [port = 0] picks an ephemeral port.
-    [ready] backs [/readyz] and defaults to always-ready. Returns without
-    blocking. *)
+    [ready] backs [/readyz] and defaults to always-ready. Each [extra]
+    route is a path (e.g. ["/slowlog"]) and a body producer, served as
+    [application/json]; a producer that raises answers 500 without killing
+    the endpoint. Returns without blocking. *)
 
 val port : t -> int
 val stop : t -> unit

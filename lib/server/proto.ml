@@ -6,19 +6,67 @@
    resource-bounded Wire readers. Responses are typed: besides the VO
    payload there are explicit Overloaded / Deadline statuses, so shedding
    and expiry are protocol outcomes the client can act on (retry with
-   backoff) — never a silent hang. *)
+   backoff) — never a silent hang.
+
+   Versioning. The Wire decoders enforce a trailing-byte audit, so the v2
+   correlation extension (a client-minted 64-bit request id on requests, a
+   request-id + server-timing footer on responses) could not be appended to
+   the v1 frames; instead each extension is a new magic string and both
+   decoders accept both versions. The server mirrors the requester: a v1
+   request gets a v1 response, so an old client never sees bytes it cannot
+   parse, and a new client treats a footerless response as "old peer"
+   rather than an error. Request ids are correlation-only: they are never
+   hashed into, signed over, or carried inside VO bytes. *)
 
 module Wire = Zkqac_util.Wire
 module Box = Zkqac_core.Box
 
-let request_magic = "ZKQAC-REQ-1"
-let response_magic = "ZKQAC-RSP-1"
+let request_magic_v1 = "ZKQAC-REQ-1"
+let request_magic = "ZKQAC-REQ-2"
+let response_magic_v1 = "ZKQAC-RSP-1"
+let response_magic = "ZKQAC-RSP-2"
 
-(* A request is small: role names and 2·dims u32 corners. Anything bigger
-   than this bound is hostile and is refused before allocation. *)
+(* A request is small: role names and 2·dims u32 corners (plus 8 id bytes
+   in v2). Anything bigger than this bound is hostile and is refused before
+   allocation. *)
 let max_request_bytes = 1 lsl 16
 
-type request = { roles : string list; query : Box.t }
+(* --- request ids --- *)
+
+let req_id_hex id = Printf.sprintf "%016Lx" id
+
+let req_id_of_hex s =
+  if String.length s <> 16 then None
+  else
+    match Int64.of_string_opt ("0x" ^ s) with
+    | Some v -> Some v
+    | None -> None
+
+(* Minting: a splitmix64 step over a per-process random base plus an atomic
+   counter — unique within a process run and collision-unlikely across
+   processes, which is all a correlation id needs (it carries no authority
+   and never enters VO bytes). *)
+let splitmix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let mint_base =
+  Int64.logxor
+    (Int64.of_float (Unix.gettimeofday () *. 1e6))
+    (Int64.shift_left (Int64.of_int (Unix.getpid ())) 40)
+
+let mint_ctr = Atomic.make 1
+
+let mint_req_id () =
+  let k = Atomic.fetch_and_add mint_ctr 1 in
+  let id = splitmix64 (Int64.add mint_base (Int64.of_int k)) in
+  (* 0 means "no id" everywhere (flight events, slowlog); never mint it. *)
+  if id = 0L then 1L else id
+
+(* --- requests --- *)
+
+type request = { req_id : int64 option; roles : string list; query : Box.t }
 
 let encode_box w (b : Box.t) =
   let dims = Array.length b.Box.lo in
@@ -35,9 +83,16 @@ let decode_box r =
      through Wire.decode. *)
   Box.make ~lo ~hi
 
-let encode_request { roles; query } =
+(* A request without an id is encoded byte-identically to the v1 format, so
+   "encode with [req_id = None]" doubles as the old-peer emulation the
+   compatibility tests exercise. *)
+let encode_request { req_id; roles; query } =
   let w = Wire.writer () in
-  Wire.bytes w request_magic;
+  (match req_id with
+  | None -> Wire.bytes w request_magic_v1
+  | Some id ->
+    Wire.bytes w request_magic;
+    Wire.u64 w id);
   Wire.u32 w (List.length roles);
   List.iter (fun role -> Wire.bytes w role) roles;
   encode_box w query;
@@ -45,11 +100,18 @@ let encode_request { roles; query } =
 
 let decode_request ?limits data =
   Wire.decode ?limits data @@ fun r ->
-  if not (String.equal (Wire.rbytes r) request_magic) then raise Wire.Malformed;
+  let magic = Wire.rbytes r in
+  let req_id =
+    if String.equal magic request_magic then Some (Wire.ru64 r)
+    else if String.equal magic request_magic_v1 then None
+    else raise Wire.Malformed
+  in
   let n = Wire.rcount r in
   let roles = List.init n (fun _ -> Wire.rbytes r) in
   let query = decode_box r in
-  { roles; query }
+  { req_id; roles; query }
+
+(* --- responses --- *)
 
 type response =
   | Vo of string  (** the encoded VO — the client verifies it locally *)
@@ -65,9 +127,62 @@ let response_code = function
   | Bad_request _ -> "bad-request"
   | Server_error _ -> "server-error"
 
-let encode_response resp =
+(* Server-side time split, microseconds, clamped into u32 (a stage longer
+   than ~71 minutes saturates rather than wraps). [queue_us] is pool queue
+   wait, [relax_us] the ABS.Relax batch, [prove_us] the rest of VO
+   construction (traversal + direct entries), [encode_us] VO byte encoding,
+   [total_us] the whole server-side handling of the request. *)
+type timing = {
+  queue_us : int;
+  relax_us : int;
+  prove_us : int;
+  encode_us : int;
+  total_us : int;
+}
+
+let zero_timing =
+  { queue_us = 0; relax_us = 0; prove_us = 0; encode_us = 0; total_us = 0 }
+
+let us_of_ns ns =
+  if Int64.compare ns 0L <= 0 then 0
+  else
+    let us = Int64.div ns 1_000L in
+    if Int64.compare us (Int64.of_int Wire.max_u32) >= 0 then Wire.max_u32
+    else Int64.to_int us
+
+type footer = { f_req_id : int64; f_timing : timing }
+
+let encode_timing w t =
+  Wire.u32 w t.queue_us;
+  Wire.u32 w t.relax_us;
+  Wire.u32 w t.prove_us;
+  Wire.u32 w t.encode_us;
+  Wire.u32 w t.total_us
+
+let decode_timing r =
+  let queue_us = Wire.ru32 r in
+  let relax_us = Wire.ru32 r in
+  let prove_us = Wire.ru32 r in
+  let encode_us = Wire.ru32 r in
+  let total_us = Wire.ru32 r in
+  { queue_us; relax_us; prove_us; encode_us; total_us }
+
+let timing_json t =
+  Zkqac_telemetry.Json.Obj
+    [ ("queue_us", Zkqac_telemetry.Json.Int t.queue_us);
+      ("relax_us", Zkqac_telemetry.Json.Int t.relax_us);
+      ("prove_us", Zkqac_telemetry.Json.Int t.prove_us);
+      ("encode_us", Zkqac_telemetry.Json.Int t.encode_us);
+      ("total_us", Zkqac_telemetry.Json.Int t.total_us) ]
+
+let encode_response ?footer resp =
   let w = Wire.writer () in
-  Wire.bytes w response_magic;
+  (match footer with
+  | None -> Wire.bytes w response_magic_v1
+  | Some { f_req_id; f_timing } ->
+    Wire.bytes w response_magic;
+    Wire.u64 w f_req_id;
+    encode_timing w f_timing);
   (match resp with
   | Vo vo ->
     Wire.u8 w 0;
@@ -84,11 +199,23 @@ let encode_response resp =
 
 let decode_response ?limits data =
   Wire.decode ?limits data @@ fun r ->
-  if not (String.equal (Wire.rbytes r) response_magic) then raise Wire.Malformed;
-  match Wire.ru8 r with
-  | 0 -> Vo (Wire.rbytes r)
-  | 1 -> Overloaded
-  | 2 -> Deadline
-  | 3 -> Bad_request (Wire.rbytes r)
-  | 4 -> Server_error (Wire.rbytes r)
-  | _ -> raise Wire.Malformed
+  let magic = Wire.rbytes r in
+  let footer =
+    if String.equal magic response_magic then begin
+      let f_req_id = Wire.ru64 r in
+      let f_timing = decode_timing r in
+      Some { f_req_id; f_timing }
+    end
+    else if String.equal magic response_magic_v1 then None
+    else raise Wire.Malformed
+  in
+  let resp =
+    match Wire.ru8 r with
+    | 0 -> Vo (Wire.rbytes r)
+    | 1 -> Overloaded
+    | 2 -> Deadline
+    | 3 -> Bad_request (Wire.rbytes r)
+    | 4 -> Server_error (Wire.rbytes r)
+    | _ -> raise Wire.Malformed
+  in
+  (resp, footer)

@@ -6,18 +6,52 @@
     retries with backoff — while [Bad_request] is terminal. The VO payload
     travels opaque; the client verifies it locally against its own copy of
     the public key, so a compromised server or network can only produce
-    typed verification failures, never accepted forgeries. *)
+    typed verification failures, never accepted forgeries.
+
+    Two envelope versions coexist. v2 adds end-to-end correlation: requests
+    carry a client-minted 64-bit request id, responses echo it back with a
+    server-side timing split. Each version is its own magic string (the
+    Wire trailing-byte audit forbids appending fields to v1 frames); both
+    decoders accept both versions, and the server answers in the version
+    the request arrived in, so old and new peers interoperate in either
+    direction. Request ids are correlation-only and never enter VO bytes. *)
 
 module Box = Zkqac_core.Box
 
+val request_magic_v1 : string
 val request_magic : string
+val response_magic_v1 : string
 val response_magic : string
 
 val max_request_bytes : int
 (** Upper bound on an encoded request; bigger frames are refused before
     allocation. *)
 
-type request = { roles : string list; query : Box.t }
+(** {1 Request ids} *)
+
+val mint_req_id : unit -> int64
+(** A fresh non-zero correlation id (splitmix64 over a per-process random
+    base + counter): unique within a run, collision-unlikely across
+    processes. Ids carry no authority. *)
+
+val req_id_hex : int64 -> string
+(** Canonical textual form: exactly 16 lowercase hex digits — what audit
+    entries, flight dumps, the slowlog and loadgen reports all print, so
+    one grep joins them. *)
+
+val req_id_of_hex : string -> int64 option
+(** Inverse of {!req_id_hex}; [None] unless the string is exactly 16 hex
+    digits. *)
+
+(** {1 Requests} *)
+
+type request = {
+  req_id : int64 option;
+      (** [None] encodes (and decodes from) the v1 format — byte-identical
+          to the pre-correlation protocol *)
+  roles : string list;
+  query : Box.t;
+}
 
 val encode_request : request -> string
 
@@ -25,6 +59,8 @@ val decode_request :
   ?limits:Zkqac_util.Wire.limits ->
   string ->
   (request, Zkqac_util.Verify_error.t) result
+
+(** {1 Responses} *)
 
 type response =
   | Vo of string  (** the encoded VO — the client verifies it locally *)
@@ -35,9 +71,34 @@ type response =
 
 val response_code : response -> string
 
-val encode_response : response -> string
+(** Server-side time split, microseconds (clamped into u32): pool queue
+    wait, the ABS.Relax batch, the rest of VO construction, VO byte
+    encoding, and the whole server-side handling. *)
+type timing = {
+  queue_us : int;
+  relax_us : int;
+  prove_us : int;
+  encode_us : int;
+  total_us : int;
+}
+
+val zero_timing : timing
+
+val us_of_ns : int64 -> int
+(** Nanoseconds to clamped non-negative microseconds. *)
+
+val timing_json : timing -> Zkqac_telemetry.Json.t
+
+type footer = { f_req_id : int64; f_timing : timing }
+(** The v2 response extension: the echoed request id plus the timing
+    split. *)
+
+val encode_response : ?footer:footer -> response -> string
+(** Without [footer], the v1 format — byte-identical to the
+    pre-correlation protocol. *)
 
 val decode_response :
   ?limits:Zkqac_util.Wire.limits ->
   string ->
-  (response, Zkqac_util.Verify_error.t) result
+  (response * footer option, Zkqac_util.Verify_error.t) result
+(** [footer] is [None] for v1 responses (an old peer answered). *)

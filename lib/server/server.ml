@@ -22,8 +22,10 @@ module VE = Zkqac_util.Verify_error
 module Attr = Zkqac_policy.Attr
 module Drbg = Zkqac_hashing.Drbg
 module Pool = Zkqac_parallel.Pool
+module Monotonic_clock = Zkqac_parallel.Monotonic_clock
 module Flight = Zkqac_telemetry.Flight
 module Metrics = Zkqac_telemetry.Metrics
+module Trace = Zkqac_telemetry.Trace
 module Json = Zkqac_telemetry.Json
 module Audit = Zkqac_audit.Audit
 module Box = Zkqac_core.Box
@@ -61,7 +63,37 @@ type config = {
   drain_deadline : float;  (** budget for the whole graceful drain *)
   checkpoint_every : float;
       (** seconds between epoch checkpoints of the served tree; 0 disables *)
+  slow_threshold_ms : float;
+      (** tail-sampling slow threshold; 0 = dynamic p99 (see {!Slowlog}) *)
+  slowlog_cap : int;  (** incidents retained by the tail sampler *)
+  slow_inject : (float * int) option;
+      (** test/harness hook: delay (seconds) injected into the Nth decoded
+          request (1-based), once — so CI can force exactly one slow
+          incident. [ZKQAC_SLOW_INJECT=MS[:N]] sets the default. *)
 }
+
+(* ZKQAC_SLOW_INJECT=MS[:N]: delay the Nth decoded request by MS
+   milliseconds (N defaults to 1). The crashpoint idiom: armed from the
+   environment so a shell harness can force a deterministic slow incident
+   without touching the CLI surface; nonsense values fail loudly. *)
+let slow_inject_of_env () =
+  match Sys.getenv_opt "ZKQAC_SLOW_INJECT" with
+  | None -> None
+  | Some raw -> (
+    let s = String.trim raw in
+    if s = "" then None
+    else
+      let ms_s, nth_s =
+        match String.index_opt s ':' with
+        | None -> (s, "1")
+        | Some i ->
+          (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+      in
+      match (float_of_string_opt ms_s, int_of_string_opt nth_s) with
+      | Some ms, Some n when ms >= 0.0 && n >= 1 -> Some (ms /. 1000.0, n)
+      | _ ->
+        invalid_arg
+          (Printf.sprintf "ZKQAC_SLOW_INJECT=%S is not MS[:N] with MS >= 0, N >= 1" raw))
 
 let default_config =
   {
@@ -75,6 +107,9 @@ let default_config =
     query_deadline = 30.0;
     drain_deadline = 45.0;
     checkpoint_every = 0.0;
+    slow_threshold_ms = 0.0;
+    slowlog_cap = 64;
+    slow_inject = slow_inject_of_env ();
   }
 
 module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
@@ -88,6 +123,8 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
     ads_path : string;
     listen_fd : Unix.file_descr;
     mh : Metrics_http.t option;
+    slowlog : Slowlog.t;
+    req_seq : int Atomic.t;  (* decoded requests, for slow_inject ordinals *)
     pool : Pool.pool;
     tree : Ap2g.t;
     mvk : Abs.mvk;
@@ -121,15 +158,17 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
     Unix.listen fd 128;
     fd
 
-  let respond t fd resp =
+  let respond t fd ?footer resp =
     let deadline = Sockio.deadline_after t.cfg.write_deadline in
-    Sockio.write_frame fd ~deadline (Proto.encode_response resp)
+    Sockio.write_frame fd ~deadline (Proto.encode_response ?footer resp)
 
-  let audit_request ~conn ~roles ~query ~outcome ~vo_bytes ~ms =
+  let audit_request ~conn ~rid ~minted ~roles ~query ~outcome ~vo_bytes ~ms =
     if Audit.enabled () then
       Audit.record ~kind:"serve"
         (Json.Obj
            [ ("conn", Json.Int conn);
+             ("req_id", Json.Str (Proto.req_id_hex rid));
+             ("minted", Json.Bool minted);
              ("roles", Json.Arr (List.map (fun r -> Json.Str r) roles));
              ("query", Json.Str (Box.to_string query));
              ("outcome", Json.Str outcome);
@@ -139,20 +178,45 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
   (* One request per connection: read, decode, execute on the pool with a
      deadline, respond with a typed status. Transport faults are counted
      and recorded but never propagate — a hostile peer can cost this
-     handler its deadline budget, nothing more. *)
+     handler its deadline budget, nothing more.
+
+     Correlation: the request id (client-minted for v2 requests,
+     server-minted otherwise) is threaded into the root span and its
+     pool.worker child, the audit entry, the flight event, the tail
+     sampler, and — for v2 requests — the response footer, always as the
+     same 16-hex-digit string. The response version mirrors the request's:
+     an old client never receives v2 bytes. *)
   let handle_conn t fd conn_id =
-    let t0 = Zkqac_parallel.Monotonic_clock.now_ns () in
-    let finish ?(roles = []) ?query resp =
+    let t0 = Monotonic_clock.now_ns () in
+    (* Called after the request's root span (if any) has closed, so the
+       tail sampler sees the complete tree. The slowlog is consulted before
+       the response bytes leave: once the client has its answer, /slowlog
+       already knows about the incident. *)
+    let finish ?(roles = []) ?query ?(rid = 0L) ?(minted = true) ?(v2 = false)
+        ?(root = 0) ?(timing = Proto.zero_timing) resp =
       let outcome = Proto.response_code resp in
       Metrics.inc m_requests [ ("outcome", outcome) ];
       let vo_bytes = match resp with Proto.Vo vo -> String.length vo | _ -> 0 in
+      let ms = Monotonic_clock.elapsed_since t0 *. 1000.0 in
+      let timing =
+        { timing with Proto.total_us = Proto.us_of_ns (Int64.of_float (ms *. 1e6)) }
+      in
       (match query with
       | Some query ->
-        audit_request ~conn:conn_id ~roles ~query ~outcome ~vo_bytes
-          ~ms:(Zkqac_parallel.Monotonic_clock.elapsed_since t0 *. 1000.0)
+        audit_request ~conn:conn_id ~rid ~minted ~roles ~query ~outcome
+          ~vo_bytes ~ms
       | None -> ());
-      Flight.record ~cat:"server" ~detail:outcome ~v:vo_bytes "server.request";
-      respond t fd resp
+      Flight.record ~cat:"server" ~req_id:rid ~detail:outcome ~v:vo_bytes
+        "server.request";
+      if rid <> 0L then
+        ignore
+          (Slowlog.observe t.slowlog ~root ~req_id:rid ~minted ~conn:conn_id
+             ~outcome ~total_ms:ms ~timing ()
+            : bool);
+      let footer =
+        if v2 then Some { Proto.f_req_id = rid; f_timing = timing } else None
+      in
+      respond t fd ?footer resp
     in
     match
       let deadline = Sockio.deadline_after t.cfg.read_deadline in
@@ -171,7 +235,7 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
         Flight.record ~cat:"server"
           ~detail:(Printf.sprintf "conn=%d frame bytes %d" conn_id length)
           ~v:limit "server.wire_limit";
-        finish (Proto.Bad_request "limit-exceeded")
+        finish ~rid:(Proto.mint_req_id ()) (Proto.Bad_request "limit-exceeded")
       | _ -> ())
     | frame -> (
       match Proto.decode_request ~limits:Wire.default_limits frame with
@@ -184,42 +248,113 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
             ~detail:(Printf.sprintf "conn=%d %s" conn_id what)
             ~v:limit "server.wire_limit"
         | _ -> ());
-        finish (Proto.Bad_request (VE.code e))
-      | Ok { Proto.roles; query } ->
+        finish ~rid:(Proto.mint_req_id ()) (Proto.Bad_request (VE.code e))
+      | Ok { Proto.req_id; roles; query } ->
         (* Crash-harness hook: die with a decoded request in hand, after the
            client committed to the exchange but before any response bytes. *)
         Crashpoint.maybe "serve-request";
-        if not (Box.contains_box (Keyspace.whole t.space) query) then
-          finish ~roles ~query (Proto.Bad_request "query-outside-space")
-        else begin
-          let fut =
-            Pool.submit t.pool (fun () ->
-                Atomic.incr t.running_queries;
-                Fun.protect
-                  ~finally:(fun () -> Atomic.decr t.running_queries)
-                  (fun () ->
-                    let drbg =
-                      Drbg.create
-                        ~seed:(Printf.sprintf "zkqac-serve:%d" conn_id)
-                    in
-                    let user = Attr.set_of_list roles in
-                    let vo, _stats =
-                      Ap2g.range_vo drbg ~mvk:t.mvk t.tree ~user query
-                    in
-                    Vo.to_bytes vo))
-          in
-          match Pool.await_timeout fut t.cfg.query_deadline with
-          | None ->
-            Flight.record ~cat:"server"
-              ~detail:(Printf.sprintf "conn=%d" conn_id)
-              "server.query_deadline";
-            finish ~roles ~query Proto.Deadline
-          | Some (Error (e, _bt)) ->
-            finish ~roles ~query (Proto.Server_error (Printexc.to_string e))
-          | Some (Ok vo_bytes) ->
-            Atomic.incr t.served;
-            finish ~roles ~query (Proto.Vo vo_bytes)
-        end)
+        let minted = req_id = None in
+        let rid =
+          match req_id with Some id -> id | None -> Proto.mint_req_id ()
+        in
+        let v2 = not minted in
+        let n_req = Atomic.fetch_and_add t.req_seq 1 + 1 in
+        let rid_attr = Trace.Str (Proto.req_id_hex rid) in
+        let timing = ref Proto.zero_timing in
+        let root_id = ref 0 in
+        let resp =
+          (* Handler threads share domain 0, so the request root is an
+             explicit root (~parent:none) and every child names its parent
+             explicitly — interleaved requests must not adopt each other's
+             spans. *)
+          Trace.with_span "server.request" ~parent:Trace.none
+            ~attrs:
+              [ ("req_id", rid_attr);
+                ("conn", Trace.Int conn_id);
+                ("minted", Trace.Bool minted) ]
+          @@ fun root ->
+          root_id := Trace.ctx_id root;
+          Slowlog.track t.slowlog ~root:!root_id ~req_id:rid;
+          (match t.cfg.slow_inject with
+          | Some (delay_s, at) when n_req = at ->
+            (* The injected stall is its own span, so the forced incident's
+               tree shows where the time went even in a harness run. *)
+            Trace.with_span "server.slow_inject" ~parent:root
+              ~attrs:[ ("delay_s", Trace.Float delay_s) ]
+              (fun _ -> Unix.sleepf delay_s)
+          | _ -> ());
+          if not (Box.contains_box (Keyspace.whole t.space) query) then
+            Proto.Bad_request "query-outside-space"
+          else begin
+            let submitted = Monotonic_clock.now_ns () in
+            let queue_ns = ref 0L
+            and relax_ns = ref 0L
+            and prove_ns = ref 0L
+            and encode_ns = ref 0L in
+            let fut =
+              Pool.submit ~ctx:root
+                ~attrs:[ ("req_id", rid_attr); ("conn", Trace.Int conn_id) ]
+                t.pool
+                (fun () ->
+                  queue_ns := Int64.sub (Monotonic_clock.now_ns ()) submitted;
+                  Atomic.incr t.running_queries;
+                  Fun.protect
+                    ~finally:(fun () -> Atomic.decr t.running_queries)
+                    (fun () ->
+                      let drbg =
+                        Drbg.create
+                          ~seed:(Printf.sprintf "zkqac-serve:%d" conn_id)
+                      in
+                      let user = Attr.set_of_list roles in
+                      (* The relax share of proving is measured where it
+                         runs: the pmap hook wraps the ABS.Relax batch. *)
+                      let pmap jobs =
+                        let r0 = Monotonic_clock.now_ns () in
+                        let out = List.map (fun j -> j ()) jobs in
+                        relax_ns :=
+                          Int64.add !relax_ns
+                            (Int64.sub (Monotonic_clock.now_ns ()) r0);
+                        out
+                      in
+                      let p0 = Monotonic_clock.now_ns () in
+                      let vo, _stats =
+                        Ap2g.range_vo ~pmap drbg ~mvk:t.mvk t.tree ~user query
+                      in
+                      prove_ns :=
+                        Int64.sub
+                          (Int64.sub (Monotonic_clock.now_ns ()) p0)
+                          !relax_ns;
+                      let e0 = Monotonic_clock.now_ns () in
+                      let bytes = Vo.to_bytes vo in
+                      encode_ns := Int64.sub (Monotonic_clock.now_ns ()) e0;
+                      bytes))
+            in
+            match Pool.await_timeout fut t.cfg.query_deadline with
+            | None ->
+              Flight.record ~cat:"server" ~req_id:rid
+                ~detail:(Printf.sprintf "conn=%d" conn_id)
+                "server.query_deadline";
+              Proto.Deadline
+            | Some (Error (e, _bt)) ->
+              Proto.Server_error (Printexc.to_string e)
+            | Some (Ok vo_bytes) ->
+              Atomic.incr t.served;
+              (* The future was fulfilled under its mutex, so the worker's
+                 writes to the stage refs are visible here. On the deadline
+                 path they are never read: the job may still be running. *)
+              timing :=
+                {
+                  Proto.queue_us = Proto.us_of_ns !queue_ns;
+                  relax_us = Proto.us_of_ns !relax_ns;
+                  prove_us = Proto.us_of_ns !prove_ns;
+                  encode_us = Proto.us_of_ns !encode_ns;
+                  total_us = 0 (* filled by [finish] *);
+                };
+              Proto.Vo vo_bytes
+          end
+        in
+        finish ~roles ~query ~rid ~minted ~v2 ~root:!root_id ~timing:!timing
+          resp)
 
   let guarded_handle t fd conn_id =
     (match handle_conn t fd conn_id with
@@ -237,9 +372,16 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
     Sockio.close_noerr fd;
     Atomic.decr t.in_flight
 
-  let shed _t fd =
+  let shed t fd conn_id =
     Metrics.inc m_shed [];
     Flight.record ~cat:"server" "server.shed";
+    (* Shed connections never reach the request decoder, so there is no id
+       to correlate — but the tail sampler still counts them and keeps the
+       typed outcome, so /slowlog shows overload storms. *)
+    ignore
+      (Slowlog.observe t.slowlog ~root:0 ~req_id:0L ~minted:true ~conn:conn_id
+         ~outcome:"overloaded" ~total_ms:0.0 ()
+        : bool);
     (* Best-effort typed refusal with a tight budget: a peer that will not
        read its Overloaded frame forfeits it. *)
     (try
@@ -260,7 +402,8 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
         | fd, _ ->
           let conn_id = Atomic.fetch_and_add t.conn_seq 1 in
           Metrics.inc m_connections [];
-          if Atomic.get t.in_flight >= t.cfg.max_in_flight then shed t fd
+          if Atomic.get t.in_flight >= t.cfg.max_in_flight then
+            shed t fd conn_id
           else begin
             Atomic.incr t.in_flight;
             let th = Thread.create (fun () -> guarded_handle t fd conn_id) () in
@@ -298,7 +441,10 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
            [ ("served", Json.Int (Atomic.get t.served));
              ("connections", Json.Int (Atomic.get t.conn_seq));
              ("clean", Json.Bool (Atomic.get t.running_queries = 0)) ]);
-    Flight.record ~cat:"server" ~v:(Atomic.get t.served) "server.drained"
+    Flight.record ~cat:"server" ~v:(Atomic.get t.served) "server.drained";
+    (* Release the trace close hook; retained incidents stay readable for
+       any post-drain dump. *)
+    Slowlog.close t.slowlog
 
   (* Periodic epoch checkpoints of the served tree: each one is an atomic,
      footer-committed sibling file, so the next restart resumes from the
@@ -331,21 +477,36 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
        while checkpoint recovery below runs, so a supervisor can tell a
        recovering server from a dead one. *)
     let ready = Atomic.make false in
+    (* Tail sampling needs span trees; a daemon run turns tracing on if the
+       embedder has not already. The slowlog exists before the metrics
+       endpoint so /slowlog can be mounted alongside /metrics. *)
+    if not (Trace.enabled ()) then Trace.enable ();
+    let slowlog =
+      Slowlog.create ~cap:cfg.slowlog_cap ~threshold_ms:cfg.slow_threshold_ms ()
+    in
     let mh =
       match cfg.metrics_port with
       | None -> Ok None
       | Some p -> (
         match
-          Metrics_http.start ~host:cfg.host ~ready:(fun () -> Atomic.get ready) ~port:p ()
+          Metrics_http.start ~host:cfg.host
+            ~ready:(fun () -> Atomic.get ready)
+            ~extra:
+              [ ("/slowlog", fun () -> Json.to_string (Slowlog.to_json slowlog))
+              ]
+            ~port:p ()
         with
         | Ok m -> Ok (Some m)
         | Error e -> Error e)
     in
     match mh with
-    | Error e -> Error e
+    | Error e ->
+      Slowlog.close slowlog;
+      Error e
     | Ok mh -> (
       let fail e =
         Option.iter Metrics_http.stop mh;
+        Slowlog.close slowlog;
         Error e
       in
       match Ads_io.load_recover ~path:ads with
@@ -363,6 +524,8 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
               ads_path = ads;
               listen_fd;
               mh;
+              slowlog;
+              req_seq = Atomic.make 0;
               pool = Pool.create ~threads:cfg.threads ();
               tree = rc.Ads_io.r_tree;
               mvk = rc.Ads_io.r_mvk;
@@ -405,4 +568,12 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) = struct
   let served t = Atomic.get t.served
   let connections t = Atomic.get t.conn_seq
   let pool t = t.pool
+  let slowlog t = t.slowlog
+
+  (* The slowlog dumps next to the flight recorder (same SIGUSR1, same
+     directory): one signal produces one joined forensic snapshot. *)
+  let dump_slowlog t =
+    match Flight.dump_dir () with
+    | Some dir -> Slowlog.dump t.slowlog ~dir
+    | None -> 0
 end

@@ -16,7 +16,14 @@
       audit entry, and return within [drain_deadline] even if a worker is
       stuck;
     - an optional live [GET /metrics] HTTP endpoint fed by the
-      {!Zkqac_telemetry.Metrics} registry. *)
+      {!Zkqac_telemetry.Metrics} registry, with the tail sampler's
+      [GET /slowlog] mounted alongside;
+    - end-to-end request correlation: every request's id (client-minted
+      for v2 requests, server-minted otherwise) appears identically in the
+      root trace span, its [pool.worker] child, the [serve] audit entry,
+      the flight event, the {!Slowlog} incident, and — for v2 requests —
+      the response footer's timing split. The response version always
+      mirrors the request's, so old peers interoperate. *)
 
 type config = {
   host : string;
@@ -30,9 +37,21 @@ type config = {
   drain_deadline : float;  (** budget for the whole graceful drain *)
   checkpoint_every : float;
       (** seconds between epoch checkpoints of the served tree; 0 disables *)
+  slow_threshold_ms : float;
+      (** tail-sampling slow threshold; 0 = dynamic p99 (see {!Slowlog}) *)
+  slowlog_cap : int;  (** incidents retained by the tail sampler *)
+  slow_inject : (float * int) option;
+      (** test/harness hook: delay (seconds) injected into the Nth decoded
+          request (1-based), once — so a harness can force exactly one slow
+          incident. [default_config] arms it from [ZKQAC_SLOW_INJECT=MS[:N]]. *)
 }
 
 val default_config : config
+
+val slow_inject_of_env : unit -> (float * int) option
+(** Parse [ZKQAC_SLOW_INJECT=MS[:N]] (milliseconds, 1-based ordinal
+    defaulting to 1); [None] when unset or empty, [Invalid_argument] on
+    nonsense — a misspelled harness knob must fail loudly. *)
 
 module Make (P : Zkqac_group.Pairing_intf.PAIRING) : sig
   module Ap2g : module type of Zkqac_core.Ap2g.Make (P)
@@ -73,4 +92,13 @@ module Make (P : Zkqac_group.Pairing_intf.PAIRING) : sig
   (** Connections accepted (including shed ones). *)
 
   val pool : t -> Zkqac_parallel.Pool.pool
+
+  val slowlog : t -> Slowlog.t
+  (** The live tail sampler backing [/slowlog]. *)
+
+  val dump_slowlog : t -> int
+  (** Dump the slowlog JSON plus per-incident Perfetto files into the
+      flight recorder's dump directory ([ZKQAC_FLIGHT_DIR]); returns files
+      written, 0 when no dump directory is configured. Wired to SIGUSR1 by
+      [zkqac serve], next to the flight dump. *)
 end

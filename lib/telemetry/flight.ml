@@ -14,6 +14,7 @@ type event = {
   name : string;
   detail : string;
   v : int;
+  req_id : int64; (* correlating request id; 0 = not request-scoped *)
 }
 
 let env_flag name default =
@@ -58,7 +59,7 @@ let dls =
       Mutex.unlock reg_lock;
       d)
 
-let record ?(v = 0) ?(detail = "") ~cat name =
+let record ?(v = 0) ?(req_id = 0L) ?(detail = "") ~cat name =
   if Atomic.get on then begin
     let d = Domain.DLS.get dls in
     let e =
@@ -70,6 +71,7 @@ let record ?(v = 0) ?(detail = "") ~cat name =
         name;
         detail;
         v;
+        req_id;
       }
     in
     if Array.length d.ring = 0 then d.ring <- Array.make cap e
@@ -118,13 +120,18 @@ let reset () =
 
 let event_json e =
   Json.Obj
-    [ ("seq", Json.Int e.seq);
-      ("t_ns", Json.Float (Int64.to_float e.t_ns));
-      ("domain", Json.Int e.domain);
-      ("cat", Json.Str e.cat);
-      ("name", Json.Str e.name);
-      ("detail", Json.Str e.detail);
-      ("v", Json.Int e.v) ]
+    ([ ("seq", Json.Int e.seq);
+       ("t_ns", Json.Float (Int64.to_float e.t_ns));
+       ("domain", Json.Int e.domain);
+       ("cat", Json.Str e.cat);
+       ("name", Json.Str e.name);
+       ("detail", Json.Str e.detail);
+       ("v", Json.Int e.v) ]
+    @
+    (* Only request-scoped events carry the field, so dumps from paths that
+       have no request in hand stay byte-compatible with older consumers. *)
+    if e.req_id = 0L then []
+    else [ ("req_id", Json.Str (Printf.sprintf "%016Lx" e.req_id)) ])
 
 let to_json ?(reason = "") () =
   Json.Obj
@@ -143,11 +150,12 @@ let to_text () =
     (List.length evs) (recorded ()) (dropped ()) (trips ());
   List.iter
     (fun e ->
-      Printf.bprintf buf "  #%-6d %12.3f ms  d%-3d %-8s %-28s %s%s\n" e.seq
+      Printf.bprintf buf "  #%-6d %12.3f ms  d%-3d %-8s %-28s %s%s%s\n" e.seq
         (Int64.to_float e.t_ns /. 1e6)
         e.domain e.cat e.name
         (if e.detail = "" then "" else e.detail ^ " ")
-        (if e.v = 0 then "" else Printf.sprintf "v=%d" e.v))
+        (if e.v = 0 then "" else Printf.sprintf "v=%d " e.v)
+        (if e.req_id = 0L then "" else Printf.sprintf "req=%016Lx" e.req_id))
     evs;
   Buffer.contents buf
 

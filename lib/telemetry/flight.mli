@@ -28,6 +28,9 @@ type event = {
   name : string;
   detail : string;  (** free-form qualifier, e.g. an error code; "" if none *)
   v : int;  (** numeric payload (duration ns, limit, rows...); 0 if none *)
+  req_id : int64;
+      (** correlating request id for request-scoped events (the server's
+          per-request records); 0 when the event has no request context *)
 }
 
 val enabled : unit -> bool
@@ -37,9 +40,12 @@ val disable : unit -> unit
 val capacity : unit -> int
 (** Ring capacity per domain. *)
 
-val record : ?v:int -> ?detail:string -> cat:string -> string -> unit
+val record :
+  ?v:int -> ?req_id:int64 -> ?detail:string -> cat:string -> string -> unit
 (** [record ~cat name] appends one event to the calling domain's ring.
-    No-op when disabled. Never raises. *)
+    [req_id] ties the event to a wire-propagated request id; it appears in
+    JSON dumps as a 16-hex-digit ["req_id"] field (and [req=...] in text)
+    when non-zero. No-op when disabled. Never raises. *)
 
 val recorded : unit -> int
 (** Total events recorded since start/reset (including overwritten ones). *)
@@ -58,7 +64,8 @@ val events : unit -> event list
 
 val to_json : ?reason:string -> unit -> Json.t
 (** Dump shape: [{"flight": 1, "reason", "recorded", "dropped", "trips",
-    "events": [{"seq","t_ns","domain","cat","name","detail","v"}...]}]. *)
+    "events": [{"seq","t_ns","domain","cat","name","detail","v",
+    "req_id"?}...]}] — ["req_id"] present only on request-scoped events. *)
 
 val print : out_channel -> unit
 (** Human-readable text dump of {!events}. *)

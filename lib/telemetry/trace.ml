@@ -18,6 +18,7 @@ type value = Int of int | Float of float | Str of string | Bool of bool
 type span = {
   id : int;
   parent : int; (* 0 = no parent *)
+  root : int; (* id of the root span of this span's tree (= id for roots) *)
   name : string;
   tid : int;
   t0 : int64;
@@ -28,6 +29,8 @@ type span = {
 type ctx = span option
 
 let none : ctx = None
+let ctx_id : ctx -> int = function Some sp -> sp.id | None -> 0
+let ctx_root : ctx -> int = function Some sp -> sp.root | None -> 0
 let on = Switch.tracing_on
 let enabled () = Atomic.get on
 
@@ -43,6 +46,11 @@ let t_zero = Atomic.make 0L
 
 type dstate = {
   tid : int;
+  dm : Mutex.t;
+      (* several sys-threads can share one domain (the server's connection
+         handlers all live on domain 0), so the stack and buffer mutations
+         below are guarded; the lock is per-domain and almost always
+         uncontended. *)
   mutable buf : span array;
   mutable len : int;
   mutable stack : span list; (* open spans, innermost first *)
@@ -53,12 +61,19 @@ let states : dstate list ref = ref []
 
 let dls =
   Domain.DLS.new_key (fun () ->
-      let d = { tid = (Domain.self () :> int); buf = [||]; len = 0; stack = [] } in
+      let d =
+        { tid = (Domain.self () :> int);
+          dm = Mutex.create ();
+          buf = [||];
+          len = 0;
+          stack = [] }
+      in
       Mutex.lock reg_lock;
       states := d :: !states;
       Mutex.unlock reg_lock;
       d)
 
+(* Caller holds [d.dm]. *)
 let push d sp =
   if Atomic.fetch_and_add remaining (-1) > 0 then begin
     if d.len = Array.length d.buf then begin
@@ -103,12 +118,49 @@ let stage_reset () =
 (* --- recording --- *)
 
 let current () : ctx =
-  match (Domain.DLS.get dls).stack with s :: _ -> Some s | [] -> None
+  let d = Domain.DLS.get dls in
+  Mutex.lock d.dm;
+  let c = match d.stack with s :: _ -> Some s | [] -> None in
+  Mutex.unlock d.dm;
+  c
 
 let set_attrs (ctx : ctx) kvs =
   match ctx with None -> () | Some sp -> sp.attrs <- sp.attrs @ kvs
 
 let set_attr ctx k v = set_attrs ctx [ (k, v) ]
+
+(* A closed span, for programmatic consumption (timestamps relative to the
+   last enable/reset). Defined here because the close hook below receives
+   one. *)
+type info = {
+  span_id : int;
+  span_parent : int;
+  span_root : int;
+  span_name : string;
+  span_tid : int;
+  start_ns : int64;
+  dur_ns : int64;
+  span_attrs : (string * value) list;
+}
+
+let info_of_span zero sp =
+  {
+    span_id = sp.id;
+    span_parent = sp.parent;
+    span_root = sp.root;
+    span_name = sp.name;
+    span_tid = sp.tid;
+    start_ns = Int64.sub sp.t0 zero;
+    dur_ns = Int64.sub sp.t1 sp.t0;
+    span_attrs = sp.attrs;
+  }
+
+(* One process-wide close hook, fired (when tracing is on) for every span as
+   it closes — independent of the retention budget, so a consumer like the
+   server's slow-query log still sees complete trees after the export buffer
+   has filled up. The hook must be fast and must not raise. *)
+let close_hook : (info -> unit) option Atomic.t = Atomic.make None
+let set_close_hook h = Atomic.set close_hook h
 
 let with_span ?parent ?(attrs = []) name f =
   let tracing = Atomic.get on in
@@ -127,16 +179,24 @@ let with_span ?parent ?(attrs = []) name f =
     end
   else begin
     let d = Domain.DLS.get dls in
-    let parent_id =
+    let parent_sp =
       match parent with
-      | Some (Some p : ctx) -> p.id
-      | Some None -> 0
-      | None -> (match d.stack with s :: _ -> s.id | [] -> 0)
+      | Some (Some p : ctx) -> Some p
+      | Some None -> None
+      | None -> (
+        Mutex.lock d.dm;
+        let p = match d.stack with s :: _ -> Some s | [] -> None in
+        Mutex.unlock d.dm;
+        p)
     in
+    let id = Atomic.fetch_and_add next_id 1 in
     let sp =
       {
-        id = Atomic.fetch_and_add next_id 1;
-        parent = parent_id;
+        id;
+        parent = (match parent_sp with Some p -> p.id | None -> 0);
+        (* A child inherits its tree's root id, so any span can be joined
+           back to its request without walking parent links. *)
+        root = (match parent_sp with Some p -> p.root | None -> id);
         name;
         tid = d.tid;
         t0 = now_ns ();
@@ -144,7 +204,11 @@ let with_span ?parent ?(attrs = []) name f =
         attrs;
       }
     in
-    if tracing then d.stack <- sp :: d.stack;
+    if tracing then begin
+      Mutex.lock d.dm;
+      d.stack <- sp :: d.stack;
+      Mutex.unlock d.dm
+    end;
     (* Domain-local allocation counters (minor, promoted, major words):
        the close-time deltas attribute this span's allocation to its stage
        (inclusive of children, like wall time). *)
@@ -153,8 +217,16 @@ let with_span ?parent ?(attrs = []) name f =
     Fun.protect
       ~finally:(fun () ->
         sp.t1 <- now_ns ();
-        (match d.stack with s :: rest when s == sp -> d.stack <- rest | _ -> ());
-        if tracing then push d sp;
+        if tracing then begin
+          Mutex.lock d.dm;
+          (* Interleaved sys-threads on one domain can close out of stack
+             order; remove this span wherever it sits. *)
+          (match d.stack with
+          | s :: rest when s == sp -> d.stack <- rest
+          | stack -> d.stack <- List.filter (fun s -> not (s == sp)) stack);
+          push d sp;
+          Mutex.unlock d.dm
+        end;
         let ns = Int64.to_int (Int64.sub sp.t1 sp.t0) in
         Histogram.note name ns;
         let mi1, pr1, ma1 = Gc.counters () in
@@ -162,6 +234,10 @@ let with_span ?parent ?(attrs = []) name f =
           ~major:(ma1 -. ma0);
         Rte.note_stage name gc_mark;
         Flight.record ~cat:"span" ~v:ns name;
+        if tracing then (
+          match Atomic.get close_hook with
+          | None -> ()
+          | Some h -> ( try h (info_of_span (Atomic.get t_zero) sp) with _ -> ()));
         if Atomic.get Switch.telemetry_on then
           stage_record name (float_of_int ns *. 1e-9))
       (fun () -> f (Some sp))
@@ -192,16 +268,6 @@ let dropped () = Atomic.get dropped_ctr
 
 (* --- export --- *)
 
-type info = {
-  span_id : int;
-  span_parent : int;
-  span_name : string;
-  span_tid : int;
-  start_ns : int64;
-  dur_ns : int64;
-  span_attrs : (string * value) list;
-}
-
 let spans () =
   Mutex.lock reg_lock;
   let collected =
@@ -215,16 +281,7 @@ let spans () =
   Mutex.unlock reg_lock;
   let zero = Atomic.get t_zero in
   collected
-  |> List.map (fun sp ->
-         {
-           span_id = sp.id;
-           span_parent = sp.parent;
-           span_name = sp.name;
-           span_tid = sp.tid;
-           start_ns = Int64.sub sp.t0 zero;
-           dur_ns = Int64.sub sp.t1 sp.t0;
-           span_attrs = sp.attrs;
-         })
+  |> List.map (info_of_span zero)
   |> List.sort (fun a b ->
          match Int64.compare a.start_ns b.start_ns with
          | 0 -> compare a.span_id b.span_id
@@ -244,42 +301,55 @@ let value_json = function
 
 (* Chrome trace-event JSON (the Perfetto / chrome://tracing format): one
    complete ("X") event per span, ts/dur in microseconds, tid = domain id.
-   Span ids and parent links ride along in "args". *)
+   Span ids, root ids and parent links ride along in "args". *)
+let chrome_meta sps =
+  let tids = List.sort_uniq compare (List.map (fun s -> s.span_tid) sps) in
+  Json.Obj
+    [ ("name", Json.Str "process_name");
+      ("ph", Json.Str "M");
+      ("pid", Json.Int 1);
+      ("args", Json.Obj [ ("name", Json.Str "zkqac") ]) ]
+  :: List.map
+       (fun tid ->
+         Json.Obj
+           [ ("name", Json.Str "thread_name");
+             ("ph", Json.Str "M");
+             ("pid", Json.Int 1);
+             ("tid", Json.Int tid);
+             ("args", Json.Obj [ ("name", Json.Str (Printf.sprintf "domain %d" tid)) ]) ])
+       tids
+
+let chrome_event s =
+  Json.Obj
+    [ ("name", Json.Str s.span_name);
+      ("cat", Json.Str "zkqac");
+      ("ph", Json.Str "X");
+      ("ts", Json.Float (Int64.to_float s.start_ns /. 1e3));
+      ("dur", Json.Float (Int64.to_float s.dur_ns /. 1e3));
+      ("pid", Json.Int 1);
+      ("tid", Json.Int s.span_tid);
+      ( "args",
+        Json.Obj
+          (("id", Json.Int s.span_id)
+           :: (if s.span_parent = 0 then []
+               else [ ("parent", Json.Int s.span_parent) ])
+          @ (if s.span_root = 0 || s.span_root = s.span_id then []
+             else [ ("root", Json.Int s.span_root) ])
+          @ List.map (fun (k, v) -> (k, value_json v)) s.span_attrs) ) ]
+
+(* Per-incident export: a trace file holding just the given spans (how the
+   server's slow-query log writes one Perfetto file per sampled request).
+   No GC slices — those are only meaningful against the full trace. *)
+let chrome_json_of_spans sps =
+  Json.Obj
+    [ ("traceEvents", Json.Arr (chrome_meta sps @ List.map chrome_event sps));
+      ("displayTimeUnit", Json.Str "ms");
+      ("otherData", Json.Obj [ ("tool", Json.Str "zkqac") ]) ]
+
 let chrome_json () =
   let sps = spans () in
-  let tids = List.sort_uniq compare (List.map (fun s -> s.span_tid) sps) in
-  let meta =
-    Json.Obj
-      [ ("name", Json.Str "process_name");
-        ("ph", Json.Str "M");
-        ("pid", Json.Int 1);
-        ("args", Json.Obj [ ("name", Json.Str "zkqac") ]) ]
-    :: List.map
-         (fun tid ->
-           Json.Obj
-             [ ("name", Json.Str "thread_name");
-               ("ph", Json.Str "M");
-               ("pid", Json.Int 1);
-               ("tid", Json.Int tid);
-               ("args", Json.Obj [ ("name", Json.Str (Printf.sprintf "domain %d" tid)) ]) ])
-         tids
-  in
-  let event s =
-    Json.Obj
-      [ ("name", Json.Str s.span_name);
-        ("cat", Json.Str "zkqac");
-        ("ph", Json.Str "X");
-        ("ts", Json.Float (Int64.to_float s.start_ns /. 1e3));
-        ("dur", Json.Float (Int64.to_float s.dur_ns /. 1e3));
-        ("pid", Json.Int 1);
-        ("tid", Json.Int s.span_tid);
-        ( "args",
-          Json.Obj
-            (("id", Json.Int s.span_id)
-             :: (if s.span_parent = 0 then []
-                 else [ ("parent", Json.Int s.span_parent) ])
-            @ List.map (fun (k, v) -> (k, value_json v)) s.span_attrs) ) ]
-  in
+  let meta = chrome_meta sps in
+  let event = chrome_event in
   (* GC pause slices from the runtime-events bridge ride along as extra
      tracks (tid 1000+domain), so pauses line up under the spans that
      absorbed them. Both clocks are CLOCK_MONOTONIC, so subtracting the

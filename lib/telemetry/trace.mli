@@ -32,6 +32,13 @@ type ctx
 val none : ctx
 (** The empty context: a span with [~parent:none] is a root. *)
 
+val ctx_id : ctx -> int
+(** The span id behind a context (0 for {!none}) — what {!info.span_root}
+    of every descendant will report for a root context. *)
+
+val ctx_root : ctx -> int
+(** The root span id of the context's tree (0 for {!none}). *)
+
 (** {1 Switching} *)
 
 val enabled : unit -> bool
@@ -76,12 +83,22 @@ val dropped : unit -> int
 type info = {
   span_id : int;
   span_parent : int;  (** 0 = root *)
+  span_root : int;  (** id of this span's tree root (= [span_id] for roots) *)
   span_name : string;
   span_tid : int;  (** domain id that ran the span *)
   start_ns : int64;
   dur_ns : int64;
   span_attrs : (string * value) list;
 }
+
+val set_close_hook : (info -> unit) option -> unit
+(** Install (or clear) the process-wide span-close hook. While tracing is
+    enabled, the hook fires once for every span as it closes — including
+    spans the retention budget discarded, so a consumer can collect
+    complete per-request trees on a long-lived server whose export buffer
+    filled long ago. The hook runs on the closing domain's thread: keep it
+    fast; exceptions it raises are swallowed. One hook slot exists
+    process-wide (latest wins). *)
 
 val spans : unit -> info list
 (** All recorded spans merged across domains, sorted by start time. Take at
@@ -92,6 +109,11 @@ val chrome_json : unit -> Json.t
     (https://ui.perfetto.dev) or chrome://tracing. One complete ("X") event
     per span with [ts]/[dur] in microseconds and [tid] = domain id; span ids
     and parent links are in [args]. *)
+
+val chrome_json_of_spans : info list -> Json.t
+(** Chrome trace-event JSON for just the given spans — the per-incident
+    export used by the server's slow-query log (one Perfetto file per
+    sampled request). GC slices are not included. *)
 
 val write_chrome : string -> unit
 (** Write {!chrome_json} to a file. *)

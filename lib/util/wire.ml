@@ -25,6 +25,12 @@ let u32 buf v =
     Buffer.add_char buf (Char.chr ((v lsr (8 * i)) land 0xff))
   done
 
+let u64 buf (v : int64) =
+  for i = 7 downto 0 do
+    Buffer.add_char buf
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xffL)))
+  done
+
 let bytes buf s =
   u32 buf (String.length s);
   Buffer.add_string buf s
@@ -104,6 +110,15 @@ let ru32 r =
   let v = ref 0 in
   for _ = 1 to 4 do
     v := (!v lsl 8) lor Char.code r.data.[r.pos];
+    r.pos <- r.pos + 1
+  done;
+  !v
+
+let ru64 r =
+  if r.pos + 8 > String.length r.data then raise Malformed;
+  let v = ref 0L in
+  for _ = 1 to 8 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code r.data.[r.pos]));
     r.pos <- r.pos + 1
   done;
   !v

@@ -1,0 +1,109 @@
+(* Property tests for the correlation plane's wire contracts: the canonical
+   hex id form round-trips, a request id survives the envelope byte-exactly,
+   the response footer preserves id + timing split, and version selection is
+   exactly the presence of the id (None = byte-identical v1). *)
+
+module Proto = Zkqac_server.Proto
+module Box = Zkqac_core.Box
+module Wire = Zkqac_util.Wire
+
+let qprop name gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count:500 ~name gen f)
+
+let gen_req_id =
+  (* Any id the client could mint: non-zero (0 is "no id" everywhere). *)
+  QCheck2.Gen.(map (function 0L -> 1L | id -> id) int64)
+
+let gen_box =
+  QCheck2.Gen.(
+    int_range 1 4 >>= fun dims ->
+    let corner = array_size (return dims) (int_range 0 1000) in
+    map2
+      (fun lo ext ->
+        Box.make ~lo ~hi:(Array.map2 (fun l e -> l + e) lo ext))
+      corner corner)
+
+let gen_roles =
+  QCheck2.Gen.(
+    map (fun n -> List.init n (Printf.sprintf "role-%d")) (int_range 0 6))
+
+let gen_request =
+  QCheck2.Gen.(
+    map3
+      (fun req_id roles query -> { Proto.req_id; roles; query })
+      (option gen_req_id) gen_roles gen_box)
+
+let gen_timing =
+  (* Each field independently anywhere in the encodable u32 range. *)
+  let field = QCheck2.Gen.int_range 0 Wire.max_u32 in
+  QCheck2.Gen.(
+    map3
+      (fun (queue_us, relax_us) (prove_us, encode_us) total_us ->
+        { Proto.queue_us; relax_us; prove_us; encode_us; total_us })
+      (pair field field) (pair field field) field)
+
+let prop_hex_roundtrip =
+  qprop "req_id_hex round-trips" QCheck2.Gen.int64 (fun id ->
+      Proto.req_id_of_hex (Proto.req_id_hex id) = Some id)
+
+let prop_hex_canonical =
+  qprop "req_id_hex is 16 lowercase hex digits" QCheck2.Gen.int64 (fun id ->
+      let h = Proto.req_id_hex id in
+      String.length h = 16
+      && String.for_all
+           (fun c -> (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))
+           h)
+
+let prop_request_roundtrip =
+  qprop "request envelope round-trips" gen_request (fun r ->
+      match Proto.decode_request (Proto.encode_request r) with
+      | Ok d ->
+        d.Proto.req_id = r.Proto.req_id
+        && d.Proto.roles = r.Proto.roles
+        && Box.equal d.Proto.query r.Proto.query
+      | Error _ -> false)
+
+let prop_request_version_is_id_presence =
+  (* The version split is precisely "does the request carry an id": None
+     encodes the v1 magic (old servers keep decoding new id-less clients),
+     Some encodes v2 — and the id is never silently dropped or remapped. *)
+  qprop "magic selection tracks req_id presence" gen_request (fun r ->
+      let frame = Proto.encode_request r in
+      (* Wire frames open with a u32 length prefix; the magic follows. *)
+      let magic_at m = String.sub frame 4 (String.length m) = m in
+      match r.Proto.req_id with
+      | None -> magic_at Proto.request_magic_v1
+      | Some _ -> magic_at Proto.request_magic)
+
+let prop_footer_roundtrip =
+  qprop "response footer round-trips"
+    QCheck2.Gen.(triple gen_req_id gen_timing (string_size (int_range 0 64)))
+    (fun (f_req_id, f_timing, payload) ->
+      let footer = { Proto.f_req_id; f_timing } in
+      match Proto.decode_response (Proto.encode_response ~footer (Proto.Vo payload)) with
+      | Ok (Proto.Vo p, Some f) ->
+        p = payload
+        && f.Proto.f_req_id = f_req_id
+        && f.Proto.f_timing = f_timing
+      | _ -> false)
+
+let prop_footerless_is_v1 =
+  qprop "footerless responses decode with no footer"
+    QCheck2.Gen.(string_size (int_range 0 64))
+    (fun payload ->
+      let frame = Proto.encode_response (Proto.Vo payload) in
+      String.sub frame 4 (String.length Proto.response_magic_v1)
+      = Proto.response_magic_v1
+      &&
+      match Proto.decode_response frame with
+      | Ok (Proto.Vo p, None) -> p = payload
+      | _ -> false)
+
+let suite =
+  [ ( "correlation",
+      [ prop_hex_roundtrip;
+        prop_hex_canonical;
+        prop_request_roundtrip;
+        prop_request_version_is_id_presence;
+        prop_footer_roundtrip;
+        prop_footerless_is_v1 ] ) ]

@@ -138,6 +138,38 @@ let test_trip_dumps () =
     json_files;
   Flight.reset ()
 
+(* Request-scoped events carry the correlation id into both dump formats;
+   events without one stay exactly as before (no "req_id" key at all). *)
+let test_req_id_field () =
+  Flight.reset ();
+  Flight.record ~cat:"serve" ~req_id:0x00c0ffee00c0ffeeL ~detail:"ok"
+    "server.request";
+  Flight.record ~cat:"serve" ~detail:"ok" "server.request";
+  (match Flight.to_json ~reason:"unit-test" () with
+   | Json.Obj fields ->
+     (match List.assoc_opt "events" fields with
+      | Some (Json.Arr [ Json.Obj e1; Json.Obj e2 ]) ->
+        Alcotest.(check bool) "req_id emitted as 16-hex-digit string" true
+          (List.assoc_opt "req_id" e1 = Some (Json.Str "00c0ffee00c0ffee"));
+        Alcotest.(check bool) "id-less event has no req_id key" true
+          (List.assoc_opt "req_id" e2 = None)
+      | _ -> Alcotest.fail "events: expected a 2-element array of objects")
+   | _ -> Alcotest.fail "dump is not a JSON object");
+  (* The text rendering greps the same way: req=<hex> on tagged lines. *)
+  let path = Filename.temp_file "zkqac-flight" ".txt" in
+  Fun.protect ~finally:(fun () -> Sys.remove path)
+  @@ fun () ->
+  let oc = open_out path in
+  Flight.print oc;
+  close_out oc;
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  Alcotest.(check bool) "text dump carries req=<hex>" true
+    (contains text "req=00c0ffee00c0ffee");
+  Flight.reset ()
+
 let test_disable () =
   Flight.reset ();
   Flight.disable ();
@@ -155,4 +187,5 @@ let suite =
         Alcotest.test_case "multi-domain wraparound storm" `Quick
           test_multi_domain_wraparound;
         Alcotest.test_case "trip dump files" `Quick test_trip_dumps;
+        Alcotest.test_case "req_id in dumps" `Quick test_req_id_field;
         Alcotest.test_case "enable/disable" `Quick test_disable ] ) ]

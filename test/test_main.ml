@@ -11,7 +11,7 @@ let () =
       @ Test_trace.suite @ Test_adversary.suite @ Test_metrics.suite
       @ Test_bench_diff.suite @ Test_flight.suite @ Test_audit.suite
       @ Test_rte.suite @ Test_server.suite @ Test_durable.suite
-      @ Test_crash.suite)
+      @ Test_crash.suite @ Test_correlation.suite)
   with Alcotest.Test_error ->
     Zkqac_telemetry.Flight.trip ~reason:"test-failure";
     exit 1

@@ -138,6 +138,53 @@ let test_persistent_shutdown () =
   (* Idempotent. *)
   Pool.shutdown pool
 
+let test_submit_ctx_span () =
+  (* A job submitted with the caller's trace context must show up as a
+     pool.worker span inside the caller's tree — same root, explicit
+     parent link across the domain boundary — carrying the given attrs. *)
+  let module Trace = Zkqac_telemetry.Trace in
+  Trace.enable ();
+  Fun.protect ~finally:(fun () ->
+      Trace.disable ();
+      Trace.reset ())
+  @@ fun () ->
+  let pool = Pool.create ~threads:2 () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool)
+  @@ fun () ->
+  let result =
+    Trace.with_span "request.root" (fun root ->
+        Pool.await
+          (Pool.submit ~ctx:root
+             ~attrs:[ ("req_id", Trace.Str "00000000000000ab") ]
+             pool
+             (fun () -> 6 * 7)))
+  in
+  (match result with
+  | Ok 42 -> ()
+  | Ok v -> Alcotest.failf "job returned %d" v
+  | Error (e, _) -> Alcotest.failf "job failed: %s" (Printexc.to_string e));
+  Trace.disable ();
+  let spans = Trace.spans () in
+  let root =
+    match
+      List.filter (fun s -> s.Trace.span_name = "request.root") spans
+    with
+    | [ r ] -> r
+    | l -> Alcotest.failf "expected one request.root, got %d" (List.length l)
+  in
+  match List.filter (fun s -> s.Trace.span_name = "pool.worker") spans with
+  | [ w ] ->
+    Alcotest.(check int) "worker's parent is the caller's span"
+      root.Trace.span_id w.Trace.span_parent;
+    Alcotest.(check int) "worker joins the caller's tree root"
+      root.Trace.span_id w.Trace.span_root;
+    Alcotest.(check bool) "worker ran on a different domain" true
+      (w.Trace.span_tid <> root.Trace.span_tid);
+    Alcotest.(check bool) "attrs carried across the boundary" true
+      (List.assoc_opt "req_id" w.Trace.span_attrs
+      = Some (Trace.Str "00000000000000ab"))
+  | l -> Alcotest.failf "expected one pool.worker span, got %d" (List.length l)
+
 let suite =
   [ ( "pool",
       [ Alcotest.test_case "single failure" `Quick test_single_failure;
@@ -151,4 +198,6 @@ let suite =
         Alcotest.test_case "persistent await timeout" `Quick
           test_persistent_await_timeout;
         Alcotest.test_case "persistent shutdown fulfills queue" `Quick
-          test_persistent_shutdown ] ) ]
+          test_persistent_shutdown;
+        Alcotest.test_case "submit carries trace context" `Quick
+          test_submit_ctx_span ] ) ]

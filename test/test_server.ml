@@ -95,20 +95,28 @@ let client_cfg port =
     max_backoff = 0.05;
   }
 
-let query_server ?(cfg_of = client_cfg) port =
+let query_server ?(cfg_of = client_cfg) ?rid port =
   let _, mvk, tree = Lazy.force fixture in
-  Cl.query (cfg_of port) ~mvk ~universe:(Ap2g.universe tree)
+  Cl.query ?req_id:rid (cfg_of port) ~mvk ~universe:(Ap2g.universe tree)
     ?hierarchy:(Ap2g.hierarchy tree) ~user:user_a ~query:whole_box ()
 
 (* --- protocol round-trips --- *)
 
 let test_proto_roundtrip () =
-  let req = { Proto.roles = [ "RoleA"; "RoleB" ]; query = whole_box } in
-  (match Proto.decode_request (Proto.encode_request req) with
-  | Ok r ->
-    Alcotest.(check (list string)) "roles" req.Proto.roles r.Proto.roles;
-    Alcotest.(check bool) "query" true (Box.equal req.Proto.query r.Proto.query)
-  | Error e -> Alcotest.failf "request decode: %s" (VE.to_string e));
+  (* Both envelope versions round-trip; req_id = None is the v1 wire form. *)
+  List.iter
+    (fun req_id ->
+      let req =
+        { Proto.req_id; roles = [ "RoleA"; "RoleB" ]; query = whole_box }
+      in
+      match Proto.decode_request (Proto.encode_request req) with
+      | Ok r ->
+        Alcotest.(check (list string)) "roles" req.Proto.roles r.Proto.roles;
+        Alcotest.(check bool) "query" true
+          (Box.equal req.Proto.query r.Proto.query);
+        Alcotest.(check bool) "req_id" true (r.Proto.req_id = req_id)
+      | Error e -> Alcotest.failf "request decode: %s" (VE.to_string e))
+    [ None; Some 0xdeadbeefcafef00dL ];
   let responses =
     [
       Proto.Vo "some vo bytes";
@@ -118,15 +126,39 @@ let test_proto_roundtrip () =
       Proto.Server_error "kaput";
     ]
   in
+  let footer =
+    {
+      Proto.f_req_id = 0x0123456789abcdefL;
+      f_timing =
+        {
+          Proto.queue_us = 12;
+          relax_us = 34;
+          prove_us = 56;
+          encode_us = 78;
+          total_us = 190;
+        };
+    }
+  in
   List.iter
     (fun resp ->
-      match Proto.decode_response (Proto.encode_response resp) with
-      | Ok r ->
+      (match Proto.decode_response (Proto.encode_response resp) with
+      | Ok (r, f) ->
         Alcotest.(check string)
           ("round-trip " ^ Proto.response_code resp)
-          (Proto.response_code resp) (Proto.response_code r)
+          (Proto.response_code resp) (Proto.response_code r);
+        Alcotest.(check bool) "v1 has no footer" true (f = None)
       | Error e ->
         Alcotest.failf "response decode [%s]: %s" (Proto.response_code resp)
+          (VE.to_string e));
+      match Proto.decode_response (Proto.encode_response ~footer resp) with
+      | Ok (r, Some f) ->
+        Alcotest.(check string)
+          ("v2 round-trip " ^ Proto.response_code resp)
+          (Proto.response_code resp) (Proto.response_code r);
+        Alcotest.(check bool) "footer survives" true (f = footer)
+      | Ok (_, None) -> Alcotest.fail "v2 footer dropped"
+      | Error e ->
+        Alcotest.failf "v2 response decode [%s]: %s" (Proto.response_code resp)
           (VE.to_string e))
     responses;
   (* Garbage and truncations decode to typed errors, never exceptions. *)
@@ -208,7 +240,7 @@ let test_serve_bad_request () =
         with
         | frame -> (
           match Proto.decode_response frame with
-          | Ok r -> `Resp r
+          | Ok (r, _) -> `Resp r
           | Error e -> Alcotest.failf "undecodable response: %s" (VE.to_string e))
         | exception Sockio.Fault f -> `Fault f)
   in
@@ -227,7 +259,8 @@ let test_serve_bad_request () =
   let outside = Box.make ~lo:[| 10; 10 |] ~hi:[| 11; 11 |] in
   match
     exchange
-      (Proto.encode_request { Proto.roles = [ "RoleA" ]; query = outside })
+      (Proto.encode_request
+         { Proto.req_id = None; roles = [ "RoleA" ]; query = outside })
   with
   | `Resp (Proto.Bad_request d) ->
     Alcotest.(check string) "reason" "query-outside-space" d
@@ -580,6 +613,255 @@ let test_server_health_endpoints () =
     Alcotest.(check bool) "exposition served" true
       (contains_sub (http_get p "/metrics") "zkqac_")
 
+(* --- request correlation: envelope compatibility across versions --- *)
+
+module Slowlog = Zkqac_server.Slowlog
+
+let test_compat_v1_request () =
+  (* An old peer's request (no req_id: the v1 wire form) against the new
+     server: answered correctly, and answered in v1 — no footer bytes an old
+     decoder would reject. The server mints an id for its own logs. *)
+  with_server base_server_cfg @@ fun t ->
+  let fd =
+    Sockio.connect ~host:"127.0.0.1" ~port:(Server.port t) ~timeout:2.0
+  in
+  Fun.protect
+    ~finally:(fun () -> Sockio.close_noerr fd)
+    (fun () ->
+      let dl = Sockio.deadline_after 5.0 in
+      Sockio.write_frame fd ~deadline:dl
+        (Proto.encode_request
+           { Proto.req_id = None; roles = [ "RoleA" ]; query = whole_box });
+      let frame = Sockio.read_frame fd ~deadline:dl ~max_bytes:(1 lsl 24) in
+      Alcotest.(check bool) "response is v1 bytes" true
+        (String.length frame > String.length Proto.response_magic_v1
+        && String.sub frame 4 (String.length Proto.response_magic_v1)
+           = Proto.response_magic_v1);
+      match Proto.decode_response frame with
+      | Ok (Proto.Vo _, None) -> ()
+      | Ok (r, Some _) ->
+        Alcotest.failf "v1 request got a v2 footer (%s)" (Proto.response_code r)
+      | Ok (r, None) -> Alcotest.failf "expected Vo, got %s" (Proto.response_code r)
+      | Error e -> Alcotest.failf "response decode: %s" (VE.to_string e));
+  (* The minted id is in the audit-visible incident stream: every request
+     is observed, whatever its envelope version. *)
+  Alcotest.(check int) "observed by the sampler" 1
+    (Slowlog.observed (Server.slowlog t))
+
+let test_compat_v1_responder () =
+  (* A new client against an old responder: a fake v1 server answers without
+     a footer. The client must accept it — success with [server = None]. *)
+  let _, mvk, tree = Lazy.force fixture in
+  let drbg = Drbg.create ~seed:"v1-responder" in
+  let user = user_a in
+  let vo, _ = Ap2g.range_vo drbg ~mvk tree ~user whole_box in
+  let payload =
+    let module V = Zkqac_core.Vo.Make (Backend) in
+    V.to_bytes vo
+  in
+  let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+  Unix.bind listen_fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  Unix.listen listen_fd 4;
+  let port =
+    match Unix.getsockname listen_fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> Alcotest.fail "no port"
+  in
+  let responder =
+    Thread.create
+      (fun () ->
+        match Unix.accept listen_fd with
+        | exception Unix.Unix_error _ -> ()
+        | fd, _ ->
+          Fun.protect
+            ~finally:(fun () -> Sockio.close_noerr fd)
+            (fun () ->
+              let dl = Sockio.deadline_after 5.0 in
+              let frame = Sockio.read_frame fd ~deadline:dl ~max_bytes:(1 lsl 20) in
+              (* An old responder decodes the v2 request (the decoder in this
+                 tree accepts both) but answers with v1 bytes: no footer. *)
+              (match Proto.decode_request frame with
+              | Ok r ->
+                Alcotest.(check bool) "v2 request carried an id" true
+                  (r.Proto.req_id <> None)
+              | Error e -> Alcotest.failf "request decode: %s" (VE.to_string e));
+              Sockio.write_frame fd ~deadline:dl
+                (Proto.encode_response (Proto.Vo payload))))
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      Thread.join responder)
+    (fun () ->
+      match
+        Cl.query (client_cfg port) ~mvk ~universe:(Ap2g.universe tree)
+          ?hierarchy:(Ap2g.hierarchy tree) ~user ~query:whole_box ()
+      with
+      | Ok s ->
+        Alcotest.(check bool) "no server timing from a v1 responder" true
+          (s.Cl.server = None);
+        Alcotest.(check bool) "client still knows its own id" true
+          (s.Cl.req_id <> 0L)
+      | Error f -> Alcotest.failf "v1 responder: %s" (Client.failure_to_string f))
+
+(* --- tail sampling: forced-slow and forced-error determinism --- *)
+
+let find_incident slowlog rid =
+  List.filter
+    (fun (i : Slowlog.incident) -> i.Slowlog.i_req_id = rid)
+    (Slowlog.incidents slowlog)
+
+let span_names (i : Slowlog.incident) =
+  List.map
+    (fun (s : Zkqac_telemetry.Trace.info) -> s.Zkqac_telemetry.Trace.span_name)
+    i.Slowlog.i_spans
+
+let test_slowlog_forced_slow () =
+  (* A fixed 40ms threshold plus a 120ms injected delay on the first decoded
+     request: exactly that request is sampled, with a complete span tree
+     (root, the injected stall, the pool worker), and a fast follow-up stays
+     out. Determinism is the point — no quantile warm-up in this mode. *)
+  let rid = 0x5105105105105105L in
+  with_server
+    {
+      base_server_cfg with
+      S.slow_threshold_ms = 40.0;
+      slow_inject = Some (0.12, 1);
+    }
+  @@ fun t ->
+  (match query_server ~rid (Server.port t) with
+  | Ok s -> Alcotest.(check bool) "slow query still verifies" true (s.Cl.req_id = rid)
+  | Error f -> Alcotest.failf "forced-slow query: %s" (Client.failure_to_string f));
+  (match query_server (Server.port t) with
+  | Ok _ -> ()
+  | Error f -> Alcotest.failf "fast query: %s" (Client.failure_to_string f));
+  let slowlog = Server.slowlog t in
+  Alcotest.(check int) "both observed" 2 (Slowlog.observed slowlog);
+  Alcotest.(check int) "exactly the slow one sampled" 1 (Slowlog.sampled slowlog);
+  match find_incident slowlog rid with
+  | [ inc ] ->
+    Alcotest.(check string) "kept as slow" "slow" inc.Slowlog.i_reason;
+    Alcotest.(check string) "outcome ok" "ok" inc.Slowlog.i_outcome;
+    Alcotest.(check bool) "client id, not minted" false inc.Slowlog.i_minted;
+    Alcotest.(check bool) "slower than the injection" true
+      (inc.Slowlog.i_total_ms >= 120.0);
+    let names = span_names inc in
+    List.iter
+      (fun expected ->
+        Alcotest.(check bool) (expected ^ " span present") true
+          (List.mem expected names))
+      [ "server.request"; "server.slow_inject"; "pool.worker" ];
+    (* Every collected span belongs to this request's tree. *)
+    let root_id =
+      (List.hd inc.Slowlog.i_spans).Zkqac_telemetry.Trace.span_root
+    in
+    List.iter
+      (fun (s : Zkqac_telemetry.Trace.info) ->
+        Alcotest.(check int) "span in tree" root_id
+          s.Zkqac_telemetry.Trace.span_root)
+      inc.Slowlog.i_spans;
+    (match inc.Slowlog.i_timing with
+    | Some tm ->
+      Alcotest.(check bool) "server total covers the stall" true
+        (tm.Proto.total_us >= 120_000)
+    | None -> Alcotest.fail "slow incident lost its timing split")
+  | l -> Alcotest.failf "expected exactly one incident for the id, got %d"
+           (List.length l)
+
+let test_slowlog_forced_error () =
+  (* A known id on a query outside the keyspace: the typed error is sampled
+     under that id exactly once; the fast success before it is not. *)
+  let rid = 0x0badc0ffee000001L in
+  with_server base_server_cfg @@ fun t ->
+  (match query_server (Server.port t) with
+  | Ok _ -> ()
+  | Error f -> Alcotest.failf "fast query: %s" (Client.failure_to_string f));
+  let outside = Box.make ~lo:[| 10; 10 |] ~hi:[| 11; 11 |] in
+  let fd =
+    Sockio.connect ~host:"127.0.0.1" ~port:(Server.port t) ~timeout:2.0
+  in
+  Fun.protect
+    ~finally:(fun () -> Sockio.close_noerr fd)
+    (fun () ->
+      let dl = Sockio.deadline_after 5.0 in
+      Sockio.write_frame fd ~deadline:dl
+        (Proto.encode_request
+           { Proto.req_id = Some rid; roles = [ "RoleA" ]; query = outside });
+      match Sockio.read_frame fd ~deadline:dl ~max_bytes:(1 lsl 20) with
+      | frame -> (
+        match Proto.decode_response frame with
+        | Ok (Proto.Bad_request _, Some f) ->
+          Alcotest.(check bool) "footer echoes the id" true
+            (f.Proto.f_req_id = rid)
+        | Ok (r, _) -> Alcotest.failf "expected Bad_request, got %s"
+                         (Proto.response_code r)
+        | Error e -> Alcotest.failf "response decode: %s" (VE.to_string e)));
+  let slowlog = Server.slowlog t in
+  Alcotest.(check int) "only the error sampled" 1 (Slowlog.sampled slowlog);
+  match find_incident slowlog rid with
+  | [ inc ] ->
+    Alcotest.(check string) "kept as error" "error" inc.Slowlog.i_reason;
+    Alcotest.(check string) "typed outcome" "bad-request" inc.Slowlog.i_outcome;
+    Alcotest.(check bool) "root span collected" true
+      (List.mem "server.request" (span_names inc))
+  | l -> Alcotest.failf "expected exactly one error incident, got %d"
+           (List.length l)
+
+(* --- the correlation join: one id, all planes --- *)
+
+let test_req_id_join () =
+  (* One client-minted id, retrieved from the audit log, the /slowlog HTTP
+     endpoint, and the client's own success — byte-identical hex in all. *)
+  let rid = 0xfeedfacecafebeefL in
+  let hex = Proto.req_id_hex rid in
+  let log = Filename.temp_file "zkqac-join-audit" ".log" in
+  Sys.remove log;
+  (match Audit.enable ~path:log () with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Fun.protect ~finally:Audit.disable (fun () ->
+      with_server
+        {
+          base_server_cfg with
+          S.metrics_port = Some 0;
+          slow_threshold_ms = 0.000001;
+          (* everything is "slow": the join test wants the incident kept *)
+        }
+      @@ fun t ->
+      (match query_server ~rid (Server.port t) with
+      | Ok s ->
+        Alcotest.(check bool) "success carries the id" true (s.Cl.req_id = rid);
+        Alcotest.(check bool) "footer timing arrived" true (s.Cl.server <> None)
+      | Error f -> Alcotest.failf "query: %s" (Client.failure_to_string f));
+      (* Plane 2: the live /slowlog endpoint, as a client would fetch it. *)
+      match Server.metrics_port t with
+      | None -> Alcotest.fail "metrics endpoint missing"
+      | Some p ->
+        let body = http_get p "/slowlog" in
+        Alcotest.(check bool) "slowlog endpoint serves JSON" true
+          (contains_sub body "\"slowlog\"");
+        Alcotest.(check bool) "slowlog names the request" true
+          (contains_sub body hex);
+        Alcotest.(check bool) "slowlog carries the span tree" true
+          (contains_sub body "server.request"));
+  (* Plane 3: the hash-chained audit log. *)
+  match Audit.verify_file log with
+  | Error b ->
+    Alcotest.failf "audit log broken at %d: %s" b.Audit.entry b.Audit.reason
+  | Ok entries ->
+    let serve_bodies =
+      List.filter_map
+        (fun (e : Audit.entry) ->
+          if e.Audit.kind = "serve" then
+            Some (Zkqac_telemetry.Json.to_string e.Audit.body)
+          else None)
+        entries
+    in
+    Alcotest.(check bool) "audit entry carries the same hex id" true
+      (List.exists (fun b -> contains_sub b hex) serve_bodies)
+
 let suite =
   [
     ( "server",
@@ -605,5 +887,15 @@ let suite =
           test_supervise_restart_loop;
         Alcotest.test_case "server health endpoints" `Quick
           test_server_health_endpoints;
+        Alcotest.test_case "v1 request against new server" `Quick
+          test_compat_v1_request;
+        Alcotest.test_case "new client against v1 responder" `Quick
+          test_compat_v1_responder;
+        Alcotest.test_case "tail sampler keeps the forced-slow request" `Quick
+          test_slowlog_forced_slow;
+        Alcotest.test_case "tail sampler keeps the forced error" `Quick
+          test_slowlog_forced_error;
+        Alcotest.test_case "one req id joins audit, slowlog, client" `Quick
+          test_req_id_join;
       ] );
   ]

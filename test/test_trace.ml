@@ -333,6 +333,49 @@ let test_trace_capacity () =
   Trace.enable ~capacity:10 ();
   Alcotest.(check int) "reset clears" 0 (Trace.span_count ())
 
+(* The tail sampler's two load-bearing guarantees: every span knows its
+   tree's root id without walking parent links, and the close hook sees
+   every close even after the export ring's retention budget is spent. *)
+let test_root_and_close_hook () =
+  Trace.enable ~capacity:4 ();
+  let closed = ref [] in
+  Trace.set_close_hook (Some (fun info -> closed := info :: !closed));
+  Fun.protect ~finally:(fun () ->
+      Trace.set_close_hook None;
+      Trace.disable ();
+      Trace.reset ())
+  @@ fun () ->
+  for _ = 1 to 3 do
+    Trace.with_span "outer" (fun outer ->
+        Trace.with_span ~parent:outer "inner" (fun _ -> ()))
+  done;
+  Trace.disable ();
+  (* Retention saturated at 4 spans, but the hook saw all 6 closes. *)
+  Alcotest.(check int) "retention budget respected" 4 (Trace.span_count ());
+  Alcotest.(check int) "close hook fired past the budget" 6
+    (List.length !closed);
+  let outers =
+    List.filter (fun s -> s.Trace.span_name = "outer") !closed
+  and inners =
+    List.filter (fun s -> s.Trace.span_name = "inner") !closed
+  in
+  Alcotest.(check int) "three outer closes" 3 (List.length outers);
+  Alcotest.(check int) "three inner closes" 3 (List.length inners);
+  List.iter
+    (fun (o : Trace.info) ->
+      Alcotest.(check int) "a root's span_root is itself" o.Trace.span_id
+        o.Trace.span_root)
+    outers;
+  List.iter
+    (fun (i : Trace.info) ->
+      (* Each inner's root is its own outer — join by parent id. *)
+      let o =
+        List.find (fun o -> o.Trace.span_id = i.Trace.span_parent) outers
+      in
+      Alcotest.(check int) "child inherits its tree's root id"
+        o.Trace.span_id i.Trace.span_root)
+    inners
+
 let suite =
   [ ( "trace",
       [ Alcotest.test_case "histogram bucket boundaries" `Quick
@@ -345,5 +388,7 @@ let suite =
         Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
         Alcotest.test_case "ZKQAC_DOMAINS validation" `Quick test_pool_size_env;
         Alcotest.test_case "golden query trace" `Quick test_query_trace;
-        Alcotest.test_case "trace capacity bound" `Quick test_trace_capacity ] )
+        Alcotest.test_case "trace capacity bound" `Quick test_trace_capacity;
+        Alcotest.test_case "span_root and close hook" `Quick
+          test_root_and_close_hook ] )
   ]
